@@ -1,0 +1,71 @@
+// Figure 6: BigDataBench PageRank (the *tuned* implementation of the
+// paper's Fig 5 — partitioned link table, persisted per-step RDDs), MPI vs
+// Spark vs Spark-RDMA, 16 processes/node, swept over node counts.
+//
+// The paper runs 1,000,000 vertices; the default here is a 300,000-vertex
+// instance of the same power-law family so the benchmark executes end to
+// end in seconds (pass vertices=1000000 for the full size).
+//
+//   ./build/bench/fig6_pagerank_bdb [vertices=100000] [iters=5]
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "pagerank_common.h"
+#include "workloads/pagerank.h"
+
+using namespace pstk;
+
+int main(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  workloads::GraphParams gparams;
+  gparams.vertices =
+      static_cast<workloads::VertexId>(config->GetInt("vertices", 300000));
+  const int iters = static_cast<int>(config->GetInt("iters", 5));
+
+  const workloads::Graph graph = workloads::GenerateGraph(gparams);
+  const auto reference = workloads::PageRankReference(graph, iters);
+
+  std::printf("Figure 6 — BigDataBench PageRank (tuned, persist), "
+              "%u vertices, %llu edges, %d iterations, 16 procs/node\n\n",
+              graph.vertices,
+              static_cast<unsigned long long>(graph.edge_count()), iters);
+
+  Table table;
+  table.SetHeader({"nodes", "MPI", "Spark", "Spark-RDMA", "|err| max"});
+  for (int nodes : {1, 2, 4, 8}) {
+    bench::PageRankConfig pr;
+    pr.nodes = nodes;
+    pr.iterations = iters;
+    pr.persist = true;
+
+    auto mpi = bench::RunMpiPageRank(graph, reference, pr);
+    pr.rdma = false;
+    auto sp = bench::RunSparkPageRankBdb(graph, reference, pr);
+    pr.rdma = true;
+    auto sp_rdma = bench::RunSparkPageRankBdb(graph, reference, pr);
+
+    double err = 0;
+    for (const auto& r : {&mpi, &sp, &sp_rdma}) {
+      if (r->ok()) err = std::max(err, r->value().max_delta_vs_reference);
+    }
+    table.Row()
+        .Cell(std::int64_t{nodes})
+        .Cell(mpi.ok() ? FormatDuration(mpi->elapsed) : "error")
+        .Cell(sp.ok() ? FormatDuration(sp->elapsed) : "error")
+        .Cell(sp_rdma.ok() ? FormatDuration(sp_rdma->elapsed) : "error")
+        .Cell(err, 9);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): MPI performs almost the same across node\n"
+      "counts (communication-bound allreduce) while Spark improves with\n"
+      "nodes; Spark-RDMA ~= Spark because the tuned implementation keeps\n"
+      "each stage's data local (persist + co-partitioning), leaving the\n"
+      "RDMA shuffle engine almost nothing to accelerate.\n");
+  return 0;
+}

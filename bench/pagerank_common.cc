@@ -1,0 +1,245 @@
+#include "pagerank_common.h"
+
+#include <algorithm>
+
+#include "mpi/mpi.h"
+#include "spark/spark.h"
+#include "workloads/pagerank.h"
+
+namespace pstk::bench {
+
+namespace {
+
+using K = std::int64_t;
+
+/// Per-vertex adjacency pairs from the graph (the parsed text form).
+std::vector<std::pair<K, std::vector<K>>> LinksOf(
+    const workloads::Graph& graph) {
+  std::vector<std::pair<K, std::vector<K>>> links;
+  links.reserve(graph.vertices);
+  for (workloads::VertexId v = 0; v < graph.vertices; ++v) {
+    std::vector<K> targets;
+    targets.reserve(graph.out_degree(v));
+    for (std::uint64_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      targets.push_back(graph.targets[e]);
+    }
+    links.emplace_back(v, std::move(targets));
+  }
+  return links;
+}
+
+double CompareToReference(const std::map<K, double>& got,
+                          const std::vector<double>& reference) {
+  std::vector<double> dense(reference.size(), workloads::kBaseRank);
+  for (const auto& [v, r] : got) {
+    if (v >= 0 && static_cast<std::size_t>(v) < dense.size()) {
+      dense[static_cast<std::size_t>(v)] = r;
+    }
+  }
+  return workloads::MaxRankDelta(dense, reference);
+}
+
+spark::SparkOptions SparkOptionsFor(const PageRankConfig& config) {
+  spark::SparkOptions options;
+  options.executors_per_node = config.procs_per_node;
+  options.rdma_shuffle = config.rdma;
+  return options;
+}
+
+}  // namespace
+
+Result<PageRankRun> RunSparkPageRankBdb(const workloads::Graph& graph,
+                                        const std::vector<double>& reference,
+                                        const PageRankConfig& config) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine,
+                           cluster::ClusterSpec::Comet(config.nodes));
+  spark::MiniSpark spark(cluster, nullptr, SparkOptionsFor(config));
+
+  PageRankRun run;
+  auto links_data = LinksOf(graph);
+  Status job_status;
+  SimTime job_elapsed = 0;
+  auto result = spark.RunApp([&](spark::SparkContext& sc) {
+    const SimTime job_start = sc.ctx().now();
+    const int parts = sc.default_parallelism();
+    auto links = sc.Parallelize(links_data, parts)
+                     .AsPairs<K, std::vector<K>>()
+                     .PartitionBy(parts);
+    if (config.persist) links.Persist(spark::StorageLevel::kMemoryAndDisk);
+
+    auto ranks = links.MapValues<double>([](const std::vector<K>&) {
+      return 1.0;
+    });
+    for (int i = 0; i < config.iterations; ++i) {
+      auto contribs =
+          links.Join(ranks)  // narrow: co-partitioned
+              .AsRdd()
+              .FlatMap<std::pair<K, double>>(
+                  [](const std::pair<K, std::pair<std::vector<K>, double>>&
+                         entry) {
+                    const auto& [src, pair] = entry;
+                    const auto& [urls, rank] = pair;
+                    std::vector<std::pair<K, double>> out;
+                    out.reserve(urls.size() + 1);
+                    out.emplace_back(src, 0.0);
+                    const double share =
+                        rank / static_cast<double>(urls.size());
+                    for (K url : urls) out.emplace_back(url, share);
+                    return out;
+                  })
+              .AsPairs<K, double>();
+      auto summed = contribs.ReduceByKey(
+          [](double a, double b) { return a + b; }, parts);
+      ranks = summed.MapValues<double>([](const double& sum) {
+        return workloads::kBaseRank + workloads::kDamping * sum;
+      });
+      if (config.persist) {
+        ranks.Persist(spark::StorageLevel::kMemoryAndDisk);
+      }
+      auto count = ranks.Count();  // materialize each step (BigDataBench)
+      if (!count.ok()) {
+        job_status = count.status();
+        return;
+      }
+    }
+    auto final_ranks = ranks.CollectAsMap();
+    if (!final_ranks.ok()) {
+      job_status = final_ranks.status();
+      return;
+    }
+    run.max_delta_vs_reference =
+        CompareToReference(final_ranks.value(), reference);
+    job_elapsed = sc.ctx().now() - job_start;
+  });
+  if (!result.ok()) return result.status();
+  if (!job_status.ok()) return job_status;
+  run.elapsed = job_elapsed;
+  run.shuffle_fetched = result->stats.shuffle_fetched_bytes;
+  return run;
+}
+
+Result<PageRankRun> RunSparkPageRankHiBench(
+    const workloads::Graph& graph, const std::vector<double>& reference,
+    const PageRankConfig& config) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine,
+                           cluster::ClusterSpec::Comet(config.nodes));
+  spark::MiniSpark spark(cluster, nullptr, SparkOptionsFor(config));
+
+  PageRankRun run;
+  auto links_data = LinksOf(graph);
+  Status job_status;
+  SimTime job_elapsed = 0;
+  auto result = spark.RunApp([&](spark::SparkContext& sc) {
+    const SimTime job_start = sc.ctx().now();
+    const int parts = sc.default_parallelism();
+    // No partitionBy, no persist: every iteration's join reshuffles the
+    // full link table AND the ranks (HiBench's MR-ported implementation).
+    auto links =
+        sc.Parallelize(links_data, parts).AsPairs<K, std::vector<K>>();
+    auto ranks = links.MapValues<double>([](const std::vector<K>&) {
+      return 1.0;
+    });
+    for (int i = 0; i < config.iterations; ++i) {
+      auto contribs =
+          links.Join(ranks)  // wide: shuffles both sides
+              .AsRdd()
+              .FlatMap<std::pair<K, double>>(
+                  [](const std::pair<K, std::pair<std::vector<K>, double>>&
+                         entry) {
+                    const auto& [src, pair] = entry;
+                    const auto& [urls, rank] = pair;
+                    std::vector<std::pair<K, double>> out;
+                    out.reserve(urls.size() + 1);
+                    out.emplace_back(src, 0.0);
+                    const double share =
+                        rank / static_cast<double>(urls.size());
+                    for (K url : urls) out.emplace_back(url, share);
+                    return out;
+                  })
+              .AsPairs<K, double>();
+      auto summed = contribs.ReduceByKey(
+          [](double a, double b) { return a + b; }, parts);
+      ranks = summed.MapValues<double>([](const double& sum) {
+        return workloads::kBaseRank + workloads::kDamping * sum;
+      });
+      auto count = ranks.Count();
+      if (!count.ok()) {
+        job_status = count.status();
+        return;
+      }
+    }
+    auto final_ranks = ranks.CollectAsMap();
+    if (!final_ranks.ok()) {
+      job_status = final_ranks.status();
+      return;
+    }
+    run.max_delta_vs_reference =
+        CompareToReference(final_ranks.value(), reference);
+    job_elapsed = sc.ctx().now() - job_start;
+  });
+  if (!result.ok()) return result.status();
+  if (!job_status.ok()) return job_status;
+  run.elapsed = job_elapsed;
+  run.shuffle_fetched = result->stats.shuffle_fetched_bytes;
+  return run;
+}
+
+Result<PageRankRun> RunMpiPageRank(const workloads::Graph& graph,
+                                   const std::vector<double>& reference,
+                                   const PageRankConfig& config) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine,
+                           cluster::ClusterSpec::Comet(config.nodes));
+  mpi::World world(cluster, config.nodes * config.procs_per_node,
+                   config.procs_per_node);
+
+  PageRankRun run;
+  double max_delta = 0;
+  SimTime job_elapsed = 0;
+  auto elapsed = world.RunSpmd([&](mpi::Comm& comm) {
+    comm.Barrier();
+    const SimTime job_start = comm.ctx().now();
+    const auto n = graph.vertices;
+    const auto lo =
+        static_cast<workloads::VertexId>(n * comm.rank() / comm.size());
+    const auto hi = static_cast<workloads::VertexId>(
+        n * (comm.rank() + 1) / comm.size());
+
+    std::vector<double> ranks(n, 1.0);
+    std::vector<double> contrib(n, 0.0);
+    std::vector<double> summed(n, 0.0);
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      std::fill(contrib.begin(), contrib.end(), 0.0);
+      for (workloads::VertexId v = lo; v < hi; ++v) {
+        const std::size_t degree = graph.out_degree(v);
+        if (degree == 0) continue;
+        const double share = ranks[v] / static_cast<double>(degree);
+        for (std::uint64_t e = graph.offsets[v]; e < graph.offsets[v + 1];
+             ++e) {
+          contrib[graph.targets[e]] += share;
+        }
+      }
+      // Charge the local scatter (1 flop per local edge + vector sweep).
+      const auto local_edges = graph.offsets[hi] - graph.offsets[lo];
+      comm.ctx().Compute(cluster.ComputeTime(
+          static_cast<double>(local_edges + n), 1));
+      comm.Allreduce<double>(contrib, summed);
+      for (workloads::VertexId v = 0; v < n; ++v) {
+        ranks[v] = workloads::kBaseRank + workloads::kDamping * summed[v];
+      }
+      comm.ctx().Compute(cluster.ComputeTime(static_cast<double>(n), 1));
+    }
+    if (comm.rank() == 0) {
+      max_delta = workloads::MaxRankDelta(ranks, reference);
+      job_elapsed = comm.ctx().now() - job_start;
+    }
+  });
+  if (!elapsed.ok()) return elapsed.status();
+  run.elapsed = job_elapsed;
+  run.max_delta_vs_reference = max_delta;
+  return run;
+}
+
+}  // namespace pstk::bench

@@ -1,0 +1,156 @@
+// Table II: the parallel file read microbenchmark — read an 8 GB and an
+// 80 GB text file in parallel (with a counting action to force
+// materialization) under three configurations:
+//   1. Spark reading from MiniDFS ("Spark on HDFS"),
+//   2. Spark reading node-local replicas ("Spark on local/scratch fs"),
+//   3. MPI parallel I/O on node-local replicas.
+//
+// Paper values on Comet (8 nodes x 8 procs):
+//     8 GB:  Spark+HDFS 8.2 s | Spark local 6.5 s | MPI 1.2 s
+//    80 GB:  Spark+HDFS 46.75 s | Spark local 29.9 s | MPI 14.16 s
+//
+//   ./build/bench/table2_fileread [nodes=8] [ppn=8] [scale=0.001]
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "common/config.h"
+#include "common/table.h"
+#include "dfs/dfs.h"
+#include "mpi/mpi.h"
+#include "sim/engine.h"
+#include "spark/spark.h"
+#include "workloads/stackexchange.h"
+
+using namespace pstk;
+
+namespace {
+
+std::string MakeDataset(Bytes actual_bytes) {
+  workloads::StackExchangeParams params;
+  params.target_bytes = actual_bytes;
+  return workloads::GenerateStackExchange(params, nullptr);
+}
+
+/// Spark reading from MiniDFS; returns the in-app job time of the count.
+SimTime SparkHdfsRead(int nodes, int ppn, double scale,
+                      const std::string& data) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes), scale);
+  dfs::MiniDfs dfs(cluster);  // 128 MB blocks, replication 3
+  if (!dfs.Install("/in/file.txt", data).ok()) return -1;
+  spark::SparkOptions options;
+  options.executors_per_node = ppn;
+  spark::MiniSpark spark(cluster, &dfs, options);
+  SimTime job = -1;
+  auto result = spark.RunApp([&](spark::SparkContext& sc) {
+    auto lines = sc.TextFile("/in/file.txt");
+    if (!lines.ok()) return;
+    const SimTime start = sc.ctx().now();
+    if (!lines->Count().ok()) return;
+    job = sc.ctx().now() - start;
+  });
+  return result.ok() ? job : -1;
+}
+
+/// Spark reading node-local replicas.
+SimTime SparkLocalRead(int nodes, int ppn, double scale,
+                       const std::string& data) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes), scale);
+  for (int n = 0; n < nodes; ++n) {
+    cluster.scratch(n).Install("/scratch/file.txt", data);
+  }
+  spark::SparkOptions options;
+  options.executors_per_node = ppn;
+  spark::MiniSpark spark(cluster, nullptr, options);
+  SimTime job = -1;
+  auto result = spark.RunApp([&](spark::SparkContext& sc) {
+    auto lines = sc.TextFileLocal("/scratch/file.txt");
+    if (!lines.ok()) return;
+    const SimTime start = sc.ctx().now();
+    if (!lines->Count().ok()) return;
+    job = sc.ctx().now() - start;
+  });
+  return result.ok() ? job : -1;
+}
+
+/// MPI collective read + count from node-local replicas.
+SimTime MpiRead(int nodes, int ppn, double scale, const std::string& data) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes), scale);
+  for (int n = 0; n < nodes; ++n) {
+    cluster.scratch(n).Install("/scratch/file.txt", data);
+  }
+  mpi::World world(cluster, nodes * ppn, ppn);
+  SimTime job = -1;
+  auto elapsed = world.RunSpmd([&](mpi::Comm& comm) {
+    auto file = mpi::File::OpenAll(comm, "/scratch/file.txt");
+    if (!file.ok()) return;
+    comm.Barrier();
+    const SimTime start = comm.ctx().now();
+    const Bytes chunk = file->size() / comm.size();
+    const Bytes offset = chunk * comm.rank();
+    const Bytes len =
+        comm.rank() == comm.size() - 1 ? file->size() - offset : chunk;
+    if (len > static_cast<Bytes>(INT32_MAX)) return;  // paper's limitation
+    auto part =
+        file->ReadLinesAtAll(comm, offset, static_cast<std::int32_t>(len));
+    if (!part.ok()) return;
+    // The added counting operation (newline count, native speed).
+    std::uint64_t local = 0;
+    for (char c : part.value()) local += c == '\n' ? 1 : 0;
+    comm.ctx().Compute(static_cast<double>(len) / 2.0e9);
+    std::vector<std::uint64_t> mine{local};
+    std::vector<std::uint64_t> total(1);
+    comm.Reduce<std::uint64_t>(mine, total, 0);
+    comm.Barrier();
+    if (comm.rank() == 0) job = comm.ctx().now() - start;
+  });
+  return elapsed.ok() ? job : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const int nodes = static_cast<int>(config->GetInt("nodes", 8));
+  const int ppn = static_cast<int>(config->GetInt("ppn", 8));
+  const double scale = config->GetDouble("scale", 0.001);
+
+  std::printf("Table II — Parallel file read microbenchmark "
+              "(%d nodes x %d procs, scale=%g)\n\n", nodes, ppn, scale);
+  Table table;
+  table.SetHeader({"logical size", "Spark on HDFS", "Spark on local fs",
+                   "MPI (scratch fs)", "paper"});
+  const struct {
+    Bytes logical;
+    const char* paper;
+  } rows[] = {
+      {8 * kGiB, "8.2s / 6.5s / 1.2s"},
+      {80 * kGiB, "46.75s / 29.9s / 14.16s"},
+  };
+  for (const auto& row : rows) {
+    const auto actual =
+        static_cast<Bytes>(static_cast<double>(row.logical) * scale);
+    const std::string data = MakeDataset(actual);
+    const SimTime hdfs = SparkHdfsRead(nodes, ppn, scale, data);
+    const SimTime local = SparkLocalRead(nodes, ppn, scale, data);
+    const SimTime mpi = MpiRead(nodes, ppn, scale, data);
+    table.Row()
+        .Cell(FormatBytes(row.logical))
+        .Cell(FormatDuration(hdfs))
+        .Cell(FormatDuration(local))
+        .Cell(FormatDuration(mpi))
+        .Cell(row.paper);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): MPI fastest (thin native I/O path);\n"
+      "HDFS adds ~25%% over Spark-on-local (extra distribution layer), the\n"
+      "price of transparent datanode fault handling.\n");
+  return 0;
+}

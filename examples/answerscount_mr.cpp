@@ -1,0 +1,96 @@
+// AnswersCount with MiniMR (the Hadoop MapReduce version, §V-C).
+//
+// Classic Hadoop shape: the mapper emits ("Q",1) / ("A",1) per post, a
+// combiner pre-aggregates, one reducer sums, and the result is read back
+// from the part file in the DFS.
+//
+//   ./build/examples/answerscount_mr [nodes=4] [mb=8] [scale=0.001]
+#include <cstdio>
+
+#include "example_util.h"
+#include "mr/mr.h"
+
+using namespace pstk;
+
+int main(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const int nodes = static_cast<int>(config->GetInt("nodes", 4));
+  const Bytes actual = MiB(static_cast<double>(config->GetInt("mb", 8)));
+  const double scale = config->GetDouble("scale", 0.001);
+
+  auto env = examples::MakeEnv(nodes, scale, /*dfs_block=*/16 * kMiB);
+  const auto truth = examples::StagePosts(*env, actual, "/in/posts.txt", "");
+
+  // BENCHMARK-BEGIN
+  mr::MrEngine engine(*env->cluster, *env->dfs);
+  mr::JobConf conf;
+  conf.name = "answerscount";
+  conf.input_path = "/in/posts.txt";
+  conf.output_path = "/out/answerscount";
+  conf.num_reducers = 1;
+
+  auto map = [](const std::string& line, mr::Emitter& out) {
+    switch (workloads::ClassifyPost(line)) {
+      case workloads::PostKind::kQuestion: out.Emit("Q", "1"); break;
+      case workloads::PostKind::kAnswer: out.Emit("A", "1"); break;
+      default: break;
+    }
+  };
+  auto reduce = [](const std::string& key,
+                   const std::vector<std::string>& values, mr::Emitter& out) {
+    std::int64_t sum = 0;
+    for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+    out.Emit(key, std::to_string(sum));
+  };
+  auto result = engine.RunJob(conf, map, reduce, /*combine=*/reduce);
+  // BENCHMARK-END
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Read the reducer output back.
+  std::uint64_t questions = 0;
+  std::uint64_t answers = 0;
+  env->engine.Spawn("result-reader", [&](sim::Context& ctx) {
+    auto part = env->dfs->ReadAll(ctx, 0, "/out/answerscount/part-r-0");
+    if (!part.ok()) return;
+    std::size_t pos = 0;
+    const std::string& text = part.value();
+    while (pos < text.size()) {
+      auto nl = text.find('\n', pos);
+      if (nl == std::string::npos) nl = text.size();
+      const std::string line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+      const auto tab = line.find('\t');
+      if (tab == std::string::npos) continue;
+      const auto value = std::strtoull(line.c_str() + tab + 1, nullptr, 10);
+      if (line.substr(0, tab) == "Q") questions = value;
+      if (line.substr(0, tab) == "A") answers = value;
+    }
+  });
+  if (auto run = env->engine.Run(); !run.status.ok()) {
+    std::fprintf(stderr, "%s\n", run.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Hadoop-MR AnswersCount (%d nodes, %s modeled)\n", nodes,
+              FormatBytes(env->cluster->Modeled(actual)).c_str());
+  const double avg = questions ? static_cast<double>(answers) /
+                                     static_cast<double>(questions)
+                               : 0.0;
+  std::printf("  questions=%llu answers=%llu avg=%.3f (truth %.3f)\n",
+              static_cast<unsigned long long>(questions),
+              static_cast<unsigned long long>(answers), avg,
+              truth.AverageAnswers());
+  std::printf("  simulated job time: %s  (maps=%llu spills=%s shuffle=%s)\n",
+              FormatDuration(result->elapsed).c_str(),
+              static_cast<unsigned long long>(result->counters.map_tasks),
+              FormatBytes(result->counters.spilled_bytes).c_str(),
+              FormatBytes(result->counters.shuffled_bytes).c_str());
+  return questions == truth.questions && answers == truth.answers ? 0 : 2;
+}

@@ -1,0 +1,89 @@
+// AnswersCount with MiniOMP (the paper's single-node OpenMP baseline).
+//
+// The dataset is read from one node's local scratch; the counting kernel
+// runs for real on a MiniOMP thread pool, and the simulated clock is
+// charged for the full-size (modeled) workload divided across the cores.
+//
+//   ./build/examples/answerscount_omp [threads=8] [mb=8] [scale=0.001]
+#include <cstdio>
+
+#include "example_util.h"
+#include "omp/omp.h"
+
+using namespace pstk;
+
+namespace {
+// Native (non-JVM) per-byte processing cost of the counting kernel.
+constexpr SimTime kNativeCpuPerByte = 1.0 / 1.2e9;  // ~1.2 GB/s per core
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const int threads = static_cast<int>(config->GetInt("threads", 8));
+  const Bytes actual = MiB(static_cast<double>(config->GetInt("mb", 8)));
+  const double scale = config->GetDouble("scale", 0.001);
+
+  auto env = examples::MakeEnv(/*nodes=*/1, scale);
+  const auto truth =
+      examples::StagePosts(*env, actual, "", "/scratch/posts.txt");
+
+  workloads::StackExchangeStats counted;
+  SimTime elapsed = 0;
+  env->engine.Spawn("omp-job", [&](sim::Context& ctx) {
+    using workloads::CountPosts;
+    // BENCHMARK-BEGIN
+    auto text = env->cluster->scratch(0).ReadAll(ctx, "/scratch/posts.txt");
+    if (!text.ok()) return;
+    omp::Runtime rt(threads);
+    // #pragma omp parallel for reduction(+): each thread counts one byte
+    // chunk; chunks end at line boundaries, non-first chunks skip their
+    // partial first line.
+    const auto total = rt.ParallelReduce<workloads::StackExchangeStats>(
+        0, threads, {},
+        [&](std::int64_t lo, std::int64_t) {
+          const std::string& t = text.value();
+          const std::size_t begin = t.size() * lo / threads;
+          std::size_t end = t.size() * (lo + 1) / threads;
+          if (end < t.size()) end = t.find('\n', end) + 1;
+          return CountPosts(std::string_view(t).substr(begin, end - begin),
+                            /*skip_partial_first=*/lo > 0);
+        },
+        [](workloads::StackExchangeStats x, workloads::StackExchangeStats y) {
+          x.questions += y.questions;
+          x.answers += y.answers;
+          return x;
+        },
+        omp::Schedule::kStatic, /*chunk=*/1);
+    // BENCHMARK-END
+    counted = total;
+
+    // Simulation bookkeeping: charge the modeled CPU of the full-size scan.
+    const double modeled_bytes = static_cast<double>(
+        env->cluster->Modeled(text.value().size()));
+    const double efficiency = 1.0 / (1.0 + 0.02 * (threads - 1));
+    ctx.Compute(modeled_bytes * kNativeCpuPerByte /
+                (static_cast<double>(threads) * efficiency));
+    elapsed = ctx.now();
+  });
+  auto run = env->engine.Run();
+  if (!run.status.ok()) {
+    std::fprintf(stderr, "%s\n", run.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("OpenMP AnswersCount (%d threads, %s modeled)\n", threads,
+              FormatBytes(env->cluster->Modeled(actual)).c_str());
+  std::printf("  questions=%llu answers=%llu avg=%.3f (truth %.3f)\n",
+              static_cast<unsigned long long>(counted.questions),
+              static_cast<unsigned long long>(counted.answers),
+              counted.AverageAnswers(), truth.AverageAnswers());
+  std::printf("  simulated time: %s\n", FormatDuration(elapsed).c_str());
+  return counted.questions == truth.questions &&
+                 counted.answers == truth.answers
+             ? 0
+             : 2;
+}

@@ -1,0 +1,71 @@
+// AnswersCount with MiniSpark (§V-C). The idiomatic Spark shape: textFile
+// from the DFS, map each post to a (questions, answers) increment, and a
+// single reduce — no shuffle at all, which is exactly why Spark scales so
+// well on this benchmark.
+//
+//   ./build/examples/answerscount_spark [nodes=4] [mb=8] [scale=0.001] [rdma=false]
+#include <cstdio>
+
+#include "example_util.h"
+#include "spark/spark.h"
+
+using namespace pstk;
+
+int main(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const int nodes = static_cast<int>(config->GetInt("nodes", 4));
+  const Bytes actual = MiB(static_cast<double>(config->GetInt("mb", 8)));
+  const double scale = config->GetDouble("scale", 0.001);
+
+  auto env = examples::MakeEnv(nodes, scale, /*dfs_block=*/16 * kMiB);
+  const auto truth = examples::StagePosts(*env, actual, "/in/posts.txt", "");
+
+  spark::SparkOptions options;
+  options.rdma_shuffle = config->GetBool("rdma", false);
+  spark::MiniSpark spark(*env->cluster, env->dfs.get(), options);
+
+  std::uint64_t questions = 0;
+  std::uint64_t answers = 0;
+  auto result = spark.RunApp([&](spark::SparkContext& sc) {
+    // BENCHMARK-BEGIN
+    using Counts = std::pair<std::uint64_t, std::uint64_t>;
+    auto lines = sc.TextFile("/in/posts.txt");
+    if (!lines.ok()) return;
+    auto counts = lines->Map<Counts>([](const std::string& line) {
+      switch (workloads::ClassifyPost(line)) {
+        case workloads::PostKind::kQuestion: return Counts{1, 0};
+        case workloads::PostKind::kAnswer: return Counts{0, 1};
+        default: return Counts{0, 0};
+      }
+    });
+    auto total = counts.Reduce([](const Counts& a, const Counts& b) {
+      return Counts{a.first + b.first, a.second + b.second};
+    });
+    if (!total.ok()) return;
+    questions = total->first;
+    answers = total->second;
+    // BENCHMARK-END
+  });
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Spark AnswersCount (%d nodes x %d executors, %s modeled)\n",
+              nodes, options.executors_per_node,
+              FormatBytes(env->cluster->Modeled(actual)).c_str());
+  const double avg = questions ? static_cast<double>(answers) /
+                                     static_cast<double>(questions)
+                               : 0.0;
+  std::printf("  questions=%llu answers=%llu avg=%.3f (truth %.3f)\n",
+              static_cast<unsigned long long>(questions),
+              static_cast<unsigned long long>(answers), avg,
+              truth.AverageAnswers());
+  std::printf("  simulated app time: %.3fs (tasks=%llu)\n", result->elapsed,
+              static_cast<unsigned long long>(result->stats.tasks_launched));
+  return questions == truth.questions && answers == truth.answers ? 0 : 2;
+}

@@ -1,0 +1,62 @@
+// Shared scaffolding for the example programs: cluster construction and
+// input staging. The framework-specific code in each example sits between
+// BENCHMARK-BEGIN/END markers so the Table III analysis measures only it.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/config.h"
+#include "dfs/dfs.h"
+#include "sim/engine.h"
+#include "workloads/stackexchange.h"
+
+namespace pstk::examples {
+
+struct Env {
+  sim::Engine engine;
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<dfs::MiniDfs> dfs;
+};
+
+/// Build a Comet-like cluster with `nodes` nodes at `data_scale`.
+inline std::unique_ptr<Env> MakeEnv(int nodes, double data_scale,
+                                    Bytes dfs_block = 16 * kMiB) {
+  auto env = std::make_unique<Env>();
+  env->cluster = std::make_unique<cluster::Cluster>(
+      env->engine, cluster::ClusterSpec::Comet(static_cast<std::size_t>(nodes)),
+      data_scale);
+  dfs::DfsOptions options;
+  options.block_size = dfs_block;
+  env->dfs = std::make_unique<dfs::MiniDfs>(*env->cluster, options);
+  return env;
+}
+
+/// Stage a StackExchange dataset on the DFS and on every node's scratch;
+/// returns the generator's ground-truth stats.
+inline workloads::StackExchangeStats StagePosts(Env& env,
+                                                Bytes actual_bytes,
+                                                const std::string& dfs_path,
+                                                const std::string& local_path) {
+  workloads::StackExchangeParams params;
+  params.target_bytes = actual_bytes;
+  workloads::StackExchangeStats stats;
+  const std::string data = workloads::GenerateStackExchange(params, &stats);
+  if (!dfs_path.empty()) {
+    auto installed = env.dfs->Install(dfs_path, data);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "stage failed: %s\n", installed.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (!local_path.empty()) {
+    for (int n = 0; n < env.cluster->nodes(); ++n) {
+      env.cluster->scratch(n).Install(local_path, data);
+    }
+  }
+  return stats;
+}
+
+}  // namespace pstk::examples

@@ -1,0 +1,106 @@
+// Fault-tolerance contrast (paper §VI-D): the same node failure is
+// injected into a Spark job and an MPI job.
+//
+//  * Spark: the driver notices the lost executors, shuffle outputs and
+//    cached partitions on the dead node are recomputed from lineage, and
+//    the job finishes with the correct answer.
+//  * MPI: the job has no recovery path — losing a rank aborts it.
+//
+//   ./build/examples/fault_tolerance_demo [nodes=4]
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "common/config.h"
+#include "mpi/mpi.h"
+#include "sim/engine.h"
+#include "spark/spark.h"
+
+using namespace pstk;
+
+namespace {
+
+bool RunSparkWithFailure(int nodes) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
+  spark::SparkOptions options;
+  options.executors_per_node = 2;
+  options.app_startup = Millis(200);
+  spark::MiniSpark spark(cluster, nullptr, options);
+
+  std::int64_t keys = -1;
+  std::optional<Result<spark::AppResult>> outcome;
+  spark.Submit(
+      [&](spark::SparkContext& sc) {
+        std::vector<std::pair<std::int64_t, std::int64_t>> data;
+        for (std::int64_t i = 0; i < 4000; ++i) data.emplace_back(i % 97, i);
+        auto reduced = sc.Parallelize(std::move(data), 2 * nodes)
+                           .AsPairs<std::int64_t, std::int64_t>()
+                           .ReduceByKey([](std::int64_t a, std::int64_t b) {
+                             return a + b;
+                           });
+        auto first = reduced.Count();   // materialize the shuffle
+        sc.ctx().SleepUntil(30.0);      // failure lands here
+        auto second = reduced.Count();  // needs the lost shuffle outputs
+        if (second.ok()) keys = second.value();
+      },
+      [&](Result<spark::AppResult> result) { outcome = std::move(result); });
+  cluster.FailNode(nodes - 1, 20.0);
+  auto run = engine.Run();
+
+  const bool ok = run.status.ok() && outcome.has_value() && outcome->ok() &&
+                  keys == 97;
+  std::printf("Spark + node failure: %s", ok ? "job COMPLETED" : "job FAILED");
+  if (ok) {
+    std::printf(" (97/97 keys correct, %llu fetch failures recovered, "
+                "%.1fs simulated)\n",
+                static_cast<unsigned long long>(
+                    (*outcome)->stats.fetch_failures),
+                (*outcome)->elapsed);
+  } else {
+    std::printf("\n");
+  }
+  return ok;
+}
+
+bool RunMpiWithFailure(int nodes) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
+  mpi::World world(cluster, nodes * 2, 2);
+  world.SpawnRanks([](mpi::Comm& comm) {
+    // An iterative allreduce loop, the typical HPC inner kernel.
+    std::vector<double> value{1.0};
+    std::vector<double> sum(1);
+    for (int i = 0; i < 100; ++i) {
+      comm.ctx().SleepFor(0.5);
+      comm.Allreduce<double>(value, sum);
+    }
+  });
+  cluster.FailNode(nodes - 1, 20.0);
+  auto run = engine.Run();
+  // Losing ranks leaves the collective stuck: the job aborts (the engine
+  // reports the surviving ranks deadlocked in Recv).
+  const bool aborted = run.killed > 0;
+  std::printf("MPI   + node failure: %s\n",
+              aborted ? "job ABORTED (no recovery path)"
+                      : "job unexpectedly survived");
+  return aborted;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const int nodes = static_cast<int>(config->GetInt("nodes", 4));
+  std::printf("Injecting a node failure at t=20s into both paradigms:\n\n");
+  const bool spark_ok = RunSparkWithFailure(nodes);
+  const bool mpi_ok = RunMpiWithFailure(nodes);
+  std::printf(
+      "\nTakeaway (paper §VI-D): lineage lets Spark recompute exactly the "
+      "lost partitions;\nMPI applications need external "
+      "checkpoint/restart to survive the same fault.\n");
+  return spark_ok && mpi_ok ? 0 : 2;
+}

@@ -1,0 +1,79 @@
+// Distributed histogram with MiniSHMEM: the irregular, fine-grained
+// communication pattern the survey calls out as OpenSHMEM's sweet spot
+// (§II-C) — every PE scatters atomic increments across bins owned by all
+// the other PEs, with no receiver-side code at all.
+//
+//   ./build/examples/shmem_histogram [nodes=4] [ppn=4] [bins=64] [samples=20000]
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/config.h"
+#include "shmem/shmem.h"
+#include "sim/engine.h"
+
+using namespace pstk;
+
+int main(int argc, char** argv) {
+  auto config = Config::FromArgs(argc, argv);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const int nodes = static_cast<int>(config->GetInt("nodes", 4));
+  const int ppn = static_cast<int>(config->GetInt("ppn", 4));
+  const int bins = static_cast<int>(config->GetInt("bins", 64));
+  const int samples = static_cast<int>(config->GetInt("samples", 20000));
+
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
+  shmem::ShmemWorld world(cluster, nodes * ppn, ppn);
+
+  std::vector<std::int64_t> histogram(bins, 0);
+  auto elapsed = world.RunSpmd([&](shmem::Pe& pe) {
+    const int npes = pe.n_pes();
+    const int bins_per_pe = (bins + npes - 1) / npes;
+    auto local_bins = pe.Malloc<std::int64_t>(bins_per_pe);
+    for (int b = 0; b < bins_per_pe; ++b) pe.Local(local_bins)[b] = 0;
+    pe.BarrierAll();
+
+    // Each PE samples a skewed distribution and increments the owner PE's
+    // bin with a remote atomic — no matching receive anywhere.
+    for (int s = 0; s < samples / npes; ++s) {
+      const auto bin = static_cast<int>(
+          pe.ctx().rng().PowerLaw(static_cast<std::uint64_t>(bins), 1.4) - 1);
+      const int owner = bin / bins_per_pe;
+      const int slot = bin % bins_per_pe;
+      pe.AtomicFetchAdd(local_bins.at(slot), 1, owner);
+    }
+    pe.BarrierAll();
+
+    // PE 0 gathers the final histogram with one-sided gets.
+    if (pe.my_pe() == 0) {
+      for (int b = 0; b < bins; ++b) {
+        const int owner = b / bins_per_pe;
+        const int slot = b % bins_per_pe;
+        histogram[b] = pe.GetValue(local_bins.at(slot), owner);
+      }
+    }
+  });
+  if (!elapsed.ok()) {
+    std::fprintf(stderr, "%s\n", elapsed.status().ToString().c_str());
+    return 1;
+  }
+
+  std::int64_t total = 0;
+  for (std::int64_t count : histogram) total += count;
+  std::printf("SHMEM histogram: %d bins over %d PEs, %lld samples placed\n",
+              bins, nodes * ppn, static_cast<long long>(total));
+  std::printf("  head bins: %lld %lld %lld %lld\n",
+              static_cast<long long>(histogram[0]),
+              static_cast<long long>(histogram[1]),
+              static_cast<long long>(histogram[2]),
+              static_cast<long long>(histogram[3]));
+  std::printf("  simulated job time: %s\n",
+              FormatDuration(elapsed.value()).c_str());
+  const auto expected =
+      static_cast<std::int64_t>(samples / (nodes * ppn)) * (nodes * ppn);
+  return total == expected ? 0 : 2;
+}

@@ -1,0 +1,74 @@
+#include "analysis/loc.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pstk::analysis {
+
+LocReport AnalyzeSource(const std::string& label, const std::string& source,
+                        const std::vector<std::string>& markers) {
+  LocReport report;
+  report.label = label;
+
+  bool in_block_comment = false;
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // Strip comments to decide whether any code remains.
+    std::string code;
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        const auto close = line.find("*/", i);
+        if (close == std::string::npos) {
+          i = line.size();
+        } else {
+          in_block_comment = false;
+          i = close + 2;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      code += line[i];
+      ++i;
+    }
+    if (TrimWhitespace(code).empty()) continue;
+    ++report.code_lines;
+    for (const std::string& marker : markers) {
+      if (code.find(marker) != std::string::npos) {
+        ++report.boilerplate_lines;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+Result<LocReport> AnalyzeFile(const std::string& label,
+                              const std::string& path,
+                              const std::vector<std::string>& markers) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return AnalyzeSource(label, ExtractBenchmarkRegion(buffer.str()), markers);
+}
+
+std::string ExtractBenchmarkRegion(const std::string& source) {
+  const auto begin = source.find("// BENCHMARK-BEGIN");
+  const auto end = source.find("// BENCHMARK-END");
+  if (begin == std::string::npos || end == std::string::npos || end <= begin) {
+    return source;
+  }
+  const auto start = source.find('\n', begin);
+  if (start == std::string::npos || start >= end) return source;
+  return source.substr(start + 1, end - start - 1);
+}
+
+}  // namespace pstk::analysis

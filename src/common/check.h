@@ -1,0 +1,44 @@
+// Invariant checks for programming errors (C++ Core Guidelines I.6/E.12).
+// PSTK_CHECK aborts with a message; PSTK_DCHECK compiles out in NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pstk::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "PSTK_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace pstk::internal
+
+#define PSTK_CHECK(cond)                                                \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::pstk::internal::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+  } while (0)
+
+#define PSTK_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream pstk_oss_;                                     \
+      pstk_oss_ << msg; /* NOLINT */                                    \
+      ::pstk::internal::CheckFailed(__FILE__, __LINE__, #cond,          \
+                                    pstk_oss_.str());                   \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define PSTK_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define PSTK_DCHECK(cond) PSTK_CHECK(cond)
+#endif

@@ -1,0 +1,62 @@
+// Minimal leveled logger. Thread-safe; level settable globally or via the
+// PSTK_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pstk {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+/// Parse "debug", "INFO", ... ; returns kInfo on unknown input.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace internal {
+
+void LogWrite(LogLevel level, const char* module, const std::string& message);
+
+/// RAII line builder: pstk::internal::LogLine(level, "sim") << "x=" << x;
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* module) : level_(level), module_(module) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogWrite(level_, module_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pstk
+
+#define PSTK_LOG(level, module)                        \
+  if (static_cast<int>(level) <                        \
+      static_cast<int>(::pstk::GetLogLevel())) {       \
+  } else                                               \
+    ::pstk::internal::LogLine(level, module)
+
+#define PSTK_TRACE(module) PSTK_LOG(::pstk::LogLevel::kTrace, module)
+#define PSTK_DEBUG(module) PSTK_LOG(::pstk::LogLevel::kDebug, module)
+#define PSTK_INFO(module) PSTK_LOG(::pstk::LogLevel::kInfo, module)
+#define PSTK_WARN(module) PSTK_LOG(::pstk::LogLevel::kWarn, module)
+#define PSTK_ERROR(module) PSTK_LOG(::pstk::LogLevel::kError, module)

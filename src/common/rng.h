@@ -1,0 +1,118 @@
+// Deterministic, splittable RNG (SplitMix64 seeding a xoshiro256**).
+// Every stochastic component takes an explicit Rng so whole-cluster runs
+// replay bit-identically.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pstk {
+
+namespace internal {
+constexpr std::uint64_t SplitMix64Next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace internal
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDDA7A5EEDDA7AULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = internal::SplitMix64Next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = internal::Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = internal::Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t Below(std::uint64_t bound) {
+    PSTK_DCHECK(bound > 0);
+    // 128-bit multiply-shift; bias negligible for our simulation purposes
+    // when bound << 2^64, exact via rejection otherwise.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t x = Next();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    PSTK_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + Uniform() * (hi - lo); }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Power-law (Zipf-like) sample in [1, n] with exponent alpha via
+  /// inverse-CDF approximation; used by the graph generator.
+  std::uint64_t PowerLaw(std::uint64_t n, double alpha);
+
+  /// Derive an independent child stream (for per-node / per-task RNGs).
+  Rng Split() { return Rng(Next() ^ 0xA02FB1E552F5BDDBULL); }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+inline std::uint64_t Rng::PowerLaw(std::uint64_t n, double alpha) {
+  PSTK_DCHECK(n >= 1);
+  // Inverse transform of the continuous Pareto CDF truncated to [1, n+1),
+  // floored; close enough to Zipf for workload-shaping purposes.
+  const double u = Uniform();
+  const double one_minus = 1.0 - alpha;
+  double x;
+  if (alpha == 1.0) {
+    x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+  } else {
+    const double hi = std::pow(static_cast<double>(n) + 1.0, one_minus);
+    x = std::pow(1.0 + u * (hi - 1.0), 1.0 / one_minus);
+  }
+  auto result = static_cast<std::uint64_t>(x);
+  if (result < 1) result = 1;
+  if (result > n) result = n;
+  return result;
+}
+
+}  // namespace pstk

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pstk {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Sample::Quantile(double q) const {
+  PSTK_CHECK_MSG(!values_.empty(), "quantile of empty sample");
+  PSTK_CHECK(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (values_.size() == 1) return values_[0];
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Sample::Mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+void Log2Histogram::Add(std::uint64_t value) {
+  std::size_t bucket = 0;
+  while ((1ULL << (bucket + 1)) <= value && bucket < 63) ++bucket;
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+std::string Log2Histogram::ToString() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    oss << "[2^" << i << "): " << buckets_[i] << "  ";
+  }
+  return oss.str();
+}
+
+}  // namespace pstk

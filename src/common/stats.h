@@ -1,0 +1,66 @@
+// Streaming statistics and fixed-bucket histograms for benchmark reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pstk {
+
+/// Welford-style running summary: count/mean/variance/min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Keeps every sample; exact quantiles. Fine at benchmark scales.
+class Sample {
+ public:
+  void Add(double x) { values_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double Quantile(double q) const;
+  [[nodiscard]] double Median() const { return Quantile(0.5); }
+  [[nodiscard]] double Mean() const;
+  [[nodiscard]] double Min() const { return Quantile(0.0); }
+  [[nodiscard]] double Max() const { return Quantile(1.0); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Log-2 bucketed histogram (for message-size / value distributions).
+class Log2Histogram {
+ public:
+  void Add(std::uint64_t value);
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  /// Bucket i covers [2^i, 2^(i+1)); bucket 0 also includes 0.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pstk

@@ -1,0 +1,19 @@
+// Small string helpers (split/trim/join/prefix) shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pstk {
+
+std::vector<std::string> Split(std::string_view text, char sep);
+/// Split, dropping empty fields.
+std::vector<std::string> SplitNonEmpty(std::string_view text, char sep);
+std::string_view TrimWhitespace(std::string_view text);
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string ToLower(std::string_view text);
+
+}  // namespace pstk

@@ -1,0 +1,105 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pstk {
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(std::string value) {
+  cells_.push_back(std::move(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() { table_.AddRow(std::move(cells_)); }
+
+std::string Table::ToAscii() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit_row = [&](std::ostringstream& oss,
+                      const std::vector<std::string>& row) {
+    oss << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      oss << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    oss << "\n";
+  };
+  auto emit_sep = [&](std::ostringstream& oss) {
+    oss << "+";
+    for (std::size_t w : widths) oss << std::string(w + 2, '-') << "+";
+    oss << "\n";
+  };
+
+  std::ostringstream oss;
+  if (!title_.empty()) oss << title_ << "\n";
+  emit_sep(oss);
+  if (!header_.empty()) {
+    emit_row(oss, header_);
+    emit_sep(oss);
+  }
+  for (const auto& row : rows_) emit_row(oss, row);
+  emit_sep(oss);
+  return oss.str();
+}
+
+std::string Table::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << escape(row[i]);
+    }
+    oss << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void Table::Print() const { std::fputs(ToAscii().c_str(), stdout); }
+
+}  // namespace pstk

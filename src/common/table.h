@@ -1,0 +1,50 @@
+// ASCII table / CSV emitter used by the benchmark harnesses to print the
+// paper-style tables and figure series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pstk {
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed-type rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& Cell(std::string value);
+    RowBuilder& Cell(double value, int precision = 3);
+    RowBuilder& Cell(std::int64_t value);
+    RowBuilder& Cell(std::uint64_t value);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(*this); }
+
+  [[nodiscard]] std::string ToAscii() const;
+  [[nodiscard]] std::string ToCsv() const;
+  void Print() const;
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pstk

@@ -1,0 +1,41 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pstk {
+
+std::string FormatDuration(SimTime seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3gs", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string FormatBytes(Bytes bytes) {
+  char buf[64];
+  const auto b = static_cast<double>(bytes);
+  if (bytes >= kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.3gTiB", b / static_cast<double>(kTiB));
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.3gGiB", b / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.3gMiB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.3gKiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace pstk

@@ -1,0 +1,46 @@
+// Byte / time / rate unit helpers used throughout the cost models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pstk {
+
+using Bytes = std::uint64_t;
+
+constexpr Bytes kKiB = 1024ULL;
+constexpr Bytes kMiB = 1024ULL * kKiB;
+constexpr Bytes kGiB = 1024ULL * kMiB;
+constexpr Bytes kTiB = 1024ULL * kGiB;
+
+constexpr Bytes KiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kKiB)); }
+constexpr Bytes MiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr Bytes GiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+
+// Simulated time is a double in seconds.
+using SimTime = double;
+
+constexpr SimTime Nanos(double n) { return n * 1e-9; }
+constexpr SimTime Micros(double n) { return n * 1e-6; }
+constexpr SimTime Millis(double n) { return n * 1e-3; }
+constexpr SimTime Seconds(double n) { return n; }
+
+/// Bandwidth in bytes per second; helpers for common NIC/disk ratings.
+using Rate = double;
+
+constexpr Rate GBps(double n) { return n * 1e9; }
+constexpr Rate MBps(double n) { return n * 1e6; }
+/// Gigabits per second (network ratings are usually in bits).
+constexpr Rate Gbps(double n) { return n * 1e9 / 8.0; }
+
+/// Time to move `bytes` at `rate` bytes/sec.
+constexpr SimTime TransferTime(Bytes bytes, Rate rate) {
+  return static_cast<double>(bytes) / rate;
+}
+
+/// "8.2s", "46.8s", "312ms", "4.5us" style formatting for reports.
+std::string FormatDuration(SimTime seconds);
+/// "80 GB", "4 KiB" style formatting.
+std::string FormatBytes(Bytes bytes);
+
+}  // namespace pstk

@@ -1,0 +1,105 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "mpi/mpi.h"
+
+namespace pstk::mpi {
+
+Result<File> File::OpenAll(Comm& comm, const std::string& path) {
+  comm.Barrier();  // collective open synchronizes the job
+  storage::LocalFs& fs = comm.cluster().scratch(comm.node());
+  auto actual = fs.Size(path);
+  if (!actual.ok()) {
+    return NotFound("MPI-IO: no local replica of " + path + " on node " +
+                    std::to_string(comm.node()));
+  }
+  auto modeled = fs.ModeledSize(path);
+  if (!modeled.ok()) return modeled.status();
+  return File(path, modeled.value(), actual.value());
+}
+
+Result<std::string> File::ReadRange(Comm& comm, Bytes modeled_offset,
+                                    std::int64_t count) {
+  if (count < 0) return InvalidArgument("MPI-IO: negative count");
+  if (modeled_offset > modeled_size_) {
+    return OutOfRange("MPI-IO: offset past EOF");
+  }
+  const Bytes modeled_len = std::min<Bytes>(
+      static_cast<Bytes>(count), modeled_size_ - modeled_offset);
+
+  // Map the logical range onto the scaled-down staged bytes.
+  const double scale = static_cast<double>(actual_size_) /
+                       static_cast<double>(std::max<Bytes>(1, modeled_size_));
+  const auto actual_begin = static_cast<Bytes>(
+      std::llround(static_cast<double>(modeled_offset) * scale));
+  const auto actual_end = static_cast<Bytes>(std::llround(
+      static_cast<double>(modeled_offset + modeled_len) * scale));
+
+  storage::LocalFs& fs = comm.cluster().scratch(comm.node());
+  const Bytes clamped_begin = std::min<Bytes>(actual_begin, actual_size_);
+  const Bytes length =
+      std::min<Bytes>(actual_end, actual_size_) - clamped_begin;
+  return fs.Read(comm.ctx(), path_, clamped_begin, length);
+}
+
+Result<std::string> File::ReadAt(Comm& comm, Bytes modeled_offset,
+                                 std::int32_t count) {
+  return ReadRange(comm, modeled_offset, count);
+}
+
+Result<std::string> File::ReadLinesAtAll(Comm& comm, Bytes modeled_offset,
+                                         std::int32_t count) {
+  if (count < 0) return InvalidArgument("MPI-IO: negative count");
+  if (modeled_offset > modeled_size_) {
+    return OutOfRange("MPI-IO: offset past EOF");
+  }
+  comm.Barrier();
+  const Bytes modeled_len = std::min<Bytes>(
+      static_cast<Bytes>(count), modeled_size_ - modeled_offset);
+
+  const double scale = static_cast<double>(actual_size_) /
+                       static_cast<double>(std::max<Bytes>(1, modeled_size_));
+  auto a_begin = static_cast<std::size_t>(
+      std::llround(static_cast<double>(modeled_offset) * scale));
+  auto a_end = static_cast<std::size_t>(std::llround(
+      static_cast<double>(modeled_offset + modeled_len) * scale));
+
+  storage::LocalFs& fs = comm.cluster().scratch(comm.node());
+  const std::string* content = fs.Peek(path_);
+  if (content == nullptr) return NotFound("MPI-IO: lost replica of " + path_);
+  a_begin = std::min(a_begin, content->size());
+  a_end = std::min(a_end, content->size());
+
+  // A chunk owns the lines that *start* inside it: skip the line crossing
+  // our lower boundary, extend through the line crossing the upper one.
+  std::size_t real_begin = a_begin;
+  if (real_begin > 0 && (*content)[real_begin - 1] != '\n') {
+    const auto nl = content->find('\n', real_begin);
+    real_begin = nl == std::string::npos ? content->size() : nl + 1;
+  }
+  std::size_t real_end = a_end;
+  if (real_end > 0 && real_end < content->size() &&
+      (*content)[real_end - 1] != '\n') {
+    const auto nl = content->find('\n', real_end);
+    real_end = nl == std::string::npos ? content->size() : nl + 1;
+  }
+  if (real_end < real_begin) real_end = real_begin;
+
+  auto data = fs.Read(comm.ctx(), path_, real_begin, real_end - real_begin);
+  comm.Barrier();
+  return data;
+}
+
+Result<std::string> File::ReadAtAll(Comm& comm, Bytes modeled_offset,
+                                    std::int32_t count) {
+  // Collective read: two-phase style exchange is not modeled, but the call
+  // synchronizes like MPI_File_read_at_all on a shared handle.
+  comm.Barrier();
+  auto data = ReadRange(comm, modeled_offset, count);
+  comm.Barrier();
+  return data;
+}
+
+}  // namespace pstk::mpi

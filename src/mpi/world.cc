@@ -1,0 +1,63 @@
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "mpi/mpi.h"
+
+namespace pstk::mpi {
+
+World::World(cluster::Cluster& cluster, int nranks, int ranks_per_node,
+             MpiOptions options)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      nranks_(nranks),
+      ranks_per_node_(ranks_per_node) {
+  PSTK_CHECK_MSG(nranks_ >= 1, "need at least one rank");
+  PSTK_CHECK_MSG(ranks_per_node_ >= 1, "ranks_per_node must be >= 1");
+  const int needed_nodes = (nranks_ + ranks_per_node_ - 1) / ranks_per_node_;
+  PSTK_CHECK_MSG(needed_nodes <= cluster_.nodes(),
+                 "not enough nodes: need " << needed_nodes << ", have "
+                                           << cluster_.nodes());
+  const net::TransportParams transport =
+      options_.transport.value_or(cluster_.spec().transport);
+  network_ = std::make_unique<net::Network>(
+      cluster_.engine(), cluster_.fabric(transport),
+      options_.eager_threshold);
+}
+
+void World::SpawnRanks(RankBody body) {
+  std::vector<int> group(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) group[r] = r;
+
+  for (int r = 0; r < nranks_; ++r) {
+    const int node = NodeOfRank(r);
+    network_->CreateEndpoint(r, node);
+    cluster_.engine().Spawn(
+        "mpi-rank-" + std::to_string(r),
+        [this, r, group, body](sim::Context& ctx) {
+          // mpirun launch + MPI_Init.
+          ctx.SleepUntil(options_.startup_cost);
+          Comm comm(*this, ctx, r, nranks_, /*comm_id=*/0, group);
+          body(comm);
+          // MPI_Finalize synchronizes the job teardown.
+          comm.Barrier();
+          job_end_ = std::max(job_end_, ctx.now());
+        },
+        node);
+  }
+}
+
+Result<SimTime> World::RunSpmd(RankBody body) {
+  SpawnRanks(std::move(body));
+  const sim::RunResult result = cluster_.engine().Run();
+  if (result.killed > 0) {
+    // MPI has no fault tolerance: any lost rank aborts the whole job
+    // (paper §VI-D); surviving ranks deadlock and are torn down.
+    return Aborted("MPI job lost " + std::to_string(result.killed) +
+                   " rank(s); job aborted");
+  }
+  if (!result.status.ok()) return result.status;
+  return job_end_;
+}
+
+}  // namespace pstk::mpi

@@ -1,0 +1,557 @@
+#include "mr/mr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "serde/serde.h"
+
+namespace pstk::mr {
+
+namespace {
+
+// Message tags of the coordinator protocol.
+constexpr int kTagRequest = 1;     // worker -> coord: give me work
+constexpr int kTagAssign = 2;      // coord -> worker: task / wait / exit
+constexpr int kTagMapDone = 3;     // worker -> coord
+constexpr int kTagReduceDone = 4;  // worker -> coord
+constexpr int kTagFetchFail = 5;   // worker -> coord: lost map outputs
+
+enum class AssignKind : std::uint8_t { kMap = 0, kReduce = 1, kWait = 2, kExit = 3 };
+
+struct AssignMsg {
+  std::uint8_t kind;
+  std::int32_t task_id;
+};
+
+serde::Buffer EncodeAssign(AssignKind kind, int task_id) {
+  serde::Writer w;
+  w.WriteRaw<std::uint8_t>(static_cast<std::uint8_t>(kind));
+  w.WriteRaw<std::int32_t>(task_id);
+  return w.TakeBuffer();
+}
+
+AssignMsg DecodeAssign(const serde::Buffer& buffer) {
+  serde::Reader r(buffer);
+  AssignMsg msg{};
+  msg.kind = r.ReadRaw<std::uint8_t>().value();
+  msg.task_id = r.ReadRaw<std::int32_t>().value();
+  return msg;
+}
+
+using KvVec = std::vector<std::pair<std::string, std::string>>;
+
+class VectorEmitter : public Emitter {
+ public:
+  void Emit(std::string key, std::string value) override {
+    kvs.emplace_back(std::move(key), std::move(value));
+  }
+  KvVec kvs;
+};
+
+class LineEmitter : public Emitter {
+ public:
+  void Emit(std::string key, std::string value) override {
+    lines += key;
+    lines += '\t';
+    lines += value;
+    lines += '\n';
+    ++count;
+  }
+  std::string lines;
+  std::uint64_t count = 0;
+};
+
+/// Group sorted KVs by key and feed them to `fn`.
+void GroupAndApply(const KvVec& sorted, const ReduceFn& fn, Emitter& out) {
+  std::size_t i = 0;
+  std::vector<std::string> values;
+  while (i < sorted.size()) {
+    const std::string& key = sorted[i].first;
+    values.clear();
+    while (i < sorted.size() && sorted[i].first == key) {
+      values.push_back(sorted[i].second);
+      ++i;
+    }
+    fn(key, values, out);
+  }
+}
+
+std::uint64_t HashKey(const std::string& key) {
+  return std::hash<std::string>{}(key);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Job state (shared between coordinator and workers via shared_ptr)
+// ---------------------------------------------------------------------------
+
+struct MrEngine::Job {
+  JobConf conf;
+  MapFn map;
+  ReduceFn reduce;
+  std::optional<ReduceFn> combine;
+  std::function<void(Result<JobResult>)> on_done;
+
+  std::unique_ptr<net::Network> network;
+  int num_workers = 0;
+  std::vector<sim::Pid> worker_pids;  // by worker id (0-based)
+  std::vector<int> worker_nodes;
+
+  // Split/block metadata.
+  std::vector<std::vector<int>> split_locations;
+
+  // Coordinator bookkeeping.
+  std::deque<int> pending_maps;
+  std::deque<int> pending_reduces;
+  std::map<int, int> running_maps;     // map id -> worker id
+  std::map<int, int> running_reduces;  // reduce id -> worker id
+  std::set<int> done_maps;
+  std::set<int> done_reduces;
+
+  struct MapOutput {
+    int node = -1;
+    std::vector<serde::Buffer> partitions;  // one per reducer
+  };
+  std::map<int, MapOutput> map_outputs;
+
+  Counters counters;
+  SimTime submit_time = 0;
+  bool finished = false;
+};
+
+// ---------------------------------------------------------------------------
+// MrEngine
+// ---------------------------------------------------------------------------
+
+MrEngine::MrEngine(cluster::Cluster& cluster, dfs::MiniDfs& dfs,
+                   MrOptions options)
+    : cluster_(cluster), dfs_(dfs), options_(std::move(options)) {
+  fabric_ = cluster_.fabric(options_.transport);
+}
+
+Result<JobResult> MrEngine::RunJob(JobConf conf, MapFn map, ReduceFn reduce,
+                                   std::optional<ReduceFn> combine) {
+  std::optional<Result<JobResult>> outcome;
+  Submit(std::move(conf), std::move(map), std::move(reduce),
+         std::move(combine),
+         [&outcome](Result<JobResult> result) { outcome = std::move(result); });
+  const sim::RunResult run = cluster_.engine().Run();
+  if (outcome.has_value()) return *std::move(outcome);
+  if (!run.status.ok()) return run.status;
+  return Internal("MapReduce job never completed");
+}
+
+void MrEngine::Submit(JobConf conf, MapFn map, ReduceFn reduce,
+                      std::optional<ReduceFn> combine,
+                      std::function<void(Result<JobResult>)> on_done) {
+  auto job = std::make_shared<Job>();
+  job->conf = std::move(conf);
+  job->map = std::move(map);
+  job->reduce = std::move(reduce);
+  job->combine = std::move(combine);
+  job->on_done = std::move(on_done);
+  job->network = std::make_unique<net::Network>(cluster_.engine(), fabric_);
+  ++job_seq_;
+
+  // One worker per (node, slot).
+  job->num_workers = cluster_.nodes() * options_.slots_per_node;
+
+  // Endpoint 0 = coordinator (node 0); workers at 1 + id.
+  job->network->CreateEndpoint(0, 0);
+  for (int w = 0; w < job->num_workers; ++w) {
+    const int node = w / options_.slots_per_node;
+    job->network->CreateEndpoint(1 + w, node);
+    job->worker_nodes.push_back(node);
+  }
+  job->worker_pids.assign(job->num_workers, sim::kNoPid);
+
+  auto self = this;
+  cluster_.engine().Spawn(
+      job->conf.name + "-coord",
+      [self, job](sim::Context& ctx) { self->CoordinatorMain(ctx, *job); }, 0);
+  for (int w = 0; w < job->num_workers; ++w) {
+    const int node = job->worker_nodes[w];
+    job->worker_pids[w] = cluster_.engine().Spawn(
+        job->conf.name + "-worker-" + std::to_string(w),
+        [self, job, w](sim::Context& ctx) { self->WorkerMain(ctx, *job, w); },
+        node);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+void MrEngine::CoordinatorMain(sim::Context& ctx, Job& job) {
+  net::Endpoint& ep = job.network->endpoint(0);
+  job.submit_time = ctx.now();
+  ctx.SleepFor(options_.job_setup);  // job client + AM launch
+
+  // Build splits from the input's DFS blocks.
+  auto locations = dfs_.BlockLocations(job.conf.input_path);
+  if (!locations.ok()) {
+    job.finished = true;
+    job.on_done(locations.status());
+    return;
+  }
+  job.split_locations = std::move(locations).value();
+  for (int m = 0; m < static_cast<int>(job.split_locations.size()); ++m) {
+    job.pending_maps.push_back(m);
+  }
+  for (int r = 0; r < job.conf.num_reducers; ++r) {
+    job.pending_reduces.push_back(r);
+  }
+  const auto total_maps = job.split_locations.size();
+  const auto total_reduces = static_cast<std::size_t>(job.conf.num_reducers);
+
+  while (job.done_reduces.size() < total_reduces) {
+    auto msg = ep.RecvWithTimeout(ctx, ctx.now() + options_.heartbeat);
+    if (!msg.has_value()) {
+      SweepDeadWorkers(ctx, job);
+      if (NoLiveWorkers(job)) {
+        job.finished = true;
+        job.on_done(Unavailable("all MapReduce workers lost"));
+        return;
+      }
+      continue;
+    }
+    const int worker = msg->src - 1;
+    switch (msg->tag) {
+      case kTagRequest: {
+        serde::Buffer reply;
+        // Prefer a data-local map task for this worker's node.
+        if (!job.pending_maps.empty()) {
+          const int node = job.worker_nodes[worker];
+          int chosen = job.pending_maps.front();
+          for (int candidate : job.pending_maps) {
+            const auto& replicas = job.split_locations[candidate];
+            if (std::find(replicas.begin(), replicas.end(), node) !=
+                replicas.end()) {
+              chosen = candidate;
+              break;
+            }
+          }
+          job.pending_maps.erase(std::find(job.pending_maps.begin(),
+                                           job.pending_maps.end(), chosen));
+          job.running_maps[chosen] = worker;
+          reply = EncodeAssign(AssignKind::kMap, chosen);
+        } else if (job.done_maps.size() == total_maps &&
+                   !job.pending_reduces.empty()) {
+          const int r = job.pending_reduces.front();
+          job.pending_reduces.pop_front();
+          job.running_reduces[r] = worker;
+          reply = EncodeAssign(AssignKind::kReduce, r);
+        } else {
+          reply = EncodeAssign(AssignKind::kWait, 0);
+        }
+        ep.SendAsync(ctx, msg->src, kTagAssign, std::move(reply));
+        break;
+      }
+      case kTagMapDone: {
+        serde::Reader r(msg->payload);
+        const int map_id = static_cast<int>(r.ReadRaw<std::int32_t>().value());
+        job.running_maps.erase(map_id);
+        job.done_maps.insert(map_id);
+        ++job.counters.map_tasks;
+        break;
+      }
+      case kTagReduceDone: {
+        serde::Reader r(msg->payload);
+        const int reduce_id =
+            static_cast<int>(r.ReadRaw<std::int32_t>().value());
+        job.running_reduces.erase(reduce_id);
+        job.done_reduces.insert(reduce_id);
+        ++job.counters.reduce_tasks;
+        break;
+      }
+      case kTagFetchFail: {
+        // A reducer could not fetch some map outputs: re-run those maps and
+        // requeue the reducer.
+        serde::Reader r(msg->payload);
+        const int reduce_id =
+            static_cast<int>(r.ReadRaw<std::int32_t>().value());
+        auto missing = r.ReadVarint();
+        for (std::uint64_t i = 0; i < missing.value(); ++i) {
+          const int map_id = static_cast<int>(r.ReadRaw<std::int32_t>().value());
+          if (job.done_maps.erase(map_id) > 0) {
+            job.map_outputs.erase(map_id);
+            job.pending_maps.push_back(map_id);
+            ++job.counters.task_retries;
+          }
+        }
+        job.running_reduces.erase(reduce_id);
+        job.pending_reduces.push_back(reduce_id);
+        ++job.counters.task_retries;
+        break;
+      }
+      default:
+        PSTK_CHECK_MSG(false, "unexpected MR message tag " << msg->tag);
+    }
+    SweepDeadWorkers(ctx, job);
+  }
+
+  // Shut the workers down.
+  for (int w = 0; w < job.num_workers; ++w) {
+    if (cluster_.engine().IsAlive(job.worker_pids[w])) {
+      ep.SendAsync(ctx, 1 + w, kTagAssign, EncodeAssign(AssignKind::kExit, 0));
+    }
+  }
+
+  JobResult result;
+  result.elapsed = ctx.now() - job.submit_time;
+  result.counters = job.counters;
+  job.finished = true;
+  job.on_done(result);
+}
+
+void MrEngine::SweepDeadWorkers(sim::Context& ctx, Job& job) {
+  auto requeue_if_dead = [&](std::map<int, int>& running,
+                             std::deque<int>& pending) {
+    for (auto it = running.begin(); it != running.end();) {
+      if (!cluster_.engine().IsAlive(job.worker_pids[it->second])) {
+        pending.push_back(it->first);
+        ++job.counters.task_retries;
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  requeue_if_dead(job.running_maps, job.pending_maps);
+  requeue_if_dead(job.running_reduces, job.pending_reduces);
+
+  // Completed map outputs that lived on a now-failed node are lost; re-run
+  // them unless the whole job is already past reduces needing them.
+  for (auto it = job.done_maps.begin(); it != job.done_maps.end();) {
+    auto out = job.map_outputs.find(*it);
+    const bool lost =
+        out == job.map_outputs.end() || cluster_.NodeFailed(out->second.node);
+    if (lost && job.done_reduces.size() <
+                    static_cast<std::size_t>(job.conf.num_reducers)) {
+      job.map_outputs.erase(*it);
+      job.pending_maps.push_back(*it);
+      ++job.counters.task_retries;
+      it = job.done_maps.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  (void)ctx;
+}
+
+bool MrEngine::NoLiveWorkers(const Job& job) {
+  for (sim::Pid pid : job.worker_pids) {
+    if (cluster_.engine().IsAlive(pid)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+void MrEngine::WorkerMain(sim::Context& ctx, Job& job, int worker_id) {
+  net::Endpoint& ep = job.network->endpoint(1 + worker_id);
+  const serde::Buffer my_id = serde::EncodeToBuffer<std::int32_t>(worker_id);
+  for (;;) {
+    ep.SendAsync(ctx, 0, kTagRequest, my_id);
+    auto reply = ep.RecvWithTimeout(ctx, ctx.now() + 5 * options_.heartbeat, 0,
+                                    kTagAssign);
+    if (!reply.has_value()) {
+      if (job.finished) return;
+      continue;  // coordinator busy; ask again
+    }
+    const AssignMsg assign = DecodeAssign(reply->payload);
+    switch (static_cast<AssignKind>(assign.kind)) {
+      case AssignKind::kMap:
+        RunMapTask(ctx, job, worker_id, assign.task_id);
+        break;
+      case AssignKind::kReduce:
+        RunReduceTask(ctx, job, worker_id, assign.task_id);
+        break;
+      case AssignKind::kWait:
+        ctx.SleepFor(0.2);
+        break;
+      case AssignKind::kExit:
+        return;
+    }
+  }
+}
+
+void MrEngine::ChargeRecords(sim::Context& ctx, std::uint64_t records,
+                             Bytes bytes, SimTime per_record) {
+  const double inflate = 1.0 / cluster_.data_scale();
+  ctx.Compute(inflate * (static_cast<double>(records) * per_record +
+                         static_cast<double>(bytes) * options_.cpu_per_byte));
+}
+
+void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
+                          int map_id) {
+  const int node = job.worker_nodes[worker_id];
+  net::Endpoint& ep = job.network->endpoint(1 + worker_id);
+  ctx.SleepFor(options_.jvm_startup_per_task);
+
+  auto block = dfs_.ReadBlock(ctx, node, job.conf.input_path,
+                              static_cast<std::size_t>(map_id));
+  if (!block.ok()) {
+    // Input gone (e.g., disk failure mid-read): die; the coordinator's
+    // sweep requeues the task elsewhere. Matches Hadoop task failure.
+    PSTK_WARN("mr") << "map " << map_id << " failed: "
+                    << block.status().ToString();
+    throw sim::ProcessKilled{};  // task attempt dies; coordinator requeues
+  }
+
+  // Map over every input line.
+  VectorEmitter collected;
+  std::uint64_t records = 0;
+  {
+    std::string_view rest = block.value();
+    while (!rest.empty()) {
+      const auto nl = rest.find('\n');
+      const std::string_view line =
+          nl == std::string_view::npos ? rest : rest.substr(0, nl);
+      rest = nl == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(nl + 1);
+      if (line.empty()) continue;
+      ++records;
+      job.map(std::string(line), collected);
+    }
+  }
+  ChargeRecords(ctx, records, block.value().size(),
+                options_.map_cpu_per_record);
+  job.counters.input_records += records;
+  job.counters.map_output_records += collected.kvs.size();
+
+  // Partition by key hash, sort each partition.
+  const int R = job.conf.num_reducers;
+  std::vector<KvVec> partitions(static_cast<std::size_t>(R));
+  for (auto& kv : collected.kvs) {
+    partitions[HashKey(kv.first) % static_cast<std::size_t>(R)].push_back(
+        std::move(kv));
+  }
+  std::uint64_t sort_records = 0;
+  for (auto& partition : partitions) {
+    std::sort(partition.begin(), partition.end());
+    sort_records += partition.size();
+  }
+  const double log_factor =
+      sort_records > 1 ? std::log2(static_cast<double>(sort_records)) : 1.0;
+  ChargeRecords(ctx, static_cast<std::uint64_t>(
+                         static_cast<double>(sort_records) * log_factor),
+                0, options_.sort_cpu_per_record);
+
+  // Optional combiner shrinks each partition before the spill.
+  if (job.combine.has_value()) {
+    for (auto& partition : partitions) {
+      VectorEmitter combined;
+      GroupAndApply(partition, *job.combine, combined);
+      partition = std::move(combined.kvs);
+    }
+  }
+
+  // Spill the serialized partitions to local disk.
+  Job::MapOutput output;
+  output.node = node;
+  Bytes spilled = 0;
+  for (auto& partition : partitions) {
+    serde::Buffer buffer = serde::EncodeToBuffer(partition);
+    spilled += buffer.size();
+    output.partitions.push_back(std::move(buffer));
+  }
+  const Bytes modeled_spill = cluster_.Modeled(spilled);
+  const SimTime disk_done =
+      cluster_.scratch_disk(node)->Write(modeled_spill, ctx.now());
+  ctx.SleepUntil(disk_done);
+  job.counters.spilled_bytes += modeled_spill;
+  job.map_outputs[map_id] = std::move(output);
+
+  serde::Writer done;
+  done.WriteRaw<std::int32_t>(map_id);
+  ep.SendAsync(ctx, 0, kTagMapDone, done.TakeBuffer());
+}
+
+void MrEngine::RunReduceTask(sim::Context& ctx, Job& job, int worker_id,
+                             int reduce_id) {
+  const int node = job.worker_nodes[worker_id];
+  net::Endpoint& ep = job.network->endpoint(1 + worker_id);
+  ctx.SleepFor(options_.jvm_startup_per_task);
+
+  // Shuffle: fetch this reducer's bucket from every map output.
+  KvVec merged;
+  std::vector<std::int32_t> missing;
+  Bytes fetched_bytes = 0;
+  std::size_t fetched_outputs = 0;
+  for (const auto& [map_id, output] : job.map_outputs) {
+    if (cluster_.NodeFailed(output.node)) {
+      missing.push_back(map_id);
+      continue;
+    }
+    const serde::Buffer& bucket =
+        output.partitions[static_cast<std::size_t>(reduce_id)];
+    const Bytes modeled = cluster_.Modeled(bucket.size());
+    SimTime t = cluster_.scratch_disk(output.node)->Read(modeled, ctx.now());
+    if (output.node != node) {
+      const auto times = fabric_->Transfer(output.node, node, modeled, t);
+      ctx.Compute(times.receiver_cpu);
+      t = times.arrival;
+    }
+    ctx.SleepUntil(t);
+    fetched_bytes += modeled;
+    ++fetched_outputs;
+    auto kvs = serde::DecodeFromBuffer<KvVec>(bucket);
+    PSTK_CHECK_MSG(kvs.ok(), "corrupt map output");
+    merged.insert(merged.end(), kvs.value().begin(), kvs.value().end());
+  }
+  job.counters.shuffled_bytes += fetched_bytes;
+
+  if (!missing.empty() || fetched_outputs != job.split_locations.size()) {
+    // Some outputs are gone (node died after its maps completed).
+    serde::Writer fail;
+    fail.WriteRaw<std::int32_t>(reduce_id);
+    fail.WriteVarint(missing.size());
+    for (std::int32_t id : missing) fail.WriteRaw<std::int32_t>(id);
+    ep.SendAsync(ctx, 0, kTagFetchFail, fail.TakeBuffer());
+    return;
+  }
+
+  // Merge (sort) — Hadoop does an on-disk multi-way merge: one pass of
+  // write+read of the full bucket set on local disk plus sort CPU.
+  SimTime t = cluster_.scratch_disk(node)->Write(fetched_bytes, ctx.now());
+  t = cluster_.scratch_disk(node)->Read(fetched_bytes, t);
+  ctx.SleepUntil(t);
+  std::sort(merged.begin(), merged.end());
+  const double log_factor =
+      merged.size() > 1 ? std::log2(static_cast<double>(merged.size())) : 1.0;
+  ChargeRecords(ctx, static_cast<std::uint64_t>(
+                         static_cast<double>(merged.size()) * log_factor),
+                0, options_.sort_cpu_per_record);
+
+  // Reduce.
+  LineEmitter out;
+  GroupAndApply(merged, job.reduce, out);
+  ChargeRecords(ctx, merged.size(), 0, options_.map_cpu_per_record);
+  job.counters.reduce_output_records += out.count;
+
+  if (job.conf.write_output) {
+    const std::string path = job.conf.output_path + "/part-r-" +
+                             std::to_string(reduce_id);
+    const Status written = dfs_.Write(ctx, node, path, out.lines);
+    if (!written.ok()) {
+      PSTK_WARN("mr") << "reduce " << reduce_id
+                      << " output write failed: " << written.ToString();
+      throw sim::ProcessKilled{};  // task attempt dies; coordinator requeues
+    }
+  }
+
+  serde::Writer done;
+  done.WriteRaw<std::int32_t>(reduce_id);
+  ep.SendAsync(ctx, 0, kTagReduceDone, done.TakeBuffer());
+}
+
+}  // namespace pstk::mr

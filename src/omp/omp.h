@@ -1,0 +1,163 @@
+// MiniOMP: a real shared-memory work-sharing runtime in the spirit of the
+// OpenMP constructs the paper surveys (§II-A): parallel regions with thread
+// ids and barriers, worksharing loops with static/dynamic/guided schedules,
+// reductions, single/critical, and explicit tasks.
+//
+// Unlike the other runtimes in this repository, MiniOMP executes on *real*
+// OS threads and wall-clock time — it is the paper's single-node baseline
+// ("OpenMP can only run on a single node", §V-C). The cluster benchmarks
+// combine its real execution with the simulated node's cost model.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pstk::omp {
+
+enum class Schedule { kStatic, kDynamic, kGuided };
+
+class Runtime;
+
+/// Per-thread view inside a parallel region (omp_get_thread_num & friends).
+class ThreadCtx {
+ public:
+  [[nodiscard]] int thread_num() const { return thread_num_; }
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  /// #pragma omp barrier — all threads of the region must call it.
+  void Barrier();
+
+  /// #pragma omp critical — serialized across the region.
+  void Critical(const std::function<void()>& body);
+
+  /// #pragma omp single — body runs on exactly one thread; implies a
+  /// barrier afterwards.
+  void Single(const std::function<void()>& body);
+
+ private:
+  friend class Runtime;
+  ThreadCtx(Runtime& runtime, int thread_num, int num_threads)
+      : runtime_(runtime), thread_num_(thread_num), num_threads_(num_threads) {}
+  Runtime& runtime_;
+  int thread_num_;
+  int num_threads_;
+  std::uint64_t single_count_ = 0;  // how many Single sites this thread hit
+};
+
+/// A group of explicit tasks (#pragma omp task ... taskwait). Tasks may
+/// spawn nested tasks into the same group; Wait() participates in
+/// execution until the group drains.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Runtime& runtime) : runtime_(runtime) {}
+  ~TaskGroup() { Wait(); }
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue a task; any worker (or the waiter) may run it.
+  void Run(std::function<void()> task);
+  /// Block until every task (incl. nested ones) has finished.
+  void Wait();
+
+ private:
+  friend class Runtime;
+  Runtime& runtime_;
+  std::atomic<std::int64_t> pending_{0};
+};
+
+class Runtime {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency.
+  explicit Runtime(int num_threads = 0);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  /// #pragma omp parallel — run body(ctx) on every thread and join.
+  void Parallel(const std::function<void(ThreadCtx&)>& body);
+
+  /// #pragma omp parallel for schedule(...) — body(i) per iteration.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& body,
+                   Schedule schedule = Schedule::kStatic,
+                   std::int64_t chunk = 0);
+
+  /// Blocked variant: body(lo, hi) per chunk — preferred for tight loops.
+  void ParallelForRanges(
+      std::int64_t begin, std::int64_t end,
+      const std::function<void(std::int64_t, std::int64_t)>& body,
+      Schedule schedule = Schedule::kStatic, std::int64_t chunk = 0);
+
+  /// #pragma omp parallel for reduction(...): `map(lo, hi)` produces a
+  /// partial value per chunk; `combine` folds partials (associative).
+  template <typename T>
+  T ParallelReduce(std::int64_t begin, std::int64_t end, T identity,
+                   const std::function<T(std::int64_t, std::int64_t)>& map,
+                   const std::function<T(T, T)>& combine,
+                   Schedule schedule = Schedule::kStatic,
+                   std::int64_t chunk = 0) {
+    std::vector<T> partials(static_cast<std::size_t>(num_threads_), identity);
+    RunWorksharing(begin, end, schedule, chunk,
+                   [&](int tid, std::int64_t lo, std::int64_t hi) {
+                     partials[static_cast<std::size_t>(tid)] = combine(
+                         partials[static_cast<std::size_t>(tid)], map(lo, hi));
+                   });
+    T result = identity;
+    for (const T& partial : partials) result = combine(result, partial);
+    return result;
+  }
+
+ private:
+  friend class ThreadCtx;
+  friend class TaskGroup;
+
+  /// Dispatch [begin,end) chunks to threads; fn(tid, lo, hi).
+  void RunWorksharing(
+      std::int64_t begin, std::int64_t end, Schedule schedule,
+      std::int64_t chunk,
+      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+  void WorkerLoop(int tid);
+  void RegionBarrier();
+  /// Run queued tasks until `group` drains (used by TaskGroup::Wait).
+  void DrainTasks(TaskGroup& group);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // Parallel-region dispatch state.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(ThreadCtx&)>* region_body_ = nullptr;
+  std::uint64_t region_epoch_ = 0;
+  int region_active_ = 0;
+  bool shutdown_ = false;
+
+  // In-region barrier (sense-reversing).
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Critical-section lock and single-construct bookkeeping.
+  std::mutex critical_mu_;
+  std::mutex single_mu_;
+  std::uint64_t single_epoch_ = 0;
+  std::uint64_t single_done_epoch_ = 0;
+
+  // Task queue (shared by all workers).
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<std::pair<TaskGroup*, std::function<void()>>> tasks_;
+};
+
+}  // namespace pstk::omp

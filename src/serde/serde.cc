@@ -1,0 +1,14 @@
+#include "serde/serde.h"
+
+// Header-only templates; this translation unit anchors the library and
+// instantiates the common codecs once to speed up downstream builds.
+
+namespace pstk::serde {
+
+template struct Codec<std::string>;
+template struct Codec<std::int64_t>;
+template struct Codec<double>;
+template struct Codec<std::pair<std::string, std::int64_t>>;
+template struct Codec<std::vector<std::string>>;
+
+}  // namespace pstk::serde

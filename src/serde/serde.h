@@ -1,0 +1,229 @@
+// Compact binary serialization used wherever data crosses a simulated
+// process boundary (Spark shuffle blocks, MapReduce spills, DFS content).
+//
+// Primitives are written little-endian with varint-encoded lengths. Custom
+// types opt in either by specializing pstk::serde::Codec<T> or by being a
+// pair/tuple/vector/string composition of supported types.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace pstk::serde {
+
+using Buffer = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Buffer buffer) : buffer_(std::move(buffer)) {}
+
+  void WriteBytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  template <typename T>
+  void WriteRaw(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));
+  }
+
+  void WriteVarint(std::uint64_t value) {
+    while (value >= 0x80) {
+      buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    buffer_.push_back(static_cast<std::uint8_t>(value));
+  }
+
+  [[nodiscard]] const Buffer& buffer() const { return buffer_; }
+  [[nodiscard]] Buffer TakeBuffer() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Buffer buffer_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const Buffer& buffer)
+      : Reader(buffer.data(), buffer.size()) {}
+
+  [[nodiscard]] bool AtEnd() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  Status ReadBytes(void* out, std::size_t size) {
+    if (size > remaining()) return OutOfRange("serde: buffer underrun");
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return OkStatus();
+  }
+
+  template <typename T>
+  Result<T> ReadRaw() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    PSTK_RETURN_IF_ERROR(ReadBytes(&value, sizeof(T)));
+    return value;
+  }
+
+  Result<std::uint64_t> ReadVarint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos_ >= size_) return OutOfRange("serde: varint underrun");
+      const std::uint8_t byte = data_[pos_++];
+      if (shift >= 63 && byte > 1) return OutOfRange("serde: varint overflow");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Customization point: specialize Codec<T> for user types.
+template <typename T, typename Enable = void>
+struct Codec;
+
+// --- arithmetic types -------------------------------------------------------
+
+template <typename T>
+struct Codec<T, std::enable_if_t<std::is_arithmetic_v<T>>> {
+  static void Encode(Writer& w, const T& value) { w.WriteRaw(value); }
+  static Status Decode(Reader& r, T& out) {
+    auto res = r.ReadRaw<T>();
+    if (!res.ok()) return res.status();
+    out = res.value();
+    return OkStatus();
+  }
+};
+
+// --- std::string ------------------------------------------------------------
+
+template <>
+struct Codec<std::string> {
+  static void Encode(Writer& w, const std::string& value) {
+    w.WriteVarint(value.size());
+    w.WriteBytes(value.data(), value.size());
+  }
+  static Status Decode(Reader& r, std::string& out) {
+    auto len = r.ReadVarint();
+    if (!len.ok()) return len.status();
+    if (len.value() > r.remaining()) return OutOfRange("serde: bad string len");
+    out.resize(len.value());
+    return r.ReadBytes(out.data(), out.size());
+  }
+};
+
+// --- std::pair --------------------------------------------------------------
+
+template <typename A, typename B>
+struct Codec<std::pair<A, B>> {
+  static void Encode(Writer& w, const std::pair<A, B>& value) {
+    Codec<A>::Encode(w, value.first);
+    Codec<B>::Encode(w, value.second);
+  }
+  static Status Decode(Reader& r, std::pair<A, B>& out) {
+    PSTK_RETURN_IF_ERROR(Codec<A>::Decode(r, out.first));
+    return Codec<B>::Decode(r, out.second);
+  }
+};
+
+// --- std::tuple -------------------------------------------------------------
+
+template <typename... Ts>
+struct Codec<std::tuple<Ts...>> {
+  static void Encode(Writer& w, const std::tuple<Ts...>& value) {
+    std::apply(
+        [&](const Ts&... elems) {
+          (Codec<Ts>::Encode(w, elems), ...);
+        },
+        value);
+  }
+  static Status Decode(Reader& r, std::tuple<Ts...>& out) {
+    Status status;
+    std::apply(
+        [&](Ts&... elems) {
+          ((status.ok() ? (status = Codec<Ts>::Decode(r, elems), 0) : 0), ...);
+        },
+        out);
+    return status;
+  }
+};
+
+// --- std::vector ------------------------------------------------------------
+
+template <typename T>
+struct Codec<std::vector<T>> {
+  static void Encode(Writer& w, const std::vector<T>& value) {
+    w.WriteVarint(value.size());
+    for (const T& elem : value) Codec<T>::Encode(w, elem);
+  }
+  static Status Decode(Reader& r, std::vector<T>& out) {
+    auto len = r.ReadVarint();
+    if (!len.ok()) return len.status();
+    out.clear();
+    out.reserve(static_cast<std::size_t>(len.value()));
+    for (std::uint64_t i = 0; i < len.value(); ++i) {
+      T elem{};
+      PSTK_RETURN_IF_ERROR(Codec<T>::Decode(r, elem));
+      out.push_back(std::move(elem));
+    }
+    return OkStatus();
+  }
+};
+
+// --- convenience free functions ----------------------------------------------
+
+template <typename T>
+void Encode(Writer& w, const T& value) {
+  Codec<T>::Encode(w, value);
+}
+
+template <typename T>
+Buffer EncodeToBuffer(const T& value) {
+  Writer w;
+  Codec<T>::Encode(w, value);
+  return w.TakeBuffer();
+}
+
+template <typename T>
+Status Decode(Reader& r, T& out) {
+  return Codec<T>::Decode(r, out);
+}
+
+template <typename T>
+Result<T> DecodeFromBuffer(const Buffer& buffer) {
+  Reader r(buffer);
+  T out{};
+  PSTK_RETURN_IF_ERROR(Codec<T>::Decode(r, out));
+  if (!r.AtEnd()) return OutOfRange("serde: trailing bytes");
+  return out;
+}
+
+/// Serialized size without materializing the buffer (still encodes, but
+/// callers with hot paths can specialize). Used by cost models.
+template <typename T>
+std::size_t EncodedSize(const T& value) {
+  Writer w;
+  Codec<T>::Encode(w, value);
+  return w.size();
+}
+
+}  // namespace pstk::serde

@@ -1,0 +1,346 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace pstk::sim {
+
+namespace {
+constexpr SimTime kInfinity = std::numeric_limits<SimTime>::infinity();
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+Pid Context::pid() const { return pid_; }
+
+const std::string& Context::name() const {
+  return engine_.procs_[pid_]->name;
+}
+
+int Context::node() const { return engine_.procs_[pid_]->node; }
+
+SimTime Context::now() const { return engine_.procs_[pid_]->clock; }
+
+Rng& Context::rng() { return engine_.procs_[pid_]->rng; }
+
+void Context::Compute(SimTime seconds) {
+  PSTK_CHECK_MSG(seconds >= 0, "negative compute time " << seconds);
+  engine_.procs_[pid_]->clock += seconds;
+}
+
+void Context::SleepUntil(SimTime t) {
+  // Loop: a stray Wake may resume us early; keep sleeping until t.
+  while (engine_.procs_[pid_]->clock < t) {
+    engine_.ProcBlockUntil(pid_, t, "sleep");
+  }
+}
+
+void Context::Yield() {
+  engine_.ProcBlockUntil(pid_, engine_.procs_[pid_]->clock, "yield");
+}
+
+SimTime Context::Block(std::string_view reason) {
+  return engine_.ProcBlock(pid_, reason);
+}
+
+SimTime Context::BlockUntil(SimTime t, std::string_view reason) {
+  return engine_.ProcBlockUntil(pid_, t, reason);
+}
+
+void Context::Trace(std::string tag, std::string detail) {
+  if (!engine_.trace_enabled_) return;
+  engine_.trace_.push_back(
+      TraceEvent{now(), pid_, std::move(tag), std::move(detail)});
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(std::uint64_t seed) : seed_(seed) {}
+
+Engine::~Engine() { JoinAll(); }
+
+Pid Engine::Spawn(std::string name, ProcessBody body, int node) {
+  SimTime start = 0;
+  if (running_ != kNoPid) start = procs_[running_]->clock;
+  return SpawnAt(start, std::move(name), std::move(body), node);
+}
+
+Pid Engine::SpawnAt(SimTime start, std::string name, ProcessBody body,
+                    int node) {
+  const Pid pid = static_cast<Pid>(procs_.size());
+  auto proc = std::make_unique<Proc>();
+  proc->name = std::move(name);
+  proc->node = node;
+  proc->body = std::move(body);
+  proc->context = std::unique_ptr<Context>(new Context(*this, pid));
+  proc->rng = Rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (pid + 1)));
+  proc->clock = start;
+  proc->wake_at = start;
+  proc->state = State::kReady;
+  procs_.push_back(std::move(proc));
+  ready_.emplace(start, pid);
+  return pid;
+}
+
+void Engine::MakeReady(Pid pid, SimTime wake_at) {
+  Proc& p = *procs_[pid];
+  p.state = State::kReady;
+  p.wake_at = wake_at;
+  ready_.emplace(wake_at, pid);
+}
+
+void Engine::RemoveReady(Pid pid) {
+  Proc& p = *procs_[pid];
+  ready_.erase({p.wake_at, pid});
+}
+
+void Engine::Wake(Pid pid, SimTime t) {
+  PSTK_CHECK_MSG(pid < procs_.size(), "Wake: bad pid " << pid);
+  Proc& p = *procs_[pid];
+  switch (p.state) {
+    case State::kBlocked:
+      MakeReady(pid, std::max(t, p.clock));
+      break;
+    case State::kReady: {
+      const SimTime new_wake = std::max(t, p.clock);
+      if (new_wake < p.wake_at) {
+        RemoveReady(pid);
+        MakeReady(pid, new_wake);
+      }
+      break;
+    }
+    case State::kRunning:
+    case State::kDone:
+    case State::kKilled:
+      break;  // nothing to wake
+  }
+}
+
+void Engine::ScheduleEvent(SimTime t, std::function<void()> fn) {
+  events_.emplace(std::make_pair(t, event_seq_++), std::move(fn));
+}
+
+void Engine::Kill(Pid pid, SimTime t) {
+  ScheduleEvent(t, [this, pid] { KillNow(pid); });
+}
+
+void Engine::KillNow(Pid pid) {
+  PSTK_CHECK_MSG(pid < procs_.size(), "Kill: bad pid " << pid);
+  Proc& p = *procs_[pid];
+  if (p.state == State::kDone || p.state == State::kKilled) return;
+  p.kill_requested = true;
+  if (p.state == State::kBlocked) {
+    MakeReady(pid, std::max(frontier_, p.clock));
+  } else if (p.state == State::kReady && p.wake_at > frontier_) {
+    // Die promptly rather than at the (possibly distant) scheduled wake.
+    RemoveReady(pid);
+    MakeReady(pid, std::max(frontier_, p.clock));
+  }
+}
+
+std::vector<Pid> Engine::AlivePidsOnNode(int node) const {
+  std::vector<Pid> pids;
+  for (Pid pid = 0; pid < procs_.size(); ++pid) {
+    if (procs_[pid]->node == node && IsAlive(pid)) pids.push_back(pid);
+  }
+  return pids;
+}
+
+bool Engine::IsAlive(Pid pid) const {
+  if (pid >= procs_.size()) return false;
+  const State s = procs_[pid]->state;
+  return s != State::kDone && s != State::kKilled;
+}
+
+std::string Engine::DescribeBlocked() const {
+  std::ostringstream oss;
+  for (Pid pid = 0; pid < procs_.size(); ++pid) {
+    const Proc& p = *procs_[pid];
+    if (p.state == State::kBlocked) {
+      oss << "  " << p.name << " (pid " << pid << ", t=" << p.clock
+          << "): " << p.wait_reason << "\n";
+    }
+  }
+  return oss.str();
+}
+
+void Engine::StartThread(Pid pid) {
+  Proc& p = *procs_[pid];
+  PSTK_CHECK(!p.thread_started);
+  p.thread_started = true;
+  p.thread = std::thread([this, pid] {
+    Proc& self = *procs_[pid];
+    // Wait for the first dispatch.
+    {
+      std::unique_lock<std::mutex> lk(self.mu);
+      self.cv.wait(lk, [&] { return self.proc_turn; });
+      self.proc_turn = false;
+    }
+    try {
+      CheckKilled(self);
+      self.body(*self.context);
+      self.state = State::kDone;
+      ++completed_;
+    } catch (const ProcessKilled&) {
+      self.state = State::kKilled;
+      ++killed_;
+    } catch (...) {
+      self.error = std::current_exception();
+      self.state = State::kDone;
+      ++completed_;
+    }
+    // Hand the baton back to the engine for good.
+    {
+      std::lock_guard<std::mutex> lk(engine_mu_);
+      engine_turn_ = true;
+    }
+    engine_cv_.notify_one();
+  });
+}
+
+void Engine::DispatchProc(Pid pid) {
+  Proc& p = *procs_[pid];
+  PSTK_CHECK(p.state == State::kReady);
+  p.clock = std::max(p.clock, p.wake_at);
+  frontier_ = std::max(frontier_, p.clock);
+  p.state = State::kRunning;
+  running_ = pid;
+  engine_turn_ = false;
+
+  if (!p.thread_started) StartThread(pid);
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.proc_turn = true;
+  }
+  p.cv.notify_one();
+  {
+    std::unique_lock<std::mutex> lk(engine_mu_);
+    engine_cv_.wait(lk, [&] { return engine_turn_; });
+  }
+  running_ = kNoPid;
+}
+
+void Engine::ProcYieldToEngine(Proc& p) {
+  {
+    std::lock_guard<std::mutex> lk(engine_mu_);
+    engine_turn_ = true;
+  }
+  engine_cv_.notify_one();
+  {
+    std::unique_lock<std::mutex> lk(p.mu);
+    p.cv.wait(lk, [&] { return p.proc_turn; });
+    p.proc_turn = false;
+  }
+  CheckKilled(p);
+}
+
+void Engine::CheckKilled(Proc& p) {
+  if (p.kill_requested) throw ProcessKilled{};
+}
+
+SimTime Engine::ProcBlock(Pid pid, std::string_view reason) {
+  Proc& p = *procs_[pid];
+  PSTK_CHECK(p.state == State::kRunning);
+  p.state = State::kBlocked;
+  p.wait_reason = reason;
+  ProcYieldToEngine(p);
+  return p.clock;
+}
+
+SimTime Engine::ProcBlockUntil(Pid pid, SimTime t, std::string_view reason) {
+  Proc& p = *procs_[pid];
+  PSTK_CHECK(p.state == State::kRunning);
+  p.wait_reason = reason;
+  MakeReady(pid, std::max(t, p.clock));
+  p.state = State::kReady;  // MakeReady set it, keep explicit
+  ProcYieldToEngine(p);
+  return p.clock;
+}
+
+RunResult Engine::Run() {
+  PSTK_CHECK_MSG(!running_loop_, "Engine::Run is not reentrant");
+  running_loop_ = true;
+  RunResult result;
+
+  std::exception_ptr fatal;
+  while (fatal == nullptr) {
+    const bool has_event = !events_.empty();
+    const bool has_proc = !ready_.empty();
+    if (!has_event && !has_proc) break;
+    const SimTime te = has_event ? events_.begin()->first.first : kInfinity;
+    const SimTime tp = has_proc ? ready_.begin()->first : kInfinity;
+    if (te <= tp) {
+      auto it = events_.begin();
+      auto fn = std::move(it->second);
+      events_.erase(it);
+      frontier_ = std::max(frontier_, te);
+      fn();
+    } else {
+      const Pid pid = ready_.begin()->second;
+      ready_.erase(ready_.begin());
+      DispatchProc(pid);
+      frontier_ = std::max(frontier_, procs_[pid]->clock);
+      if (procs_[pid]->error != nullptr) fatal = procs_[pid]->error;
+    }
+  }
+  running_loop_ = false;
+
+  result.end_time = frontier_;
+  result.completed = completed_;
+  result.killed = killed_;
+
+  if (fatal != nullptr) {
+    JoinAll();
+    std::rethrow_exception(fatal);
+  }
+
+  std::size_t blocked = 0;
+  for (const auto& p : procs_) {
+    if (p->state == State::kBlocked) ++blocked;
+  }
+  if (blocked > 0) {
+    result.status = Internal("simulation deadlock; blocked processes:\n" +
+                             DescribeBlocked());
+    // JoinAll force-kills the blocked threads, but those deaths are cleanup,
+    // not simulated faults — result.killed keeps the pre-teardown count.
+    JoinAll();
+  } else {
+    result.status = OkStatus();
+  }
+  return result;
+}
+
+void Engine::JoinAll() {
+  for (auto& proc : procs_) {
+    Proc& p = *proc;
+    if (!p.thread_started) {
+      p.state = State::kKilled;
+      continue;
+    }
+    if (p.state == State::kBlocked || p.state == State::kReady) {
+      // Force the thread to unwind so it can be joined.
+      p.kill_requested = true;
+      engine_turn_ = false;
+      {
+        std::lock_guard<std::mutex> lk(p.mu);
+        p.proc_turn = true;
+      }
+      p.cv.notify_one();
+      {
+        std::unique_lock<std::mutex> lk(engine_mu_);
+        engine_cv_.wait(lk, [&] { return engine_turn_; });
+      }
+    }
+    if (p.thread.joinable()) p.thread.join();
+  }
+}
+
+}  // namespace pstk::sim

@@ -1,0 +1,261 @@
+// Deterministic discrete-event simulation engine.
+//
+// Simulated processes are OS threads scheduled *cooperatively*: exactly one
+// process (or the engine) runs at any instant, and the engine always
+// dispatches the runnable process with the smallest virtual clock (ties
+// broken by pid). All cross-process interaction goes through engine
+// primitives, so a simulation is a deterministic function of its inputs —
+// identical runs replay bit-identically regardless of host scheduling.
+//
+// Virtual-time rules:
+//  * Context::Compute(dt) advances only the caller's clock (no yield needed:
+//    other processes cannot observe a process mid-computation).
+//  * Blocking primitives park the caller until another process or a
+//    scheduled event wakes it with a timestamp; on resume the caller's clock
+//    becomes max(own clock, wake time).
+//  * Because dispatch is min-clock-first, a process can never observe an
+//    interaction from its past (conservative causality).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace pstk::sim {
+
+using Pid = std::uint32_t;
+inline constexpr Pid kNoPid = static_cast<Pid>(-1);
+
+class Engine;
+class Context;
+
+/// Body of a simulated process.
+using ProcessBody = std::function<void(Context&)>;
+
+/// Thrown inside a process thread when the process is killed by fault
+/// injection; unwinds the stack so RAII cleanup runs. Do not catch it.
+class ProcessKilled {};
+
+/// Why Engine::Run returned.
+struct RunResult {
+  Status status;          // OK, or Internal on deadlock / process exception
+  SimTime end_time = 0;   // virtual time frontier at completion
+  std::size_t completed = 0;
+  std::size_t killed = 0;
+};
+
+/// Trace record, mainly for tests and debugging.
+struct TraceEvent {
+  SimTime time;
+  Pid pid;
+  std::string tag;
+  std::string detail;
+};
+
+/// Handle passed to every process body; all simulation services hang off it.
+class Context {
+ public:
+  [[nodiscard]] Pid pid() const;
+  [[nodiscard]] const std::string& name() const;
+  /// Opaque placement tag (the cluster layer stores a node index here).
+  [[nodiscard]] int node() const;
+
+  /// This process's virtual clock, in seconds.
+  [[nodiscard]] SimTime now() const;
+
+  /// Advance the local clock by `seconds` of modeled computation.
+  void Compute(SimTime seconds);
+
+  /// Park until virtual time `t` (no-op if already past it).
+  void SleepUntil(SimTime t);
+  void SleepFor(SimTime dt) { SleepUntil(now() + dt); }
+
+  /// Reschedule at the current clock, letting equal-or-earlier-clock
+  /// processes run first. Compute() alone never yields.
+  void Yield();
+
+  /// Park indefinitely; resumes when some other process or event calls
+  /// Engine::Wake(pid, t). Returns the wake timestamp actually applied.
+  /// `reason` shows up in deadlock reports.
+  SimTime Block(std::string_view reason);
+
+  /// Park until time `t`, but wakeable earlier via Engine::Wake.
+  SimTime BlockUntil(SimTime t, std::string_view reason);
+
+  /// Per-process deterministic RNG (derived from the engine seed and pid).
+  Rng& rng();
+
+  Engine& engine() { return engine_; }
+
+  /// Record a trace event at the current clock.
+  void Trace(std::string tag, std::string detail = "");
+
+ private:
+  friend class Engine;
+  Context(Engine& engine, Pid pid) : engine_(engine), pid_(pid) {}
+  Engine& engine_;
+  Pid pid_;
+};
+
+/// The simulation engine. Not thread-safe in the conventional sense: its
+/// methods must only be called from the engine's own control flow — i.e.
+/// before Run(), from inside process bodies, or from scheduled events —
+/// which by construction is single-threaded.
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create a process; it becomes runnable at `start` (default: spawner's
+  /// clock, or 0 when spawned before Run()).
+  Pid Spawn(std::string name, ProcessBody body, int node = 0);
+  Pid SpawnAt(SimTime start, std::string name, ProcessBody body, int node = 0);
+
+  /// Run until every process has finished (or a deadlock / exception).
+  RunResult Run();
+
+  /// Wake a parked process no earlier than virtual time `t`. If the target
+  /// is already scheduled, its wake time is reduced to min(current, t).
+  /// Waking a finished process is a no-op.
+  void Wake(Pid pid, SimTime t);
+
+  /// Execute `fn` in the engine's control flow at virtual time `t`.
+  void ScheduleEvent(SimTime t, std::function<void()> fn);
+
+  /// Kill a process at time `t` (fault injection): its thread unwinds via
+  /// ProcessKilled next time it would run.
+  void Kill(Pid pid, SimTime t);
+  /// Immediate kill, usable from events.
+  void KillNow(Pid pid);
+
+  [[nodiscard]] bool IsAlive(Pid pid) const;
+
+  /// Alive processes placed on `node` (used for node-failure injection).
+  [[nodiscard]] std::vector<Pid> AlivePidsOnNode(int node) const;
+
+  /// Virtual-time frontier: the largest clock dispatched so far.
+  [[nodiscard]] SimTime now() const { return frontier_; }
+
+  [[nodiscard]] std::size_t process_count() const { return procs_.size(); }
+
+  /// Tracing (disabled by default; tests enable it).
+  void EnableTrace(bool on) { trace_enabled_ = on; }
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Blocked-process snapshot, for deadlock diagnostics.
+  [[nodiscard]] std::string DescribeBlocked() const;
+
+ private:
+  friend class Context;
+
+  enum class State : std::uint8_t {
+    kReady,     // scheduled: in ready_ with a wake time
+    kRunning,   // currently executing
+    kBlocked,   // parked, waiting for Wake
+    kDone,      // body returned
+    kKilled,    // unwound via ProcessKilled
+  };
+
+  struct Proc {
+    std::string name;
+    int node = 0;
+    ProcessBody body;
+    std::unique_ptr<Context> context;
+    Rng rng;
+
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool proc_turn = false;   // true: process may run; false: engine's turn
+
+    State state = State::kReady;
+    SimTime clock = 0;        // local virtual time
+    SimTime wake_at = 0;      // valid when kReady
+    bool kill_requested = false;
+    bool thread_started = false;
+    std::string wait_reason;
+    std::exception_ptr error;
+  };
+
+  // -- called from process threads --------------------------------------
+  SimTime ProcBlock(Pid pid, std::string_view reason);          // indefinite
+  SimTime ProcBlockUntil(Pid pid, SimTime t, std::string_view reason);
+  void ProcYieldToEngine(Proc& p);  // park thread, hand control back
+  void CheckKilled(Proc& p);
+
+  // -- engine loop -------------------------------------------------------
+  void DispatchProc(Pid pid);
+  void StartThread(Pid pid);
+  void MakeReady(Pid pid, SimTime wake_at);
+  void RemoveReady(Pid pid);
+  void JoinAll();
+
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  // Ready queue ordered by (wake time, pid) — supports decrease-key.
+  std::set<std::pair<SimTime, Pid>> ready_;
+  // Engine events ordered by time; sequence breaks ties FIFO.
+  std::map<std::pair<SimTime, std::uint64_t>, std::function<void()>> events_;
+  std::uint64_t event_seq_ = 0;
+
+  std::mutex engine_mu_;
+  std::condition_variable engine_cv_;
+  bool engine_turn_ = true;
+  Pid running_ = kNoPid;
+
+  SimTime frontier_ = 0;
+  bool running_loop_ = false;
+  bool trace_enabled_ = false;
+  std::vector<TraceEvent> trace_;
+  std::size_t completed_ = 0;
+  std::size_t killed_ = 0;
+};
+
+/// Condition-variable analogue in virtual time: processes Wait; another
+/// process Notifies with a timestamp; each waiter resumes at
+/// max(own clock, timestamp).
+class Condition {
+ public:
+  /// Park the caller until notified.
+  void Wait(Context& ctx, std::string_view reason = "condition") {
+    waiters_.push_back(ctx.pid());
+    ctx.Block(reason);
+  }
+
+  /// Wake all waiters at time `t`.
+  void NotifyAll(Engine& engine, SimTime t) {
+    for (Pid pid : waiters_) engine.Wake(pid, t);
+    waiters_.clear();
+  }
+
+  /// Wake the longest-waiting process at time `t`; returns false if none.
+  bool NotifyOne(Engine& engine, SimTime t) {
+    if (waiters_.empty()) return false;
+    engine.Wake(waiters_.front(), t);
+    waiters_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  std::deque<Pid> waiters_;
+};
+
+}  // namespace pstk::sim

@@ -1,0 +1,58 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pstk::sim {
+
+SimTime Timeline::Acquire(SimTime ready, SimTime duration) {
+  PSTK_DCHECK(duration >= 0);
+  const SimTime start = std::max(ready, next_free_);
+  next_free_ = start + duration;
+  busy_ += duration;
+  ++ops_;
+  return next_free_;
+}
+
+SimTime Timeline::Peek(SimTime ready, SimTime duration) const {
+  return std::max(ready, next_free_) + duration;
+}
+
+ChannelBank::ChannelBank(std::size_t channels) {
+  PSTK_CHECK_MSG(channels >= 1, "ChannelBank needs at least one channel");
+  for (std::size_t i = 0; i < channels; ++i) free_at_.insert(0.0);
+}
+
+SimTime ChannelBank::Acquire(SimTime ready, SimTime duration) {
+  PSTK_DCHECK(duration >= 0);
+  auto it = free_at_.begin();
+  const SimTime start = std::max(ready, *it);
+  free_at_.erase(it);
+  const SimTime done = start + duration;
+  free_at_.insert(done);
+  return done;
+}
+
+std::size_t ConcurrencyWindow::Record(SimTime start, SimTime end) {
+  // Callers issue spans with nondecreasing start times (FIFO resources), so
+  // spans that ended before `start` can never overlap again — prune them to
+  // keep Record amortized O(active).
+  std::erase_if(spans_, [start](const Span& s) { return s.end <= start; });
+  std::size_t overlapping = 0;
+  for (const Span& span : spans_) {
+    if (span.start < end && start < span.end) ++overlapping;
+  }
+  spans_.push_back(Span{start, end});
+  return overlapping;
+}
+
+std::size_t ConcurrencyWindow::active_at(SimTime t) const {
+  std::size_t count = 0;
+  for (const Span& span : spans_) {
+    if (span.start <= t && t < span.end) ++count;
+  }
+  return count;
+}
+
+}  // namespace pstk::sim

@@ -1,0 +1,75 @@
+// Resource timelines: the building block for modeling contended hardware
+// (NICs, disks, memory channels) in virtual time.
+//
+// A Timeline is a FIFO-serialized resource: an operation that becomes ready
+// at time `r` and occupies the resource for `d` seconds completes at
+// max(r, next_free) + d. For equal-sized concurrent operations this yields
+// the same completion times as fair processor sharing, which matches how
+// saturated NICs and SSDs behave to first order.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pstk::sim {
+
+class Timeline {
+ public:
+  Timeline() = default;
+
+  /// Reserve the resource: returns the completion time and advances the
+  /// internal free pointer.
+  SimTime Acquire(SimTime ready, SimTime duration);
+
+  /// Completion time a hypothetical op would get, without reserving.
+  [[nodiscard]] SimTime Peek(SimTime ready, SimTime duration) const;
+
+  [[nodiscard]] SimTime next_free() const { return next_free_; }
+  /// Total busy time accumulated (for utilization reports).
+  [[nodiscard]] SimTime busy_time() const { return busy_; }
+  [[nodiscard]] std::uint64_t op_count() const { return ops_; }
+
+  void Reset() { *this = Timeline(); }
+
+ private:
+  SimTime next_free_ = 0;
+  SimTime busy_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+/// A bank of `channels` identical FIFO resources; each operation is served
+/// by the earliest-free channel (models multi-lane links, disk queues).
+class ChannelBank {
+ public:
+  explicit ChannelBank(std::size_t channels = 1);
+
+  SimTime Acquire(SimTime ready, SimTime duration);
+  [[nodiscard]] std::size_t channels() const { return free_at_.size(); }
+  [[nodiscard]] SimTime earliest_free() const { return *free_at_.begin(); }
+
+ private:
+  std::multiset<SimTime> free_at_;
+};
+
+/// Tracks how many operations overlap a time window; used by the SSD model
+/// to detect read contention (paper §III-C: thresholds on parallel readers).
+class ConcurrencyWindow {
+ public:
+  /// Record an operation spanning [start, end); returns the number of
+  /// previously-recorded operations it overlaps.
+  std::size_t Record(SimTime start, SimTime end);
+
+  [[nodiscard]] std::size_t active_at(SimTime t) const;
+
+ private:
+  struct Span {
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<Span> spans_;
+};
+
+}  // namespace pstk::sim

@@ -1,0 +1,615 @@
+#include "spark/spark.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace pstk::spark {
+
+namespace {
+
+// Control-plane message tags.
+constexpr int kTagTask = 1;      // driver -> executor
+constexpr int kTagTaskDone = 2;  // executor -> driver
+constexpr int kTagTaskFail = 3;  // executor -> driver (fetch failure)
+constexpr int kTagExit = 4;      // driver -> executor
+
+struct TaskHeader {
+  std::uint64_t task_set = 0;
+  std::int32_t partition = 0;
+};
+
+serde::Buffer EncodeTask(std::uint64_t task_set, int partition) {
+  serde::Writer w;
+  w.WriteRaw<std::uint64_t>(task_set);
+  w.WriteRaw<std::int32_t>(partition);
+  return w.TakeBuffer();
+}
+
+serde::Buffer EncodeTaskDone(std::uint64_t task_set, int partition,
+                             const serde::Buffer& result) {
+  serde::Writer w;
+  w.WriteRaw<std::uint64_t>(task_set);
+  w.WriteRaw<std::int32_t>(partition);
+  w.WriteBytes(result.data(), result.size());
+  return w.TakeBuffer();
+}
+
+serde::Buffer EncodeTaskFail(std::uint64_t task_set, int partition,
+                             int shuffle_id) {
+  serde::Writer w;
+  w.WriteRaw<std::uint64_t>(task_set);
+  w.WriteRaw<std::int32_t>(partition);
+  w.WriteRaw<std::int32_t>(shuffle_id);
+  return w.TakeBuffer();
+}
+
+TaskHeader DecodeHeader(serde::Reader& r) {
+  TaskHeader h;
+  h.task_set = r.ReadRaw<std::uint64_t>().value();
+  h.partition = r.ReadRaw<std::int32_t>().value();
+  return h;
+}
+
+/// Collect the job's shuffle dependencies in parents-first order.
+void CollectShuffleDeps(RddBase& rdd, std::set<int>& seen_rdds,
+                        std::set<int>& seen_shuffles,
+                        std::vector<std::shared_ptr<ShuffleDepBase>>& out) {
+  if (!seen_rdds.insert(rdd.id()).second) return;
+  for (const auto& parent : rdd.narrow_parents) {
+    CollectShuffleDeps(*parent, seen_rdds, seen_shuffles, out);
+  }
+  for (const auto& dep : rdd.shuffle_deps) {
+    CollectShuffleDeps(*dep->parent_ptr(), seen_rdds, seen_shuffles, out);
+    if (seen_shuffles.insert(dep->shuffle_id()).second) {
+      out.push_back(dep);
+    }
+  }
+}
+
+}  // namespace
+
+// ===========================================================================
+// TaskRt
+// ===========================================================================
+
+double TaskRt::data_scale() const { return app_.data_scale(); }
+
+void TaskRt::ChargeRecords(std::uint64_t records, Bytes bytes) {
+  const double inflate = 1.0 / app_.data_scale();
+  ctx_.Compute(inflate *
+               (static_cast<double>(records) * app_.options.cpu_per_record +
+                static_cast<double>(bytes) * app_.options.cpu_per_byte));
+}
+
+void TaskRt::ChargeSerde(std::uint64_t records, Bytes actual_bytes) {
+  ChargeRecords(records,
+                static_cast<Bytes>(
+                    static_cast<double>(actual_bytes) *
+                    app_.options.java_serialization_factor));
+}
+
+PartitionHandle TaskRt::Evaluate(RddBase& rdd, int p) {
+  if (rdd.storage_level != StorageLevel::kNone) {
+    if (const BlockStore::Block* block =
+            app_.block_store->Lookup(executor_, rdd.id(), p)) {
+      ++app_.stats.cache_hits;
+      if (block->on_disk) {
+        const SimTime done = app_.cluster->scratch_disk(node_)->Read(
+            block->modeled_size, ctx_.now());
+        ctx_.SleepUntil(done);
+      }
+      return block->data;
+    }
+    ++app_.stats.cache_misses;
+  }
+
+  PartitionHandle data = rdd.Compute(*this, p);
+
+  if (rdd.storage_level != StorageLevel::kNone) {
+    BlockStore::Block block;
+    block.data = data;
+    block.modeled_size = app_.Modeled(rdd.SizeOf(data));
+    block.level = rdd.storage_level;
+    Bytes spilled = 0;
+    app_.block_store->Put(executor_, rdd.id(), p, block, &spilled);
+    if (spilled > 0) {
+      app_.stats.cache_spilled_bytes += spilled;
+      const SimTime done =
+          app_.cluster->scratch_disk(node_)->Write(spilled, ctx_.now());
+      ctx_.SleepUntil(done);
+    }
+  }
+  return data;
+}
+
+std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
+                                                       int reduce_partition) {
+  const int num_maps = app_.shuffle_store.NumMaps(shuffle_id);
+  std::vector<const serde::Buffer*> buffers;
+  buffers.reserve(static_cast<std::size_t>(num_maps));
+  SimTime last_arrival = ctx_.now();
+  SimTime cpu = 0;
+  for (int m = 0; m < num_maps; ++m) {
+    const ShuffleStore::MapOutput* output =
+        app_.shuffle_store.GetMapOutput(shuffle_id, m);
+    if (output == nullptr || !app_.ExecutorAlive(output->executor)) {
+      throw FetchFailed{shuffle_id};
+    }
+    const serde::Buffer& bucket =
+        output->buckets[static_cast<std::size_t>(reduce_partition)];
+    buffers.push_back(&bucket);
+    const Bytes modeled = app_.Modeled(static_cast<Bytes>(
+        static_cast<double>(bucket.size()) *
+        app_.options.java_serialization_factor));
+    if (output->executor == executor_) {
+      app_.stats.shuffle_local_bytes += modeled;
+      continue;  // served from the local shuffle file / page cache
+    }
+    app_.stats.shuffle_fetched_bytes += modeled;
+    // All fetches are issued concurrently (Spark opens several streams);
+    // NIC timelines provide the serialization.
+    const auto times = app_.shuffle_fabric->Transfer(output->node, node_,
+                                                     modeled, ctx_.now());
+    cpu += times.receiver_cpu;
+    last_arrival = std::max(last_arrival, times.arrival);
+  }
+  ctx_.Compute(cpu);
+  ctx_.SleepUntil(last_arrival);
+  return buffers;
+}
+
+void TaskRt::CommitShuffleOutput(int shuffle_id, int map_partition,
+                                 std::vector<serde::Buffer> buckets) {
+  Bytes total = 0;
+  for (const auto& bucket : buckets) total += bucket.size();
+  const Bytes modeled = app_.Modeled(static_cast<Bytes>(
+      static_cast<double>(total) * app_.options.java_serialization_factor));
+  // Shuffle files land on the executor's local disk.
+  const SimTime done =
+      app_.cluster->scratch_disk(node_)->Write(modeled, ctx_.now());
+  ctx_.SleepUntil(done);
+
+  ShuffleStore::MapOutput output;
+  output.executor = executor_;
+  output.node = node_;
+  output.buckets = std::move(buckets);
+  app_.shuffle_store.PutMapOutput(shuffle_id, map_partition,
+                                  std::move(output));
+}
+
+Result<std::string> TaskRt::ReadDfsBlock(const std::string& path,
+                                         std::size_t block) {
+  if (app_.dfs == nullptr) {
+    return FailedPrecondition("no DFS configured for this app");
+  }
+  return app_.dfs->ReadBlock(ctx_, node_, path, block);
+}
+
+Result<std::string> TaskRt::ReadLocalRange(const std::string& path,
+                                           Bytes offset, Bytes length) {
+  return app_.cluster->scratch(node_).Read(ctx_, path, offset, length);
+}
+
+Result<std::string> TaskRt::ReadLocalLines(const std::string& path,
+                                           Bytes offset, Bytes length) {
+  storage::LocalFs& fs = app_.cluster->scratch(node_);
+  const std::string* content = fs.Peek(path);
+  if (content == nullptr) return NotFound("no such file: " + path);
+  std::size_t begin = std::min<std::size_t>(offset, content->size());
+  std::size_t end = std::min<std::size_t>(offset + length, content->size());
+  if (begin > 0 && (*content)[begin - 1] != '\n') {
+    const auto nl = content->find('\n', begin);
+    begin = nl == std::string::npos ? content->size() : nl + 1;
+  }
+  if (end > 0 && end < content->size() && (*content)[end - 1] != '\n') {
+    const auto nl = content->find('\n', end);
+    end = nl == std::string::npos ? content->size() : nl + 1;
+  }
+  if (end < begin) end = begin;
+  return fs.Read(ctx_, path, begin, end - begin);
+}
+
+// ===========================================================================
+// SparkContext: factories
+// ===========================================================================
+
+Result<Rdd<std::string>> SparkContext::TextFile(const std::string& path) {
+  if (app_.dfs == nullptr) {
+    return FailedPrecondition("no DFS configured for this app");
+  }
+  auto locations = app_.dfs->BlockLocations(path);
+  if (!locations.ok()) return locations.status();
+  auto node = std::make_shared<TextFileDfsNode>(NewRddId(), path,
+                                                std::move(locations).value());
+  return Rdd<std::string>(this, node);
+}
+
+Result<Rdd<std::string>> SparkContext::TextFileLocal(const std::string& path) {
+  // The file must be present on every node's scratch (the paper copies it
+  // there); use node 0's copy for metadata.
+  auto size = app_.cluster->scratch(0).Size(path);
+  if (!size.ok()) return size.status();
+  for (int n = 0; n < app_.cluster->nodes(); ++n) {
+    if (!app_.cluster->scratch(n).Exists(path)) {
+      return FailedPrecondition("local file " + path + " missing on node " +
+                                std::to_string(n));
+    }
+  }
+  const auto actual_split = std::max<Bytes>(
+      1, static_cast<Bytes>(static_cast<double>(app_.options.local_split_bytes) *
+                            app_.data_scale()));
+  const int splits = static_cast<int>(
+      (size.value() + actual_split - 1) / std::max<Bytes>(1, actual_split));
+  auto node = std::make_shared<TextFileLocalNode>(
+      NewRddId(), path, size.value(), actual_split, std::max(1, splits));
+  return Rdd<std::string>(this, node);
+}
+
+// ===========================================================================
+// SparkContext: DAG scheduler
+// ===========================================================================
+
+std::vector<int> SparkContext::PreferredExecutors(RddBase& rdd, int p) const {
+  // Cached copies win.
+  if (rdd.storage_level != StorageLevel::kNone) {
+    std::vector<int> cached = app_.block_store->CachedExecutors(rdd.id(), p);
+    std::erase_if(cached, [&](int e) { return !app_.ExecutorAlive(e); });
+    if (!cached.empty()) return cached;
+  }
+  // Source locality (DFS block replicas).
+  const std::vector<int> nodes = rdd.PreferredNodes(p);
+  if (!nodes.empty()) {
+    std::vector<int> executors;
+    for (const ExecutorInfo& info : app_.executors) {
+      if (!app_.ExecutorAlive(info.id)) continue;
+      if (std::find(nodes.begin(), nodes.end(), info.node) != nodes.end()) {
+        executors.push_back(info.id);
+      }
+    }
+    return executors;
+  }
+  if (!rdd.narrow_parents.empty()) {
+    return PreferredExecutors(*rdd.narrow_parents.front(), p);
+  }
+  return {};
+}
+
+void SparkContext::SweepExecutors() {
+  for (ExecutorInfo& info : app_.executors) {
+    if (info.alive && !app_.ExecutorAlive(info.id)) {
+      info.alive = false;
+      app_.shuffle_store.DropExecutor(info.id);
+      app_.block_store->DropExecutor(info.id);
+      PSTK_INFO("spark") << "executor " << info.id << " on node " << info.node
+                         << " lost";
+    }
+  }
+}
+
+SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
+    RddBase& locality_rdd, const std::vector<int>& partitions,
+    const std::function<serde::Buffer(TaskRt&, int)>& closure,
+    std::map<int, serde::Buffer>* results) {
+  TaskSetOutcome outcome;
+  if (partitions.empty()) return outcome;
+
+  const std::uint64_t task_set = app_.next_task_set++;
+  app_.closures[task_set] = closure;
+
+  // A previous task set may have aborted (fetch failure) with tasks still
+  // in flight; those executors dropped the stale work, so treat everyone
+  // as idle — their queued messages execute in order anyway.
+  for (ExecutorInfo& info : app_.executors) info.busy = false;
+
+  net::Endpoint& ep = app_.control->endpoint(app_.driver_endpoint);
+  std::deque<int> pending(partitions.begin(), partitions.end());
+  std::map<int, int> running;  // partition -> executor
+  std::set<int> done;
+  std::map<int, int> attempts;
+
+  // Locality preferences, computed once.
+  std::map<int, std::vector<int>> prefs;
+  for (int p : partitions) prefs[p] = PreferredExecutors(locality_rdd, p);
+
+  auto pick_task = [&](const ExecutorInfo& info) -> std::optional<int> {
+    if (pending.empty()) return std::nullopt;
+    // Executor-local (cached) first, then node-local, then anything.
+    for (int pass = 0; pass < 3; ++pass) {
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        const std::vector<int>& pref = prefs[*it];
+        bool match = false;
+        if (pass == 0) {
+          match = std::find(pref.begin(), pref.end(), info.id) != pref.end();
+        } else if (pass == 1) {
+          for (int e : pref) {
+            if (app_.executors[e].node == info.node) {
+              match = true;
+              break;
+            }
+          }
+        } else {
+          match = true;
+        }
+        if (match) {
+          const int p = *it;
+          pending.erase(it);
+          return p;
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  auto finish = [&](Status status, bool fetch_failed) {
+    app_.closures.erase(task_set);
+    outcome.status = std::move(status);
+    outcome.fetch_failed = fetch_failed;
+    return outcome;
+  };
+
+  while (done.size() < partitions.size()) {
+    // Assign work to idle executors.
+    for (ExecutorInfo& info : app_.executors) {
+      if (!info.alive || info.busy || pending.empty()) continue;
+      auto task = pick_task(info);
+      if (!task.has_value()) break;
+      const int p = *task;
+      if (++attempts[p] > 4) {
+        return finish(Internal("task for partition " + std::to_string(p) +
+                               " failed 4 times"),
+                      false);
+      }
+      ctx_.Compute(app_.options.driver_per_task);
+      const Bytes ship = app_.options.task_message_bytes +
+                         app_.Modeled(locality_rdd.ExtraTaskShipBytes(p));
+      ep.SendAsync(ctx_, info.id, kTagTask, EncodeTask(task_set, p), ship);
+      info.busy = true;
+      running[p] = info.id;
+      ++app_.stats.tasks_launched;
+    }
+
+    auto msg = ep.RecvWithTimeout(ctx_, ctx_.now() + app_.options.heartbeat);
+    if (!msg.has_value()) {
+      SweepExecutors();
+      bool requeued = false;
+      for (auto it = running.begin(); it != running.end();) {
+        if (!app_.executors[it->second].alive) {
+          pending.push_back(it->first);
+          ++app_.stats.task_retries;
+          it = running.erase(it);
+          requeued = true;
+        } else {
+          ++it;
+        }
+      }
+      if (!requeued) {
+        bool any_alive = false;
+        for (const ExecutorInfo& info : app_.executors) {
+          any_alive = any_alive || info.alive;
+        }
+        if (!any_alive) {
+          return finish(Unavailable("all Spark executors lost"), false);
+        }
+      }
+      continue;
+    }
+
+    serde::Reader r(msg->payload);
+    const TaskHeader header = DecodeHeader(r);
+    const int executor = msg->src;
+    if (executor >= 0 && executor < static_cast<int>(app_.executors.size())) {
+      app_.executors[executor].busy = false;
+    }
+    if (header.task_set != task_set) continue;  // stale completion
+    if (done.count(header.partition) > 0) continue;
+
+    if (msg->tag == kTagTaskDone) {
+      running.erase(header.partition);
+      done.insert(header.partition);
+      if (results != nullptr) {
+        serde::Buffer rest(msg->payload.begin() + 12, msg->payload.end());
+        (*results)[header.partition] = std::move(rest);
+      }
+    } else if (msg->tag == kTagTaskFail) {
+      ++app_.stats.fetch_failures;
+      running.erase(header.partition);
+      SweepExecutors();
+      return finish(OkStatus(), /*fetch_failed=*/true);
+    }
+  }
+  return finish(OkStatus(), false);
+}
+
+Result<std::vector<serde::Buffer>> SparkContext::RunJob(
+    std::shared_ptr<RddBase> final_rdd,
+    std::function<serde::Buffer(TaskRt&, int)> result_closure) {
+  ctx_.Compute(app_.options.driver_per_job);
+  ++app_.stats.jobs;
+
+  std::vector<std::shared_ptr<ShuffleDepBase>> deps;
+  {
+    std::set<int> seen_rdds;
+    std::set<int> seen_shuffles;
+    CollectShuffleDeps(*final_rdd, seen_rdds, seen_shuffles, deps);
+  }
+
+  std::map<int, serde::Buffer> results;
+  std::set<int> result_done;
+  const int max_rounds = 8 * static_cast<int>(deps.size() + 2);
+  for (int round = 0; round < max_rounds; ++round) {
+    // First incomplete shuffle stage runs next (deps are parents-first).
+    ShuffleDepBase* next = nullptr;
+    for (const auto& dep : deps) {
+      if (!app_.shuffle_store.Complete(dep->shuffle_id())) {
+        next = dep.get();
+        break;
+      }
+    }
+    if (next != nullptr) {
+      auto dep_ptr = *std::find_if(deps.begin(), deps.end(),
+                                   [&](const auto& d) {
+                                     return d.get() == next;
+                                   });
+      const std::vector<int> missing =
+          app_.shuffle_store.MissingMaps(next->shuffle_id());
+      auto map_closure = [dep_ptr](TaskRt& rt, int p) -> serde::Buffer {
+        auto buckets = dep_ptr->RunMapTask(rt, p);
+        rt.CommitShuffleOutput(dep_ptr->shuffle_id(), p, std::move(buckets));
+        return serde::EncodeToBuffer<std::uint8_t>(1);
+      };
+      TaskSetOutcome outcome =
+          RunTaskSet(next->parent(), missing, map_closure, nullptr);
+      if (!outcome.status.ok()) return outcome.status;
+      continue;  // fetch_failed or success: either way re-derive readiness
+    }
+
+    // All shuffles complete: run missing result partitions.
+    std::vector<int> missing_results;
+    for (int p = 0; p < final_rdd->num_partitions(); ++p) {
+      if (result_done.count(p) == 0) missing_results.push_back(p);
+    }
+    std::map<int, serde::Buffer> partials;
+    TaskSetOutcome outcome =
+        RunTaskSet(*final_rdd, missing_results, result_closure, &partials);
+    if (!outcome.status.ok()) return outcome.status;
+    for (auto& [p, buffer] : partials) {
+      results[p] = std::move(buffer);
+      result_done.insert(p);
+    }
+    if (outcome.fetch_failed) continue;
+    if (static_cast<int>(result_done.size()) == final_rdd->num_partitions()) {
+      std::vector<serde::Buffer> ordered;
+      ordered.reserve(results.size());
+      for (auto& [p, buffer] : results) ordered.push_back(std::move(buffer));
+      return ordered;
+    }
+  }
+  return Internal("job exceeded stage retry budget");
+}
+
+// ===========================================================================
+// MiniSpark deployment
+// ===========================================================================
+
+MiniSpark::MiniSpark(cluster::Cluster& cluster, dfs::MiniDfs* dfs,
+                     SparkOptions options)
+    : cluster_(cluster), app_(std::make_shared<AppState>()) {
+  app_->options = std::move(options);
+  app_->cluster = &cluster;
+  app_->dfs = dfs;
+  app_->control = std::make_unique<net::Network>(
+      cluster.engine(), cluster.fabric(app_->options.control_transport));
+  app_->shuffle_fabric =
+      cluster.fabric(app_->options.rdma_shuffle
+                         ? app_->options.rdma_transport
+                         : app_->options.shuffle_transport);
+  const Bytes per_executor_memory = static_cast<Bytes>(
+      static_cast<double>(cluster.spec().node.memory) *
+      app_->options.storage_memory_fraction /
+      static_cast<double>(app_->options.executors_per_node));
+  app_->block_store = std::make_unique<BlockStore>(per_executor_memory);
+
+  const int executors = cluster.nodes() * app_->options.executors_per_node;
+  app_->executors.resize(static_cast<std::size_t>(executors));
+  app_->driver_endpoint = executors;
+  for (int e = 0; e < executors; ++e) {
+    const int node = e / app_->options.executors_per_node;
+    app_->executors[e] = ExecutorInfo{e, node, sim::kNoPid, false, false};
+    app_->control->CreateEndpoint(e, node);
+  }
+  app_->control->CreateEndpoint(app_->driver_endpoint, /*node=*/0);
+}
+
+void MiniSpark::Submit(DriverBody body,
+                       std::function<void(Result<AppResult>)> on_done) {
+  // Executor processes.
+  for (ExecutorInfo& info : app_->executors) {
+    info.pid = cluster_.engine().Spawn(
+        "spark-exec-" + std::to_string(info.id),
+        [this, id = info.id](sim::Context& ctx) { ExecutorMain(ctx, id); },
+        info.node);
+    info.alive = true;
+  }
+  // Driver process (client mode, node 0).
+  cluster_.engine().Spawn(
+      "spark-driver",
+      [this, body = std::move(body),
+       on_done = std::move(on_done)](sim::Context& ctx) {
+        DriverMain(ctx, body, on_done);
+      },
+      0);
+}
+
+Result<AppResult> MiniSpark::RunApp(DriverBody body) {
+  std::optional<Result<AppResult>> outcome;
+  Submit(std::move(body),
+         [&outcome](Result<AppResult> result) { outcome = std::move(result); });
+  const sim::RunResult run = cluster_.engine().Run();
+  if (outcome.has_value()) return *std::move(outcome);
+  if (!run.status.ok()) return run.status;
+  return Internal("Spark app never completed");
+}
+
+void MiniSpark::DriverMain(sim::Context& ctx, DriverBody body,
+                           std::function<void(Result<AppResult>)> on_done) {
+  const SimTime start = ctx.now();
+  // spark-submit, driver JVM, executor registration.
+  ctx.SleepUntil(start + app_->options.app_startup);
+
+  SparkContext sc(*app_, ctx);
+  body(sc);
+
+  // Tear the executors down.
+  app_->app_done = true;
+  net::Endpoint& ep = app_->control->endpoint(app_->driver_endpoint);
+  for (const ExecutorInfo& info : app_->executors) {
+    if (app_->ExecutorAlive(info.id)) {
+      ep.SendAsync(ctx, info.id, kTagExit, serde::Buffer{});
+    }
+  }
+
+  AppResult result;
+  result.elapsed = ctx.now() - start;
+  result.stats = app_->stats;
+  on_done(result);
+}
+
+void MiniSpark::ExecutorMain(sim::Context& ctx, int executor_id) {
+  net::Endpoint& ep = app_->control->endpoint(executor_id);
+  const int node = app_->executors[static_cast<std::size_t>(executor_id)].node;
+  for (;;) {
+    // Wake periodically so app teardown can't strand us.
+    auto msg = ep.RecvWithTimeout(ctx, ctx.now() + 30.0);
+    if (!msg.has_value()) {
+      if (app_->app_done) return;
+      continue;
+    }
+    if (msg->tag == kTagExit) return;
+    PSTK_CHECK(msg->tag == kTagTask);
+    serde::Reader r(msg->payload);
+    const TaskHeader header = DecodeHeader(r);
+
+    auto closure = app_->closures.find(header.task_set);
+    if (closure == app_->closures.end()) continue;  // stale task
+
+    ctx.Compute(app_->options.executor_per_task);
+    TaskRt rt(*app_, ctx, executor_id, node);
+    try {
+      serde::Buffer result = closure->second(rt, header.partition);
+      const Bytes modeled = app_->Modeled(result.size()) + kKiB;
+      ep.SendAsync(ctx, app_->driver_endpoint, kTagTaskDone,
+                   EncodeTaskDone(header.task_set, header.partition, result),
+                   modeled);
+    } catch (const FetchFailed& failed) {
+      ep.SendAsync(ctx, app_->driver_endpoint, kTagTaskFail,
+                   EncodeTaskFail(header.task_set, header.partition,
+                                  failed.shuffle_id));
+    }
+  }
+}
+
+}  // namespace pstk::spark

@@ -1,0 +1,61 @@
+// Block-device cost models.
+//
+// A Disk serializes I/O on a FIFO timeline (aggregate-bandwidth sharing)
+// and additionally degrades when too many operations overlap — modeling
+// the SSD read-contention effect the paper highlights (§III-C cites
+// threshold-based contention control for parallel readers on SSDs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "sim/timeline.h"
+
+namespace pstk::storage {
+
+struct DiskParams {
+  std::string name;
+  Rate read_bandwidth = MBps(500);
+  Rate write_bandwidth = MBps(400);
+  SimTime op_latency = Micros(80);
+  /// Overlapping ops beyond this threshold slow down...
+  std::size_t contention_threshold = 8;
+  /// ...by this fraction per extra overlapping op.
+  double contention_penalty = 0.05;
+
+  /// Comet's 320 GB local scratch SSD (Table I).
+  static DiskParams CometScratchSsd();
+  /// A shared NFS server backed by spinning disks + network head.
+  static DiskParams NfsServer();
+};
+
+class Disk {
+ public:
+  explicit Disk(DiskParams params) : params_(std::move(params)) {}
+
+  /// Issue a read of `bytes` ready at time `t`; returns completion time.
+  SimTime Read(Bytes bytes, SimTime t);
+  SimTime Write(Bytes bytes, SimTime t);
+
+  /// Fault injection: a failed disk rejects I/O (callers check first).
+  void set_failed(bool failed) { failed_ = failed; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  [[nodiscard]] const DiskParams& params() const { return params_; }
+  [[nodiscard]] Bytes bytes_read() const { return bytes_read_; }
+  [[nodiscard]] Bytes bytes_written() const { return bytes_written_; }
+  [[nodiscard]] SimTime busy_time() const { return timeline_.busy_time(); }
+
+ private:
+  SimTime Transfer(Bytes bytes, Rate bandwidth, SimTime t);
+
+  DiskParams params_;
+  sim::Timeline timeline_;
+  sim::ConcurrencyWindow window_;
+  bool failed_ = false;
+  Bytes bytes_read_ = 0;
+  Bytes bytes_written_ = 0;
+};
+
+}  // namespace pstk::storage

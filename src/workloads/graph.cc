@@ -1,0 +1,69 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pstk::workloads {
+
+Graph GenerateGraph(const GraphParams& params) {
+  PSTK_CHECK_MSG(params.vertices >= 2, "graph needs at least two vertices");
+  Rng rng(params.seed);
+  Graph graph;
+  graph.vertices = params.vertices;
+  graph.offsets.reserve(params.vertices + 1);
+  graph.offsets.push_back(0);
+
+  for (VertexId v = 0; v < params.vertices; ++v) {
+    // Out-degree: 1 + geometric-ish spread around the average.
+    const auto degree = static_cast<std::size_t>(
+        1 + rng.Below(static_cast<std::uint64_t>(
+                2.0 * params.average_out_degree - 1.0)));
+    for (std::size_t e = 0; e < degree; ++e) {
+      // Popularity-skewed target (power-law in-degree), avoiding self loops.
+      VertexId target = static_cast<VertexId>(
+          rng.PowerLaw(params.vertices, params.alpha) - 1);
+      if (target == v) target = (target + 1) % params.vertices;
+      graph.targets.push_back(target);
+    }
+    graph.offsets.push_back(graph.targets.size());
+  }
+  return graph;
+}
+
+std::string GraphToAdjacencyText(const Graph& graph) {
+  std::string out;
+  out.reserve(graph.edge_count() * 8 + graph.vertices * 8);
+  for (VertexId v = 0; v < graph.vertices; ++v) {
+    out += std::to_string(v);
+    out += '\t';
+    for (std::uint64_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      if (e != graph.offsets[v]) out += ' ';
+      out += std::to_string(graph.targets[e]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool ParseAdjacencyLine(const std::string& line, VertexId* src,
+                        std::vector<VertexId>* targets) {
+  const auto tab = line.find('\t');
+  if (tab == std::string::npos) return false;
+  *src = static_cast<VertexId>(std::strtoul(line.c_str(), nullptr, 10));
+  targets->clear();
+  std::size_t pos = tab + 1;
+  while (pos < line.size()) {
+    auto space = line.find(' ', pos);
+    if (space == std::string::npos) space = line.size();
+    if (space > pos) {
+      targets->push_back(static_cast<VertexId>(
+          std::strtoul(line.c_str() + pos, nullptr, 10)));
+    }
+    pos = space + 1;
+  }
+  return true;
+}
+
+}  // namespace pstk::workloads

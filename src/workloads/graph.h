@@ -1,0 +1,48 @@
+// Power-law directed graph generator for the PageRank benchmarks
+// (BigDataBench/HiBench use web-graph-shaped inputs; the paper runs on a
+// 1,000,000-vertex dataset).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pstk::workloads {
+
+using VertexId = std::uint32_t;
+
+struct GraphParams {
+  VertexId vertices = 100000;
+  double average_out_degree = 8.0;
+  /// Power-law exponent of the in-degree distribution (web-like ~2.1).
+  double alpha = 2.1;
+  std::uint64_t seed = 1000000;
+};
+
+struct Graph {
+  VertexId vertices = 0;
+  /// CSR-style adjacency: out_edges[offsets[v] .. offsets[v+1]).
+  std::vector<std::uint64_t> offsets;
+  std::vector<VertexId> targets;
+
+  [[nodiscard]] std::uint64_t edge_count() const { return targets.size(); }
+  [[nodiscard]] std::size_t out_degree(VertexId v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+/// Deterministic generation: out-degrees ~ Poisson-ish around the average,
+/// targets drawn with power-law popularity (vertex 0 most popular).
+Graph GenerateGraph(const GraphParams& params);
+
+/// Adjacency-list text form, one line per vertex: "src\tdst dst dst".
+/// This is the on-disk input format the Spark/MR versions parse.
+std::string GraphToAdjacencyText(const Graph& graph);
+
+/// Parse one adjacency line back into (src, targets).
+bool ParseAdjacencyLine(const std::string& line, VertexId* src,
+                        std::vector<VertexId>* targets);
+
+}  // namespace pstk::workloads

@@ -1,0 +1,39 @@
+#include "workloads/pagerank.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pstk::workloads {
+
+std::vector<double> PageRankReference(const Graph& graph, int iterations) {
+  std::vector<double> ranks(graph.vertices, 1.0);
+  std::vector<double> contrib(graph.vertices, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(contrib.begin(), contrib.end(), 0.0);
+    for (VertexId v = 0; v < graph.vertices; ++v) {
+      const std::size_t degree = graph.out_degree(v);
+      if (degree == 0) continue;
+      const double share = ranks[v] / static_cast<double>(degree);
+      for (std::uint64_t e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+        contrib[graph.targets[e]] += share;
+      }
+    }
+    for (VertexId v = 0; v < graph.vertices; ++v) {
+      ranks[v] = kBaseRank + kDamping * contrib[v];
+    }
+  }
+  return ranks;
+}
+
+double MaxRankDelta(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  PSTK_CHECK(a.size() == b.size());
+  double max_delta = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_delta = std::max(max_delta, std::fabs(a[i] - b[i]));
+  }
+  return max_delta;
+}
+
+}  // namespace pstk::workloads

@@ -1,0 +1,26 @@
+// Reference (serial) PageRank and shared constants for the PageRank
+// benchmarks. Both the BigDataBench-style damping (0.15 + 0.85 * sum) and
+// the per-iteration update are exactly what the paper's Fig 5 snippet uses.
+#pragma once
+
+#include <vector>
+
+#include "workloads/graph.h"
+
+namespace pstk::workloads {
+
+inline constexpr double kDamping = 0.85;
+inline constexpr double kBaseRank = 0.15;
+inline constexpr int kDefaultIterations = 10;
+
+/// Serial reference implementation (ground truth for the distributed
+/// versions): ranks start at 1.0; each iteration
+///   rank[v] = 0.15 + 0.85 * sum(rank[u] / out_degree(u)) over u -> v.
+/// Vertices with no outgoing edges contribute nothing (BigDataBench
+/// semantics, matching the paper's Scala snippet).
+std::vector<double> PageRankReference(const Graph& graph, int iterations);
+
+/// Max absolute difference between two rank vectors.
+double MaxRankDelta(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace pstk::workloads

@@ -1,0 +1,108 @@
+#include "workloads/stackexchange.h"
+
+#include <algorithm>
+
+namespace pstk::workloads {
+
+namespace {
+constexpr std::string_view kLorem =
+    "how do i convert a vector of strings into a map when the keys repeat "
+    "and the values must be aggregated across threads without locking the "
+    "whole container every time a worker finishes processing its chunk ";
+}
+
+std::string GenerateStackExchange(const StackExchangeParams& params,
+                                  StackExchangeStats* stats) {
+  Rng rng(params.seed);
+  std::string out;
+  out.reserve(params.target_bytes + 4 * kKiB);
+  StackExchangeStats local;
+
+  std::uint64_t next_id = 1;
+  auto body = [&](std::size_t length) {
+    std::string text;
+    const std::size_t offset = rng.Below(kLorem.size());
+    while (text.size() < length) {
+      const std::size_t take =
+          std::min(length - text.size(), kLorem.size() - offset % kLorem.size());
+      text.append(kLorem.substr(offset % kLorem.size(), take));
+    }
+    std::replace(text.begin(), text.end(), '\t', ' ');
+    return text;
+  };
+
+  while (out.size() < params.target_bytes) {
+    const std::uint64_t question_id = next_id++;
+    const std::size_t len =
+        params.min_body + rng.Below(params.max_body - params.min_body + 1);
+    out += std::to_string(question_id);
+    out += "\tQ\t0\t";
+    out += std::to_string(rng.Below(500));  // score
+    out += '\t';
+    out += body(len);
+    out += '\n';
+    ++local.questions;
+
+    // Power-law answer count with the requested mean: PowerLaw(n, alpha)
+    // concentrated at small values; shift so some questions get zero.
+    const auto raw = rng.PowerLaw(64, 1.6);
+    const auto answers =
+        static_cast<std::uint64_t>(static_cast<double>(raw - 1) *
+                                   params.answers_per_question / 2.2);
+    for (std::uint64_t a = 0; a < answers && out.size() < params.target_bytes;
+         ++a) {
+      const std::uint64_t answer_id = next_id++;
+      const std::size_t alen =
+          params.min_body + rng.Below(params.max_body - params.min_body + 1);
+      out += std::to_string(answer_id);
+      out += "\tA\t";
+      out += std::to_string(question_id);
+      out += '\t';
+      out += std::to_string(rng.Below(200));
+      out += '\t';
+      out += body(alen);
+      out += '\n';
+      ++local.answers;
+    }
+  }
+  local.bytes = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+PostKind ClassifyPost(std::string_view line) {
+  // Format: id \t kind \t parent \t score \t body
+  const auto first_tab = line.find('\t');
+  if (first_tab == std::string_view::npos || first_tab + 1 >= line.size()) {
+    return PostKind::kOther;
+  }
+  switch (line[first_tab + 1]) {
+    case 'Q': return PostKind::kQuestion;
+    case 'A': return PostKind::kAnswer;
+    default: return PostKind::kOther;
+  }
+}
+
+StackExchangeStats CountPosts(std::string_view text, bool skip_partial_first) {
+  StackExchangeStats stats;
+  stats.bytes = text.size();
+  std::size_t pos = 0;
+  if (skip_partial_first) {
+    const auto nl = text.find('\n');
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+  }
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    switch (ClassifyPost(line)) {
+      case PostKind::kQuestion: ++stats.questions; break;
+      case PostKind::kAnswer: ++stats.answers; break;
+      case PostKind::kOther: break;
+    }
+    pos = nl + 1;
+  }
+  return stats;
+}
+
+}  // namespace pstk::workloads

@@ -1,0 +1,55 @@
+// Synthetic StackExchange post dataset (the paper's AnswersCount input).
+//
+// The real benchmark used an 80 GB text dump of stackexchange.com posts and
+// computed the average number of answers per question. The generator
+// produces the same record mix: tab-separated post lines, each either a
+// question or an answer referencing a question, with power-law answer
+// counts and variable body lengths — enough structure for the counting
+// kernel to be non-trivial while byte volume drives the I/O cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace pstk::workloads {
+
+struct StackExchangeParams {
+  Bytes target_bytes = 8 * kMiB;  // actual staged bytes to generate
+  double answers_per_question = 2.6;  // mean of the power-law
+  std::size_t min_body = 40;
+  std::size_t max_body = 220;
+  std::uint64_t seed = 20160926;  // CLUSTER'16 vintage
+};
+
+struct StackExchangeStats {
+  std::uint64_t questions = 0;
+  std::uint64_t answers = 0;
+  Bytes bytes = 0;
+  [[nodiscard]] double AverageAnswers() const {
+    return questions == 0 ? 0.0
+                          : static_cast<double>(answers) /
+                                static_cast<double>(questions);
+  }
+};
+
+/// Generate the dataset; returns the text and fills `stats` (ground truth
+/// for verifying the frameworks' answers).
+std::string GenerateStackExchange(const StackExchangeParams& params,
+                                  StackExchangeStats* stats);
+
+/// Record kind of one line of the dataset.
+enum class PostKind : std::uint8_t { kQuestion, kAnswer, kOther };
+PostKind ClassifyPost(std::string_view line);
+
+/// The AnswersCount kernel over a text fragment: counts questions and
+/// answers in whole lines of `text` (used by the OpenMP/MPI versions which
+/// work on raw byte ranges; `skip_partial_first` implements the usual
+/// "skip to the first newline" convention for non-initial chunks).
+StackExchangeStats CountPosts(std::string_view text,
+                              bool skip_partial_first = false);
+
+}  // namespace pstk::workloads

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "analysis/loc.h"
+
+namespace pstk::analysis {
+namespace {
+
+TEST(LocTest, CountsCodeLinesOnly) {
+  const std::string source = R"(#include <vector>
+
+// a comment line
+int main() {
+  /* block
+     comment */
+  int x = 1;  // trailing comment
+  return x;
+}
+)";
+  const auto report = AnalyzeSource("demo", source, {});
+  // #include, int main() {, int x = 1;, return x;, }
+  EXPECT_EQ(report.code_lines, 5);
+  EXPECT_EQ(report.boilerplate_lines, 0);
+}
+
+TEST(LocTest, BlockCommentSpanningCodeLine) {
+  const std::string source = "int a; /* hi\nstill comment */ int b;\n";
+  const auto report = AnalyzeSource("demo", source, {});
+  EXPECT_EQ(report.code_lines, 2);  // both lines carry code
+}
+
+TEST(LocTest, MarkersFlagBoilerplate) {
+  const std::string source = R"(#include "mpi/mpi.h"
+World world(cluster, 8, 8);
+auto t = world.RunSpmd(body);
+compute();
+)";
+  const auto report =
+      AnalyzeSource("mpi", source, {"#include", "World", "RunSpmd"});
+  EXPECT_EQ(report.code_lines, 4);
+  EXPECT_EQ(report.boilerplate_lines, 3);
+  EXPECT_NEAR(report.BoilerplateShare(), 0.75, 1e-9);
+}
+
+TEST(LocTest, MarkerCountedOncePerLine) {
+  const auto report = AnalyzeSource(
+      "x", "World world = World(World::Make());\n", {"World", "Make"});
+  EXPECT_EQ(report.boilerplate_lines, 1);
+}
+
+TEST(LocTest, ExtractBenchmarkRegion) {
+  const std::string source = R"(scaffolding();
+// BENCHMARK-BEGIN
+real code 1;
+real code 2;
+// BENCHMARK-END
+more scaffolding();
+)";
+  const std::string region = ExtractBenchmarkRegion(source);
+  EXPECT_NE(region.find("real code 1"), std::string::npos);
+  EXPECT_EQ(region.find("scaffolding"), std::string::npos);
+  // Absent markers: whole source returned.
+  EXPECT_EQ(ExtractBenchmarkRegion("abc"), "abc");
+}
+
+TEST(LocTest, AnalyzeMissingFileFails) {
+  const auto report = AnalyzeFile("x", "/no/such/file.cc", {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pstk::analysis

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "sim/engine.h"
+
+namespace pstk::cluster {
+namespace {
+
+TEST(ClusterSpecTest, CometMatchesTableOne) {
+  const ClusterSpec spec = ClusterSpec::Comet(8);
+  EXPECT_EQ(spec.nodes, 8u);
+  EXPECT_EQ(spec.node.cores, 24);           // 2 sockets x 12
+  EXPECT_DOUBLE_EQ(spec.node.clock_ghz, 2.5);
+  EXPECT_DOUBLE_EQ(spec.node.peak_flops, 960e9);
+  EXPECT_EQ(spec.node.memory, 128 * kGiB);
+  EXPECT_EQ(spec.node.scratch_capacity, 320 * kGiB);
+  EXPECT_EQ(spec.transport.name, "rdma-fdr");  // FDR InfiniBand
+}
+
+TEST(ClusterTest, PerNodeScratchIsIndependent) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(3));
+  cluster.scratch(0).Install("/f", "node0");
+  EXPECT_TRUE(cluster.scratch(0).Exists("/f"));
+  EXPECT_FALSE(cluster.scratch(1).Exists("/f"));
+}
+
+TEST(ClusterTest, FabricSharedPerTransport) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(2));
+  auto a = cluster.fabric();
+  auto b = cluster.fabric();
+  EXPECT_EQ(a.get(), b.get());
+  auto eth = cluster.fabric(net::TransportParams::Ethernet10G());
+  EXPECT_NE(a.get(), eth.get());
+  EXPECT_EQ(eth->nodes(), 2u);
+}
+
+TEST(ClusterTest, ComputeTimeScalesWithThreads) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(1));
+  const double flops = 1e12;
+  const SimTime serial = cluster.ComputeTime(flops, 1);
+  const SimTime parallel = cluster.ComputeTime(flops, 24);
+  EXPECT_GT(serial, parallel * 10);   // near-linear speedup
+  EXPECT_LT(serial, parallel * 24);   // but not perfectly linear
+  // Thread counts above the core count saturate.
+  EXPECT_DOUBLE_EQ(cluster.ComputeTime(flops, 24),
+                   cluster.ComputeTime(flops, 48));
+}
+
+TEST(ClusterTest, ModeledScalesBytes) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(1), /*data_scale=*/0.001);
+  EXPECT_EQ(cluster.Modeled(kMiB), 1000 * kMiB);
+  EXPECT_DOUBLE_EQ(cluster.scratch(0).data_scale(), 0.001);
+}
+
+TEST(ClusterTest, FailNodeKillsProcessesAndDisk) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(2));
+  bool survivor_finished = false;
+  bool victim_finished = false;
+  engine.Spawn(
+      "victim",
+      [&](sim::Context& ctx) {
+        ctx.SleepUntil(100.0);
+        victim_finished = true;
+      },
+      /*node=*/1);
+  engine.Spawn(
+      "survivor",
+      [&](sim::Context& ctx) {
+        ctx.SleepUntil(10.0);
+        survivor_finished = true;
+      },
+      /*node=*/0);
+  cluster.FailNode(1, 5.0);
+  auto result = engine.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(survivor_finished);
+  EXPECT_FALSE(victim_finished);
+  EXPECT_TRUE(cluster.NodeFailed(1));
+  EXPECT_FALSE(cluster.NodeFailed(0));
+  EXPECT_TRUE(cluster.scratch_disk(1)->failed());
+  EXPECT_EQ(result.killed, 1u);
+}
+
+}  // namespace
+}  // namespace pstk::cluster

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace pstk {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("no such block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such block");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW({ (void)r.value(); }, StatusError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// --------------------------------------------------------------------------
+// Units
+// --------------------------------------------------------------------------
+
+TEST(UnitsTest, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(GiB(8), 8ull * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, RateHelpers) {
+  // FDR InfiniBand 56 Gbit/s = 7 GB/s.
+  EXPECT_DOUBLE_EQ(Gbps(56), 7e9);
+  EXPECT_DOUBLE_EQ(TransferTime(MiB(1), MBps(1)), 1048576.0 / 1e6);
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(1.5), "1.5s");
+  EXPECT_EQ(FormatDuration(0.0125), "12.5ms");
+  EXPECT_EQ(FormatDuration(3.2e-6), "3.2us");
+  EXPECT_EQ(FormatDuration(5e-9), "5ns");
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(kMiB * 2), "2MiB");
+  EXPECT_EQ(FormatBytes(kGiB * 80), "80GiB");
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differ;
+  }
+  EXPECT_GT(differ, 8);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, PowerLawBoundsAndSkew) {
+  Rng rng(6);
+  std::uint64_t ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.PowerLaw(1000, 2.0);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    if (v == 1) ++ones;
+  }
+  // Power law with alpha=2 concentrates mass at small values.
+  EXPECT_GT(ones, n / 4);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.Split();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// --------------------------------------------------------------------------
+// Stats
+// --------------------------------------------------------------------------
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(SampleTest, ExactQuantiles) {
+  Sample s;
+  for (int i = 1; i <= 101; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Median(), 51.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 101.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 26.0);
+}
+
+TEST(Log2HistogramTest, Buckets) {
+  Log2Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(1024);
+  EXPECT_EQ(h.count(), 5u);
+  ASSERT_GE(h.buckets().size(), 11u);
+  EXPECT_EQ(h.buckets()[0], 2u);   // 0 and 1
+  EXPECT_EQ(h.buckets()[1], 2u);   // 2 and 3
+  EXPECT_EQ(h.buckets()[10], 1u);  // 1024
+}
+
+// --------------------------------------------------------------------------
+// Strings
+// --------------------------------------------------------------------------
+
+TEST(StringsTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, SplitNonEmpty) {
+  const auto parts = SplitNonEmpty("  a b  c ", ' ');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("hdfs://x", "hdfs://"));
+  EXPECT_FALSE(StartsWith("x", "hdfs://"));
+  EXPECT_TRUE(EndsWith("part-00000.txt", ".txt"));
+}
+
+TEST(StringsTest, JoinAndLower) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+}
+
+// --------------------------------------------------------------------------
+// Table
+// --------------------------------------------------------------------------
+
+TEST(TableTest, AsciiLayout) {
+  Table t("Demo");
+  t.SetHeader({"name", "value"});
+  t.Row().Cell("alpha").Cell(std::int64_t{42});
+  t.Row().Cell("beta").Cell(3.14159, 2);
+  const std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t;
+  t.SetHeader({"a", "b"});
+  t.Row().Cell("x,y").Cell("say \"hi\"");
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Config
+// --------------------------------------------------------------------------
+
+TEST(ConfigTest, ParseArgs) {
+  const char* argv[] = {"prog", "nodes=8", "scale=0.25", "rdma=true",
+                        "name=comet"};
+  auto result = Config::FromArgs(5, argv);
+  ASSERT_TRUE(result.ok());
+  const Config& c = result.value();
+  EXPECT_EQ(c.GetInt("nodes", 0), 8);
+  EXPECT_DOUBLE_EQ(c.GetDouble("scale", 0), 0.25);
+  EXPECT_TRUE(c.GetBool("rdma", false));
+  EXPECT_EQ(c.GetString("name", ""), "comet");
+  EXPECT_EQ(c.GetInt("missing", 17), 17);
+}
+
+TEST(ConfigTest, RejectsMalformed) {
+  const char* argv[] = {"prog", "oops"};
+  auto result = Config::FromArgs(2, argv);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pstk

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "omp/omp.h"
+
+namespace pstk::omp {
+namespace {
+
+TEST(OmpTest, ParallelRunsAllThreads) {
+  Runtime rt(4);
+  EXPECT_EQ(rt.num_threads(), 4);
+  std::set<int> seen;
+  std::mutex mu;
+  rt.Parallel([&](ThreadCtx& ctx) {
+    EXPECT_EQ(ctx.num_threads(), 4);
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(ctx.thread_num());
+  });
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(OmpTest, SingleThreadRuntimeWorks) {
+  Runtime rt(1);
+  int runs = 0;
+  rt.Parallel([&](ThreadCtx& ctx) {
+    EXPECT_EQ(ctx.thread_num(), 0);
+    ctx.Single([&] { ++runs; });
+    ctx.Barrier();
+    ++runs;
+  });
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(OmpTest, DefaultsToHardwareConcurrency) {
+  Runtime rt;
+  EXPECT_GE(rt.num_threads(), 1);
+}
+
+TEST(OmpTest, ConsecutiveRegionsReuseThreads) {
+  Runtime rt(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 10; ++i) {
+    rt.Parallel([&](ThreadCtx&) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(OmpTest, BarrierSeparatesPhases) {
+  Runtime rt(4);
+  std::atomic<int> phase1{0};
+  std::vector<int> observed(4, -1);
+  rt.Parallel([&](ThreadCtx& ctx) {
+    phase1.fetch_add(1);
+    ctx.Barrier();
+    observed[ctx.thread_num()] = phase1.load();
+  });
+  for (int v : observed) EXPECT_EQ(v, 4);
+}
+
+TEST(OmpTest, CriticalSerializes) {
+  Runtime rt(8);
+  std::int64_t unguarded = 0;  // mutated only inside Critical
+  rt.ParallelFor(0, 10000, [&](std::int64_t) {
+    // no-op body
+  });
+  rt.Parallel([&](ThreadCtx& ctx) {
+    for (int i = 0; i < 1000; ++i) {
+      ctx.Critical([&] { ++unguarded; });
+    }
+  });
+  EXPECT_EQ(unguarded, 8000);
+}
+
+TEST(OmpTest, SingleRunsExactlyOncePerSite) {
+  Runtime rt(6);
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  rt.Parallel([&](ThreadCtx& ctx) {
+    ctx.Single([&] { first.fetch_add(1); });
+    ctx.Single([&] { second.fetch_add(1); });
+  });
+  EXPECT_EQ(first.load(), 1);
+  EXPECT_EQ(second.load(), 1);
+  // Fresh region: counters reset.
+  rt.Parallel([&](ThreadCtx& ctx) {
+    ctx.Single([&] { first.fetch_add(1); });
+  });
+  EXPECT_EQ(first.load(), 2);
+}
+
+class ScheduleSweep : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ScheduleSweep, ParallelForCoversEveryIterationOnce) {
+  Runtime rt(4);
+  const std::int64_t n = 4321;
+  std::vector<std::atomic<int>> hits(n);
+  rt.ParallelFor(
+      0, n, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; },
+      GetParam(), /*chunk=*/7);
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(ScheduleSweep, RangesPartitionExactly) {
+  Runtime rt(3);
+  const std::int64_t n = 1000;
+  std::atomic<std::int64_t> sum{0};
+  rt.ParallelForRanges(
+      0, n,
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t local = 0;
+        for (std::int64_t i = lo; i < hi; ++i) local += i;
+        sum.fetch_add(local);
+      },
+      GetParam());
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleSweep,
+                         ::testing::Values(Schedule::kStatic,
+                                           Schedule::kDynamic,
+                                           Schedule::kGuided));
+
+TEST(OmpTest, ParallelForEmptyRange) {
+  Runtime rt(4);
+  int runs = 0;
+  rt.ParallelFor(5, 5, [&](std::int64_t) { ++runs; });
+  rt.ParallelFor(7, 3, [&](std::int64_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(OmpTest, ParallelReduceSum) {
+  Runtime rt(8);
+  const std::int64_t n = 100000;
+  const auto sum = rt.ParallelReduce<std::int64_t>(
+      0, n, 0,
+      [](std::int64_t lo, std::int64_t hi) {
+        std::int64_t s = 0;
+        for (std::int64_t i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(OmpTest, ParallelReduceMaxWithDynamicSchedule) {
+  Runtime rt(4);
+  std::vector<int> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int>((i * 2654435761u) % 99991);
+  }
+  const int expected = *std::max_element(data.begin(), data.end());
+  const int got = rt.ParallelReduce<int>(
+      0, static_cast<std::int64_t>(data.size()), 0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        int m = 0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          m = std::max(m, data[static_cast<std::size_t>(i)]);
+        }
+        return m;
+      },
+      [](int a, int b) { return std::max(a, b); }, Schedule::kDynamic, 64);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(OmpTest, TasksAllExecute) {
+  Runtime rt(4);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(rt);
+    for (int i = 0; i < 100; ++i) {
+      group.Run([&] { done.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(done.load(), 100);
+  }
+}
+
+TEST(OmpTest, NestedTasksDrainBeforeWaitReturns) {
+  Runtime rt(4);
+  std::atomic<int> done{0};
+  TaskGroup group(rt);
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&] {
+      done.fetch_add(1);
+      // Spawn children into the same group.
+      for (int j = 0; j < 5; ++j) {
+        group.Run([&] { done.fetch_add(1); });
+      }
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 60);
+}
+
+TEST(OmpTest, TaskGroupDestructorWaits) {
+  Runtime rt(2);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(rt);
+    for (int i = 0; i < 50; ++i) group.Run([&] { done.fetch_add(1); });
+  }  // ~TaskGroup waits
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(OmpTest, RecursiveTaskDecomposition) {
+  // Task-parallel divide and conquer: sum [0, n) by halving.
+  Runtime rt(4);
+  std::atomic<std::int64_t> sum{0};
+  TaskGroup group(rt);
+  std::function<void(std::int64_t, std::int64_t)> split =
+      [&](std::int64_t lo, std::int64_t hi) {
+        if (hi - lo <= 1000) {
+          std::int64_t s = 0;
+          for (std::int64_t i = lo; i < hi; ++i) s += i;
+          sum.fetch_add(s);
+          return;
+        }
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        group.Run([&split, lo, mid] { split(lo, mid); });
+        group.Run([&split, mid, hi] { split(mid, hi); });
+      };
+  const std::int64_t n = 100000;
+  split(0, n);
+  group.Wait();
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(OmpTest, WordCountStyleReduction) {
+  // The AnswersCount-shaped usage: count marker lines in a text block.
+  Runtime rt(4);
+  std::string text;
+  int expected = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 3 == 0) {
+      text += "A:answer line\n";
+      ++expected;
+    } else {
+      text += "Q:question line\n";
+    }
+  }
+  // Split into lines first (serial), then count in parallel.
+  std::vector<std::string_view> lines;
+  std::string_view sv = text;
+  std::size_t pos = 0;
+  while (pos < sv.size()) {
+    const auto nl = sv.find('\n', pos);
+    lines.push_back(sv.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const auto count = rt.ParallelReduce<std::int64_t>(
+      0, static_cast<std::int64_t>(lines.size()), 0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t c = 0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          if (lines[static_cast<std::size_t>(i)].substr(0, 2) == "A:") ++c;
+        }
+        return c;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(count, expected);
+}
+
+}  // namespace
+}  // namespace pstk::omp

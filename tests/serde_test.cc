@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "serde/serde.h"
+
+namespace pstk::serde {
+namespace {
+
+template <typename T>
+void RoundTrip(const T& value) {
+  const Buffer buf = EncodeToBuffer(value);
+  auto back = DecodeFromBuffer<T>(buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), value);
+}
+
+TEST(SerdeTest, Primitives) {
+  RoundTrip<std::int32_t>(-123);
+  RoundTrip<std::uint64_t>(0xDEADBEEFCAFEBABEULL);
+  RoundTrip<double>(3.14159);
+  RoundTrip<bool>(true);
+  RoundTrip<char>('x');
+}
+
+TEST(SerdeTest, Strings) {
+  RoundTrip(std::string(""));
+  RoundTrip(std::string("hello world"));
+  RoundTrip(std::string(10000, 'z'));
+  std::string binary("\x00\x01\xFF", 3);
+  RoundTrip(binary);
+}
+
+TEST(SerdeTest, Pairs) {
+  RoundTrip(std::pair<std::string, std::int64_t>{"answers", 42});
+  RoundTrip(std::pair<double, double>{1.5, -2.5});
+}
+
+TEST(SerdeTest, Tuples) {
+  RoundTrip(std::tuple<int, std::string, double>{7, "seven", 7.7});
+}
+
+TEST(SerdeTest, Vectors) {
+  RoundTrip(std::vector<std::int32_t>{});
+  RoundTrip(std::vector<std::int32_t>{1, 2, 3});
+  RoundTrip(std::vector<std::string>{"a", "", "ccc"});
+  RoundTrip(std::vector<std::pair<std::string, std::int64_t>>{
+      {"q1", 3}, {"q2", 0}});
+}
+
+TEST(SerdeTest, NestedVectors) {
+  RoundTrip(std::vector<std::vector<std::uint64_t>>{{1, 2}, {}, {3}});
+}
+
+TEST(SerdeTest, VarintBoundaries) {
+  Writer w;
+  const std::vector<std::uint64_t> values = {
+      0, 1, 127, 128, 16383, 16384, (1ULL << 32), ~0ULL};
+  for (auto v : values) w.WriteVarint(v);
+  Reader r(w.buffer());
+  for (auto v : values) {
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, UnderrunDetected) {
+  const Buffer buf = EncodeToBuffer<std::uint64_t>(5);
+  Buffer truncated(buf.begin(), buf.begin() + 3);
+  auto res = DecodeFromBuffer<std::uint64_t>(truncated);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, TrailingBytesDetected) {
+  Buffer buf = EncodeToBuffer<std::uint32_t>(5);
+  buf.push_back(0);
+  auto res = DecodeFromBuffer<std::uint32_t>(buf);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(SerdeTest, CorruptStringLengthDetected) {
+  Writer w;
+  w.WriteVarint(1000);  // claims 1000 bytes, provides none
+  auto res = DecodeFromBuffer<std::string>(w.buffer());
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, EncodedSizeMatchesBuffer) {
+  const std::vector<std::string> v{"abc", "defg"};
+  EXPECT_EQ(EncodedSize(v), EncodeToBuffer(v).size());
+}
+
+// Property-style sweep: random vectors of pairs round-trip for many sizes.
+class SerdeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerdeSweep, RandomKvVectorsRoundTrip) {
+  const int n = GetParam();
+  std::vector<std::pair<std::string, std::uint64_t>> kv;
+  kv.reserve(n);
+  std::uint64_t state = 88172645463325252ULL + n;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < n; ++i) {
+    std::string key(next() % 32, 'a' + static_cast<char>(next() % 26));
+    kv.emplace_back(std::move(key), next());
+  }
+  RoundTrip(kv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerdeSweep,
+                         ::testing::Values(0, 1, 2, 16, 100, 1000));
+
+}  // namespace
+}  // namespace pstk::serde

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "shmem/shmem.h"
+#include "sim/engine.h"
+
+namespace pstk::shmem {
+namespace {
+
+struct ShmemFixture {
+  explicit ShmemFixture(std::size_t nodes = 4) {
+    cluster = std::make_unique<cluster::Cluster>(
+        engine, cluster::ClusterSpec::Comet(nodes));
+  }
+  sim::Engine engine;
+  std::unique_ptr<cluster::Cluster> cluster;
+};
+
+TEST(ShmemTest, PesSeeIdentityAndPlacement) {
+  ShmemFixture f;
+  ShmemWorld world(*f.cluster, 8, 2);
+  std::vector<int> seen(8, -1);
+  auto t = world.RunSpmd([&](Pe& pe) {
+    EXPECT_EQ(pe.n_pes(), 8);
+    seen[pe.my_pe()] = pe.ctx().node();
+  });
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  for (int p = 0; p < 8; ++p) EXPECT_EQ(seen[p], p / 2);
+}
+
+TEST(ShmemTest, SymmetricAllocationSameOffsetEverywhere) {
+  ShmemFixture f;
+  ShmemWorld world(*f.cluster, 4, 1);
+  std::vector<Bytes> offsets(4, 12345);
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto a = pe.Malloc<std::int64_t>(16);
+    auto b = pe.Malloc<double>(8);
+    EXPECT_NE(a.offset, b.offset);
+    offsets[pe.my_pe()] = b.offset;
+  });
+  ASSERT_TRUE(t.ok());
+  for (int p = 1; p < 4; ++p) EXPECT_EQ(offsets[p], offsets[0]);
+}
+
+TEST(ShmemTest, PutThenBarrierVisibleRemotely) {
+  ShmemFixture f;
+  ShmemWorld world(*f.cluster, 4, 2);
+  std::vector<std::int64_t> got(4, -1);
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto slot = pe.Malloc<std::int64_t>(1);
+    *pe.Local(slot) = -7;
+    pe.BarrierAll();
+    // Each PE writes its id into the next PE's slot.
+    const int target = (pe.my_pe() + 1) % pe.n_pes();
+    pe.PutValue<std::int64_t>(slot, pe.my_pe(), target);
+    pe.BarrierAll();
+    got[pe.my_pe()] = *pe.Local(slot);
+  });
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(got[p], (p + 3) % 4);  // written by the left neighbor
+  }
+}
+
+TEST(ShmemTest, GetReadsRemoteValue) {
+  ShmemFixture f;
+  ShmemWorld world(*f.cluster, 2, 1);
+  std::int64_t fetched = 0;
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto slot = pe.Malloc<std::int64_t>(1);
+    *pe.Local(slot) = 100 + pe.my_pe();
+    pe.BarrierAll();
+    if (pe.my_pe() == 0) fetched = pe.GetValue(slot, 1);
+  });
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(fetched, 101);
+}
+
+TEST(ShmemTest, BulkPutGetArrays) {
+  ShmemFixture f;
+  ShmemWorld world(*f.cluster, 2, 1);
+  std::vector<std::int64_t> readback(64, 0);
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto array = pe.Malloc<std::int64_t>(64);
+    pe.BarrierAll();
+    if (pe.my_pe() == 0) {
+      std::vector<std::int64_t> data(64);
+      std::iota(data.begin(), data.end(), 1000);
+      pe.Put<std::int64_t>(array, data, /*target=*/1);
+      pe.Quiet();
+    }
+    pe.BarrierAll();
+    if (pe.my_pe() == 1) {
+      // Read back through a get from PE 1's own heap via PE 0's handle...
+      // simply check the local view.
+      std::copy_n(pe.Local(array), 64, readback.begin());
+    }
+  });
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(readback[0], 1000);
+  EXPECT_EQ(readback[63], 1063);
+}
+
+TEST(ShmemTest, AtomicFetchAddSerializesCounters) {
+  ShmemFixture f;
+  const int npes = 8;
+  ShmemWorld world(*f.cluster, npes, 2);
+  std::vector<std::int64_t> tickets(npes, -1);
+  std::int64_t final_value = -1;
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto counter = pe.Malloc<std::int64_t>(1);
+    *pe.Local(counter) = 0;
+    pe.BarrierAll();
+    tickets[pe.my_pe()] = pe.AtomicFetchAdd(counter, 1, /*target=*/0);
+    pe.BarrierAll();
+    if (pe.my_pe() == 0) final_value = *pe.Local(counter);
+  });
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(final_value, npes);
+  std::sort(tickets.begin(), tickets.end());
+  for (int i = 0; i < npes; ++i) EXPECT_EQ(tickets[i], i);  // unique tickets
+}
+
+TEST(ShmemTest, AtomicCompareSwap) {
+  ShmemFixture f;
+  ShmemWorld world(*f.cluster, 4, 1);
+  std::vector<std::int64_t> winners;
+  std::mutex mu;
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto lock_word = pe.Malloc<std::int64_t>(1);
+    *pe.Local(lock_word) = 0;
+    pe.BarrierAll();
+    const std::int64_t old =
+        pe.AtomicCompareSwap(lock_word, 0, pe.my_pe() + 1, /*target=*/0);
+    if (old == 0) {
+      std::lock_guard<std::mutex> g(mu);
+      winners.push_back(pe.my_pe());
+    }
+  });
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(winners.size(), 1u);  // exactly one CAS succeeds
+}
+
+TEST(ShmemTest, WaitUntilBlocksUntilFlagSet) {
+  ShmemFixture f;
+  ShmemWorld world(*f.cluster, 2, 1);
+  SimTime wake_time = 0;
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto flag = pe.Malloc<std::int64_t>(1);
+    *pe.Local(flag) = 0;
+    pe.BarrierAll();
+    if (pe.my_pe() == 0) {
+      pe.ctx().SleepFor(2.0);
+      pe.PutValue<std::int64_t>(flag, 42, /*target=*/1);
+      pe.Quiet();
+    } else {
+      pe.WaitUntil(flag, Cmp::kEq, 42);
+      wake_time = pe.ctx().now();
+      EXPECT_EQ(*pe.Local(flag), 42);
+    }
+  });
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_GE(wake_time, 2.0);
+}
+
+TEST(ShmemTest, BroadcastAllDistributesRootData) {
+  ShmemFixture f;
+  const int npes = 8;
+  ShmemWorld world(*f.cluster, npes, 2);
+  std::vector<std::int64_t> got(npes, -1);
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto data = pe.Malloc<std::int64_t>(4);
+    if (pe.my_pe() == 3) {
+      for (int i = 0; i < 4; ++i) pe.Local(data)[i] = 900 + i;
+    }
+    pe.BarrierAll();
+    pe.BroadcastAll(data, /*root=*/3);
+    pe.BarrierAll();
+    got[pe.my_pe()] = pe.Local(data)[3];
+  });
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  for (int p = 0; p < npes; ++p) EXPECT_EQ(got[p], 903);
+}
+
+TEST(ShmemTest, SumToAllReduces) {
+  ShmemFixture f;
+  const int npes = 6;
+  ShmemWorld world(*f.cluster, npes, 2);
+  std::vector<std::int64_t> sums(npes, -1);
+  auto t = world.RunSpmd([&](Pe& pe) {
+    auto src = pe.Malloc<std::int64_t>(2);
+    auto dst = pe.Malloc<std::int64_t>(2);
+    pe.Local(src)[0] = pe.my_pe();
+    pe.Local(src)[1] = 1;
+    pe.BarrierAll();
+    pe.SumToAll(dst, src, 2);
+    pe.BarrierAll();
+    EXPECT_EQ(pe.Local(dst)[1], npes);
+    sums[pe.my_pe()] = pe.Local(dst)[0];
+  });
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  for (int p = 0; p < npes; ++p) EXPECT_EQ(sums[p], 15);  // 0+..+5
+}
+
+TEST(ShmemTest, SmallPutsCheaperThanEagerMessagePingPong) {
+  // The survey's claim: many small one-sided puts beat two-sided messaging
+  // because there is no receiver CPU involvement or matching.
+  ShmemFixture f(2);
+  SimTime put_elapsed = 0;
+  {
+    sim::Engine engine;
+    cluster::Cluster cl(engine, cluster::ClusterSpec::Comet(2));
+    ShmemWorld world(cl, 2, 1);
+    auto t = world.RunSpmd([&](Pe& pe) {
+      auto array = pe.Malloc<std::int64_t>(1024);
+      pe.BarrierAll();
+      const SimTime start = pe.ctx().now();
+      if (pe.my_pe() == 0) {
+        for (int i = 0; i < 1024; ++i) {
+          pe.PutValue<std::int64_t>(array.at(i), i, 1);
+        }
+        pe.Quiet();
+        put_elapsed = pe.ctx().now() - start;
+      }
+    });
+    ASSERT_TRUE(t.ok());
+  }
+  // 1024 puts of 8 bytes each over RDMA should take well under 1 ms
+  // aggregate (pipelined, ~0.3 us CPU each).
+  EXPECT_LT(put_elapsed, Millis(2));
+  EXPECT_GT(put_elapsed, 0.0);
+}
+
+TEST(ShmemDeathTest, AsymmetricMallocCaught) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::Engine engine;
+        cluster::Cluster cl(engine, cluster::ClusterSpec::Comet(2));
+        ShmemWorld world(cl, 2, 1);
+        (void)world.RunSpmd([&](Pe& pe) {
+          (void)pe.Malloc<std::int64_t>(pe.my_pe() == 0 ? 4 : 8);
+          pe.BarrierAll();
+        });
+      },
+      "asymmetric");
+}
+
+}  // namespace
+}  // namespace pstk::shmem

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/timeline.h"
+
+namespace pstk::sim {
+namespace {
+
+TEST(EngineTest, SingleProcessAdvancesClock) {
+  Engine engine;
+  SimTime end = -1;
+  engine.Spawn("solo", [&](Context& ctx) {
+    ctx.Compute(1.5);
+    ctx.Compute(0.5);
+    end = ctx.now();
+  });
+  auto result = engine.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_DOUBLE_EQ(end, 2.0);
+  EXPECT_DOUBLE_EQ(result.end_time, 2.0);
+  EXPECT_EQ(result.completed, 1u);
+}
+
+TEST(EngineTest, SleepUntilAdvances) {
+  Engine engine;
+  SimTime observed = 0;
+  engine.Spawn("sleeper", [&](Context& ctx) {
+    ctx.SleepUntil(10.0);
+    observed = ctx.now();
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(observed, 10.0);
+}
+
+TEST(EngineTest, SleepForIsRelative) {
+  Engine engine;
+  SimTime observed = 0;
+  engine.Spawn("sleeper", [&](Context& ctx) {
+    ctx.Compute(2.0);
+    ctx.SleepFor(3.0);
+    observed = ctx.now();
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(observed, 5.0);
+}
+
+TEST(EngineTest, MinClockDispatchOrder) {
+  // Three processes with different compute times interleave in virtual-time
+  // order, not creation order.
+  Engine engine;
+  std::vector<std::string> order;
+  auto worker = [&](double step, const std::string& tag) {
+    return [&, step, tag](Context& ctx) {
+      for (int i = 0; i < 3; ++i) {
+        ctx.Compute(step);
+        // Force a scheduling point so interleaving is observable.
+        ctx.Yield();
+        order.push_back(tag + std::to_string(i));
+      }
+    };
+  };
+  engine.Spawn("slow", worker(10.0, "s"));
+  engine.Spawn("fast", worker(1.0, "f"));
+  ASSERT_TRUE(engine.Run().status.ok());
+  ASSERT_EQ(order.size(), 6u);
+  // fast finishes all three steps (t=1,2,3) before slow's first (t=10).
+  EXPECT_EQ(order[0], "f0");
+  EXPECT_EQ(order[1], "f1");
+  EXPECT_EQ(order[2], "f2");
+  EXPECT_EQ(order[3], "s0");
+}
+
+TEST(EngineTest, BlockAndWake) {
+  Engine engine;
+  SimTime resumed = 0;
+  const Pid waiter = engine.Spawn("waiter", [&](Context& ctx) {
+    resumed = ctx.Block("test wait");
+  });
+  engine.Spawn("waker", [&, waiter](Context& ctx) {
+    ctx.Compute(4.0);
+    ctx.engine().Wake(waiter, ctx.now());
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(resumed, 4.0);
+}
+
+TEST(EngineTest, WakeTimeNeverRewindsClock) {
+  Engine engine;
+  SimTime resumed = 0;
+  const Pid waiter = engine.Spawn("waiter", [&](Context& ctx) {
+    ctx.Compute(9.0);
+    resumed = ctx.Block("test wait");
+  });
+  engine.Spawn("waker", [&, waiter](Context& ctx) {
+    ctx.Compute(1.0);
+    ctx.engine().Wake(waiter, ctx.now());  // wake time 1.0 < waiter clock 9.0
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(resumed, 9.0);
+}
+
+TEST(EngineTest, BlockUntilWakesEarlierOnSignal) {
+  Engine engine;
+  SimTime resumed = 0;
+  const Pid waiter = engine.Spawn("waiter", [&](Context& ctx) {
+    resumed = ctx.BlockUntil(100.0, "poll");
+  });
+  engine.Spawn("waker", [&, waiter](Context& ctx) {
+    ctx.Compute(2.5);
+    ctx.engine().Wake(waiter, ctx.now());
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(resumed, 2.5);
+}
+
+TEST(EngineTest, BlockUntilTimesOutWithoutSignal) {
+  Engine engine;
+  SimTime resumed = 0;
+  engine.Spawn("waiter", [&](Context& ctx) {
+    resumed = ctx.BlockUntil(7.0, "poll");
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(resumed, 7.0);
+}
+
+TEST(EngineTest, ConditionNotifyAll) {
+  Engine engine;
+  Condition cond;
+  int released = 0;
+  for (int i = 0; i < 5; ++i) {
+    engine.Spawn("w" + std::to_string(i), [&](Context& ctx) {
+      cond.Wait(ctx, "cond");
+      ++released;
+      EXPECT_DOUBLE_EQ(ctx.now(), 3.0);
+    });
+  }
+  engine.Spawn("notifier", [&](Context& ctx) {
+    ctx.Compute(3.0);
+    cond.NotifyAll(ctx.engine(), ctx.now());
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_EQ(released, 5);
+}
+
+TEST(EngineTest, ConditionNotifyOneIsFifo) {
+  Engine engine;
+  Condition cond;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn("w" + std::to_string(i), [&, i](Context& ctx) {
+      ctx.Compute(i * 0.1);  // stagger arrival
+      cond.Wait(ctx, "cond");
+      order.push_back(i);
+      // Chain: release the next one.
+      cond.NotifyOne(ctx.engine(), ctx.now());
+    });
+  }
+  engine.Spawn("kick", [&](Context& ctx) {
+    ctx.Compute(1.0);
+    cond.NotifyOne(ctx.engine(), ctx.now());
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(EngineTest, DeadlockDetected) {
+  Engine engine;
+  engine.Spawn("stuck", [](Context& ctx) { ctx.Block("never woken"); });
+  auto result = engine.Run();
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_NE(result.status.message().find("never woken"), std::string::npos);
+}
+
+TEST(EngineTest, ScheduledEventRuns) {
+  Engine engine;
+  SimTime seen = -1;
+  engine.ScheduleEvent(5.0, [&] { seen = 5.0; });
+  engine.Spawn("bystander", [](Context& ctx) { ctx.SleepUntil(10.0); });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EngineTest, KillUnwindsProcess) {
+  Engine engine;
+  bool cleanup_ran = false;
+  bool after_block = false;
+  const Pid victim = engine.Spawn("victim", [&](Context& ctx) {
+    struct Cleanup {
+      bool* flag;
+      ~Cleanup() { *flag = true; }
+    } cleanup{&cleanup_ran};
+    ctx.Block("waiting forever");
+    after_block = true;  // must never execute
+  });
+  engine.Kill(victim, 2.0);
+  auto result = engine.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(cleanup_ran);
+  EXPECT_FALSE(after_block);
+  EXPECT_EQ(result.killed, 1u);
+  EXPECT_FALSE(engine.IsAlive(victim));
+}
+
+TEST(EngineTest, KillBeforeFirstDispatch) {
+  Engine engine;
+  bool ran = false;
+  const Pid victim = engine.SpawnAt(5.0, "late", [&](Context&) { ran = true; });
+  engine.Kill(victim, 1.0);
+  auto result = engine.Run();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(result.killed, 1u);
+}
+
+TEST(EngineTest, SpawnFromProcessInheritsClock) {
+  Engine engine;
+  SimTime child_start = -1;
+  engine.Spawn("parent", [&](Context& ctx) {
+    ctx.Compute(6.0);
+    ctx.engine().Spawn("child",
+                       [&](Context& c) { child_start = c.now(); });
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_DOUBLE_EQ(child_start, 6.0);
+}
+
+TEST(EngineTest, ExceptionInProcessPropagates) {
+  Engine engine;
+  engine.Spawn("thrower", [](Context& ctx) {
+    ctx.Compute(1.0);
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(engine.Run(), std::runtime_error);
+}
+
+TEST(EngineTest, DeterministicReplay) {
+  auto run_once = [] {
+    Engine engine(42);
+    std::vector<std::pair<SimTime, int>> log;
+    Condition cond;
+    for (int i = 0; i < 8; ++i) {
+      engine.Spawn("p" + std::to_string(i), [&, i](Context& ctx) {
+        ctx.Compute(ctx.rng().Uniform(0.0, 1.0));
+        log.emplace_back(ctx.now(), i);
+        ctx.SleepFor(ctx.rng().Uniform(0.0, 0.5));
+        log.emplace_back(ctx.now(), i);
+      });
+    }
+    auto result = engine.Run();
+    EXPECT_TRUE(result.status.ok());
+    return log;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(EngineTest, TraceRecordsEvents) {
+  Engine engine;
+  engine.EnableTrace(true);
+  engine.Spawn("tracer", [](Context& ctx) {
+    ctx.Compute(1.0);
+    ctx.Trace("phase", "one");
+    ctx.Compute(1.0);
+    ctx.Trace("phase", "two");
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  ASSERT_EQ(engine.trace().size(), 2u);
+  EXPECT_DOUBLE_EQ(engine.trace()[0].time, 1.0);
+  EXPECT_EQ(engine.trace()[1].detail, "two");
+}
+
+TEST(EngineTest, ManyProcesses) {
+  Engine engine;
+  std::atomic<int> done{0};
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    engine.Spawn("p" + std::to_string(i), [&, i](Context& ctx) {
+      ctx.Compute(0.001 * i);
+      ++done;
+    });
+  }
+  auto result = engine.Run();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(done.load(), n);
+}
+
+// --------------------------------------------------------------------------
+// Timeline
+// --------------------------------------------------------------------------
+
+TEST(TimelineTest, SerializesOverlappingOps) {
+  Timeline tl;
+  EXPECT_DOUBLE_EQ(tl.Acquire(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.Acquire(0.0, 2.0), 4.0);  // queued behind first
+  EXPECT_DOUBLE_EQ(tl.Acquire(10.0, 1.0), 11.0);  // idle gap
+  EXPECT_DOUBLE_EQ(tl.busy_time(), 5.0);
+  EXPECT_EQ(tl.op_count(), 3u);
+}
+
+TEST(TimelineTest, PeekDoesNotReserve) {
+  Timeline tl;
+  EXPECT_DOUBLE_EQ(tl.Peek(0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(tl.Peek(0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(tl.next_free(), 0.0);
+}
+
+TEST(TimelineTest, FairShareEquivalence) {
+  // k equal ops issued together complete at k * d, like processor sharing.
+  Timeline tl;
+  const int k = 4;
+  SimTime last = 0;
+  for (int i = 0; i < k; ++i) last = tl.Acquire(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(last, 4.0);
+}
+
+TEST(ChannelBankTest, ParallelChannels) {
+  ChannelBank bank(2);
+  EXPECT_DOUBLE_EQ(bank.Acquire(0.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(bank.Acquire(0.0, 5.0), 5.0);   // second channel
+  EXPECT_DOUBLE_EQ(bank.Acquire(0.0, 5.0), 10.0);  // queues
+}
+
+TEST(ConcurrencyWindowTest, CountsOverlaps) {
+  ConcurrencyWindow win;
+  EXPECT_EQ(win.Record(0.0, 2.0), 0u);
+  EXPECT_EQ(win.Record(1.0, 3.0), 1u);
+  EXPECT_EQ(win.active_at(1.5), 2u);
+  // Non-overlapping later op: prior spans are pruned (starts nondecreasing).
+  EXPECT_EQ(win.Record(5.0, 6.0), 0u);
+  EXPECT_EQ(win.active_at(4.0), 0u);
+  EXPECT_EQ(win.active_at(5.5), 1u);
+}
+
+}  // namespace
+}  // namespace pstk::sim

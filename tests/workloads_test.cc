@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/graph.h"
+#include "workloads/pagerank.h"
+#include "workloads/stackexchange.h"
+
+namespace pstk::workloads {
+namespace {
+
+// --------------------------------------------------------------------------
+// StackExchange generator + AnswersCount kernel
+// --------------------------------------------------------------------------
+
+TEST(StackExchangeTest, GeneratesRequestedVolume) {
+  StackExchangeParams params;
+  params.target_bytes = 256 * kKiB;
+  StackExchangeStats stats;
+  const std::string data = GenerateStackExchange(params, &stats);
+  EXPECT_GE(data.size(), params.target_bytes);
+  EXPECT_LE(data.size(), params.target_bytes + 4 * kKiB);
+  EXPECT_GT(stats.questions, 100u);
+  EXPECT_GT(stats.answers, 100u);
+  EXPECT_EQ(stats.bytes, data.size());
+}
+
+TEST(StackExchangeTest, DeterministicForSeed) {
+  StackExchangeParams params;
+  params.target_bytes = 64 * kKiB;
+  const std::string a = GenerateStackExchange(params, nullptr);
+  const std::string b = GenerateStackExchange(params, nullptr);
+  EXPECT_EQ(a, b);
+  params.seed += 1;
+  const std::string c = GenerateStackExchange(params, nullptr);
+  EXPECT_NE(a, c);
+}
+
+TEST(StackExchangeTest, CountKernelMatchesGeneratorStats) {
+  StackExchangeParams params;
+  params.target_bytes = 128 * kKiB;
+  StackExchangeStats truth;
+  const std::string data = GenerateStackExchange(params, &truth);
+  const StackExchangeStats counted = CountPosts(data);
+  EXPECT_EQ(counted.questions, truth.questions);
+  EXPECT_EQ(counted.answers, truth.answers);
+}
+
+TEST(StackExchangeTest, ChunkedCountMatchesWholeFile) {
+  // The MPI/OpenMP pattern: split at arbitrary byte offsets, chunk k>0
+  // skips its partial first line and reads through the end of its last.
+  StackExchangeParams params;
+  params.target_bytes = 96 * kKiB;
+  StackExchangeStats truth;
+  const std::string data = GenerateStackExchange(params, &truth);
+
+  const int chunks = 7;
+  StackExchangeStats total;
+  for (int c = 0; c < chunks; ++c) {
+    const std::size_t lo = data.size() * c / chunks;
+    std::size_t hi = data.size() * (c + 1) / chunks;
+    // Extend to the end of the line containing hi-1.
+    if (hi < data.size()) {
+      const auto nl = data.find('\n', hi);
+      hi = nl == std::string::npos ? data.size() : nl + 1;
+    }
+    std::size_t ext_lo = lo;
+    if (lo > 0) {
+      // The previous chunk consumed through the end of the line crossing
+      // its boundary; we skip our partial first line to match.
+      const auto counted = CountPosts(
+          std::string_view(data).substr(ext_lo, hi - ext_lo), true);
+      total.questions += counted.questions;
+      total.answers += counted.answers;
+      continue;
+    }
+    const auto counted =
+        CountPosts(std::string_view(data).substr(lo, hi - lo), false);
+    total.questions += counted.questions;
+    total.answers += counted.answers;
+  }
+  EXPECT_EQ(total.questions, truth.questions);
+  EXPECT_EQ(total.answers, truth.answers);
+}
+
+TEST(StackExchangeTest, ClassifyPost) {
+  EXPECT_EQ(ClassifyPost("12\tQ\t0\t5\tbody"), PostKind::kQuestion);
+  EXPECT_EQ(ClassifyPost("13\tA\t12\t1\tbody"), PostKind::kAnswer);
+  EXPECT_EQ(ClassifyPost("garbage line"), PostKind::kOther);
+  EXPECT_EQ(ClassifyPost(""), PostKind::kOther);
+}
+
+// --------------------------------------------------------------------------
+// Graph generator
+// --------------------------------------------------------------------------
+
+TEST(GraphTest, GeneratesRequestedShape) {
+  GraphParams params;
+  params.vertices = 5000;
+  params.average_out_degree = 6.0;
+  const Graph graph = GenerateGraph(params);
+  EXPECT_EQ(graph.vertices, 5000u);
+  EXPECT_EQ(graph.offsets.size(), 5001u);
+  const double avg = static_cast<double>(graph.edge_count()) / 5000.0;
+  EXPECT_GT(avg, 3.0);
+  EXPECT_LT(avg, 9.0);
+  // Every vertex has at least one out edge; targets in range.
+  for (VertexId v = 0; v < graph.vertices; ++v) {
+    EXPECT_GE(graph.out_degree(v), 1u);
+  }
+  for (VertexId t : graph.targets) EXPECT_LT(t, graph.vertices);
+}
+
+TEST(GraphTest, PowerLawSkewsInDegree) {
+  GraphParams params;
+  params.vertices = 20000;
+  const Graph graph = GenerateGraph(params);
+  std::vector<std::uint64_t> in_degree(graph.vertices, 0);
+  for (VertexId t : graph.targets) ++in_degree[t];
+  // Low-id vertices are far more popular than the median vertex.
+  std::uint64_t head = 0;
+  for (VertexId v = 0; v < 20; ++v) head += in_degree[v];
+  std::uint64_t mid = 0;
+  for (VertexId v = 10000; v < 10020; ++v) mid += in_degree[v];
+  EXPECT_GT(head, 10 * (mid + 1));
+}
+
+TEST(GraphTest, AdjacencyTextRoundTrips) {
+  GraphParams params;
+  params.vertices = 200;
+  const Graph graph = GenerateGraph(params);
+  const std::string text = GraphToAdjacencyText(graph);
+
+  std::uint64_t edges = 0;
+  std::set<VertexId> sources;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    VertexId src = 0;
+    std::vector<VertexId> targets;
+    ASSERT_TRUE(ParseAdjacencyLine(line, &src, &targets));
+    sources.insert(src);
+    edges += targets.size();
+    // Spot-check against the CSR form.
+    EXPECT_EQ(targets.size(), graph.out_degree(src));
+  }
+  EXPECT_EQ(sources.size(), 200u);
+  EXPECT_EQ(edges, graph.edge_count());
+}
+
+// --------------------------------------------------------------------------
+// PageRank reference
+// --------------------------------------------------------------------------
+
+TEST(PageRankTest, UniformRingConverges) {
+  // A directed ring: every vertex has in/out degree 1; ranks stay uniform.
+  Graph ring;
+  ring.vertices = 10;
+  ring.offsets.push_back(0);
+  for (VertexId v = 0; v < 10; ++v) {
+    ring.targets.push_back((v + 1) % 10);
+    ring.offsets.push_back(ring.targets.size());
+  }
+  const auto ranks = PageRankReference(ring, 20);
+  for (double r : ranks) EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, PopularVertexRanksHigher) {
+  GraphParams params;
+  params.vertices = 2000;
+  const Graph graph = GenerateGraph(params);
+  const auto ranks = PageRankReference(graph, kDefaultIterations);
+  // Vertex 0 (most popular by construction) outranks the median vertex.
+  EXPECT_GT(ranks[0], ranks[1000] * 5);
+  // All ranks at least the base value.
+  for (double r : ranks) EXPECT_GE(r, kBaseRank - 1e-12);
+}
+
+TEST(PageRankTest, MaxRankDelta) {
+  EXPECT_DOUBLE_EQ(MaxRankDelta({1.0, 2.0}, {1.0, 2.5}), 0.5);
+  EXPECT_DOUBLE_EQ(MaxRankDelta({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace pstk::workloads
