@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_persist.cc" "bench/CMakeFiles/ablation_persist.dir/ablation_persist.cc.o" "gcc" "bench/CMakeFiles/ablation_persist.dir/ablation_persist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pstk_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/pstk_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/pstk_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pstk_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pstk_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pstk_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pstk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pstk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/pstk_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pstk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_persist.dir/ablation_persist.cc.o"
+  "CMakeFiles/ablation_persist.dir/ablation_persist.cc.o.d"
+  "ablation_persist"
+  "ablation_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shmem.dir/ablation_shmem.cc.o"
+  "CMakeFiles/ablation_shmem.dir/ablation_shmem.cc.o.d"
+  "ablation_shmem"
+  "ablation_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_reduce.dir/fig3_reduce.cc.o"
+  "CMakeFiles/fig3_reduce.dir/fig3_reduce.cc.o.d"
+  "fig3_reduce"
+  "fig3_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

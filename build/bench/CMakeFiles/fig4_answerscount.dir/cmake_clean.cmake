@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_answerscount.dir/fig4_answerscount.cc.o"
+  "CMakeFiles/fig4_answerscount.dir/fig4_answerscount.cc.o.d"
+  "fig4_answerscount"
+  "fig4_answerscount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_answerscount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pagerank_bdb.dir/fig6_pagerank_bdb.cc.o"
+  "CMakeFiles/fig6_pagerank_bdb.dir/fig6_pagerank_bdb.cc.o.d"
+  "fig6_pagerank_bdb"
+  "fig6_pagerank_bdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pagerank_bdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

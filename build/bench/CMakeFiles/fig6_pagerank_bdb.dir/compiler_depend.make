@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_pagerank_bdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pagerank_hibench.dir/fig7_pagerank_hibench.cc.o"
+  "CMakeFiles/fig7_pagerank_hibench.dir/fig7_pagerank_hibench.cc.o.d"
+  "fig7_pagerank_hibench"
+  "fig7_pagerank_hibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pagerank_hibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

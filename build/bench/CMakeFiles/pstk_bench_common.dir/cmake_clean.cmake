@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_bench_common.dir/pagerank_common.cc.o"
+  "CMakeFiles/pstk_bench_common.dir/pagerank_common.cc.o.d"
+  "libpstk_bench_common.a"
+  "libpstk_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fileread.dir/table2_fileread.cc.o"
+  "CMakeFiles/table2_fileread.dir/table2_fileread.cc.o.d"
+  "table2_fileread"
+  "table2_fileread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fileread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

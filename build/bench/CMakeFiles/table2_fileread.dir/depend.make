@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_fileread.
+# This may be replaced when dependencies are built.

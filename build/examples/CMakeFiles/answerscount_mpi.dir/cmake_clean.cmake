@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answerscount_mpi.dir/answerscount_mpi.cpp.o"
+  "CMakeFiles/answerscount_mpi.dir/answerscount_mpi.cpp.o.d"
+  "answerscount_mpi"
+  "answerscount_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answerscount_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answerscount_mr.dir/answerscount_mr.cpp.o"
+  "CMakeFiles/answerscount_mr.dir/answerscount_mr.cpp.o.d"
+  "answerscount_mr"
+  "answerscount_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answerscount_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answerscount_omp.dir/answerscount_omp.cpp.o"
+  "CMakeFiles/answerscount_omp.dir/answerscount_omp.cpp.o.d"
+  "answerscount_omp"
+  "answerscount_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answerscount_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

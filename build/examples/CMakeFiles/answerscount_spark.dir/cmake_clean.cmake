@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answerscount_spark.dir/answerscount_spark.cpp.o"
+  "CMakeFiles/answerscount_spark.dir/answerscount_spark.cpp.o.d"
+  "answerscount_spark"
+  "answerscount_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answerscount_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for answerscount_spark.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_spark.dir/pagerank_spark.cpp.o"
+  "CMakeFiles/pagerank_spark.dir/pagerank_spark.cpp.o.d"
+  "pagerank_spark"
+  "pagerank_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "nodes=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_answerscount_omp "/root/repo/build/examples/answerscount_omp" "threads=4" "mb=2")
+set_tests_properties(example_answerscount_omp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_answerscount_mpi "/root/repo/build/examples/answerscount_mpi" "nodes=2" "ppn=4" "mb=2")
+set_tests_properties(example_answerscount_mpi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_answerscount_mr "/root/repo/build/examples/answerscount_mr" "nodes=2" "mb=2")
+set_tests_properties(example_answerscount_mr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_answerscount_spark "/root/repo/build/examples/answerscount_spark" "nodes=2" "mb=2")
+set_tests_properties(example_answerscount_spark PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pagerank_spark "/root/repo/build/examples/pagerank_spark" "nodes=2" "vertices=2000" "iters=3")
+set_tests_properties(example_pagerank_spark PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shmem_histogram "/root/repo/build/examples/shmem_histogram" "nodes=2" "ppn=2")
+set_tests_properties(example_shmem_histogram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_tolerance "/root/repo/build/examples/fault_tolerance_demo" "nodes=3")
+set_tests_properties(example_fault_tolerance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

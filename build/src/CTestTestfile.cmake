@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("serde")
+subdirs("sim")
+subdirs("net")
+subdirs("storage")
+subdirs("cluster")
+subdirs("dfs")
+subdirs("mpi")
+subdirs("omp")
+subdirs("shmem")
+subdirs("mr")
+subdirs("spark")
+subdirs("workloads")
+subdirs("analysis")

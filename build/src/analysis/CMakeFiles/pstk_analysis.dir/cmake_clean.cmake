@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_analysis.dir/loc.cc.o"
+  "CMakeFiles/pstk_analysis.dir/loc.cc.o.d"
+  "libpstk_analysis.a"
+  "libpstk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

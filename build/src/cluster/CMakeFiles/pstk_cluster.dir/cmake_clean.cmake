@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_cluster.dir/cluster.cc.o"
+  "CMakeFiles/pstk_cluster.dir/cluster.cc.o.d"
+  "libpstk_cluster.a"
+  "libpstk_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpstk_cluster.a"
+)

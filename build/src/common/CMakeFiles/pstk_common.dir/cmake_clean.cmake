@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_common.dir/config.cc.o"
+  "CMakeFiles/pstk_common.dir/config.cc.o.d"
+  "CMakeFiles/pstk_common.dir/log.cc.o"
+  "CMakeFiles/pstk_common.dir/log.cc.o.d"
+  "CMakeFiles/pstk_common.dir/stats.cc.o"
+  "CMakeFiles/pstk_common.dir/stats.cc.o.d"
+  "CMakeFiles/pstk_common.dir/strings.cc.o"
+  "CMakeFiles/pstk_common.dir/strings.cc.o.d"
+  "CMakeFiles/pstk_common.dir/table.cc.o"
+  "CMakeFiles/pstk_common.dir/table.cc.o.d"
+  "CMakeFiles/pstk_common.dir/units.cc.o"
+  "CMakeFiles/pstk_common.dir/units.cc.o.d"
+  "libpstk_common.a"
+  "libpstk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

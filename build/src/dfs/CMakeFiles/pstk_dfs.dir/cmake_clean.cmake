@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_dfs.dir/dfs.cc.o"
+  "CMakeFiles/pstk_dfs.dir/dfs.cc.o.d"
+  "libpstk_dfs.a"
+  "libpstk_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

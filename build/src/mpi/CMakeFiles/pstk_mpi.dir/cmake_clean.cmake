@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_mpi.dir/comm.cc.o"
+  "CMakeFiles/pstk_mpi.dir/comm.cc.o.d"
+  "CMakeFiles/pstk_mpi.dir/io.cc.o"
+  "CMakeFiles/pstk_mpi.dir/io.cc.o.d"
+  "CMakeFiles/pstk_mpi.dir/world.cc.o"
+  "CMakeFiles/pstk_mpi.dir/world.cc.o.d"
+  "libpstk_mpi.a"
+  "libpstk_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

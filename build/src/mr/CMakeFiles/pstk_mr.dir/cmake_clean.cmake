@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_mr.dir/mr.cc.o"
+  "CMakeFiles/pstk_mr.dir/mr.cc.o.d"
+  "libpstk_mr.a"
+  "libpstk_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_net.dir/fabric.cc.o"
+  "CMakeFiles/pstk_net.dir/fabric.cc.o.d"
+  "CMakeFiles/pstk_net.dir/network.cc.o"
+  "CMakeFiles/pstk_net.dir/network.cc.o.d"
+  "libpstk_net.a"
+  "libpstk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_omp.dir/omp.cc.o"
+  "CMakeFiles/pstk_omp.dir/omp.cc.o.d"
+  "libpstk_omp.a"
+  "libpstk_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

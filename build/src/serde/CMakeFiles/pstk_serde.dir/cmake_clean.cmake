@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_serde.dir/serde.cc.o"
+  "CMakeFiles/pstk_serde.dir/serde.cc.o.d"
+  "libpstk_serde.a"
+  "libpstk_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_shmem.dir/shmem.cc.o"
+  "CMakeFiles/pstk_shmem.dir/shmem.cc.o.d"
+  "libpstk_shmem.a"
+  "libpstk_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

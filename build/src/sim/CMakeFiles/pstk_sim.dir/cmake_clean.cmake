@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_sim.dir/engine.cc.o"
+  "CMakeFiles/pstk_sim.dir/engine.cc.o.d"
+  "CMakeFiles/pstk_sim.dir/timeline.cc.o"
+  "CMakeFiles/pstk_sim.dir/timeline.cc.o.d"
+  "libpstk_sim.a"
+  "libpstk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_spark.dir/runtime.cc.o"
+  "CMakeFiles/pstk_spark.dir/runtime.cc.o.d"
+  "CMakeFiles/pstk_spark.dir/spark.cc.o"
+  "CMakeFiles/pstk_spark.dir/spark.cc.o.d"
+  "libpstk_spark.a"
+  "libpstk_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_storage.dir/disk.cc.o"
+  "CMakeFiles/pstk_storage.dir/disk.cc.o.d"
+  "CMakeFiles/pstk_storage.dir/localfs.cc.o"
+  "CMakeFiles/pstk_storage.dir/localfs.cc.o.d"
+  "libpstk_storage.a"
+  "libpstk_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

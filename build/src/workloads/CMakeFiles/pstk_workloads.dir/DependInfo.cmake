@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/pstk_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/pstk_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/pstk_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/pstk_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/stackexchange.cc" "src/workloads/CMakeFiles/pstk_workloads.dir/stackexchange.cc.o" "gcc" "src/workloads/CMakeFiles/pstk_workloads.dir/stackexchange.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstk_workloads.dir/graph.cc.o"
+  "CMakeFiles/pstk_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/pstk_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/pstk_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/pstk_workloads.dir/stackexchange.cc.o"
+  "CMakeFiles/pstk_workloads.dir/stackexchange.cc.o.d"
+  "libpstk_workloads.a"
+  "libpstk_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstk_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_test.dir/shmem_test.cc.o"
+  "CMakeFiles/shmem_test.dir/shmem_test.cc.o.d"
+  "shmem_test"
+  "shmem_test.pdb"
+  "shmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

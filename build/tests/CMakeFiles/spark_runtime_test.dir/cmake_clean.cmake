@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_runtime_test.dir/spark_runtime_test.cc.o"
+  "CMakeFiles/spark_runtime_test.dir/spark_runtime_test.cc.o.d"
+  "spark_runtime_test"
+  "spark_runtime_test.pdb"
+  "spark_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
