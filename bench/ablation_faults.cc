@@ -6,7 +6,9 @@
 //   ./build/bench/ablation_faults [nodes=8]
 #include <cstdio>
 #include <optional>
+#include <string>
 
+#include "bench_opts.h"
 #include "cluster/cluster.h"
 #include "common/config.h"
 #include "common/table.h"
@@ -50,11 +52,15 @@ std::optional<SimTime> SparkRun(int nodes, const std::string& data,
         ok = count.ok();
       },
       [&](Result<spark::AppResult> r) { outcome = std::move(r); });
+  bench::Observability::Instance().Attach(engine);
   if (inject) {
     cluster.FailNode(nodes - 1, 10.0);
     dfs.OnNodeFailed(nodes - 1, 10.0);
   }
-  if (!engine.Run().status.ok()) return std::nullopt;
+  const bool run_ok = engine.Run().status.ok();
+  bench::Observability::Instance().Collect(
+      engine, std::string("spark") + (inject ? " faulted" : " clean"));
+  if (!run_ok) return std::nullopt;
   if (!ok || !outcome.has_value() || !outcome->ok()) return std::nullopt;
   return (*outcome)->elapsed;
 }
@@ -82,11 +88,15 @@ std::optional<SimTime> MrRun(int nodes, const std::string& data,
   std::optional<Result<mr::JobResult>> outcome;
   mr_engine.Submit(conf, map, reduce, std::nullopt,
                    [&](Result<mr::JobResult> r) { outcome = std::move(r); });
+  bench::Observability::Instance().Attach(engine);
   if (inject) {
     cluster.FailNode(nodes - 1, 10.0);
     dfs.OnNodeFailed(nodes - 1, 10.0);
   }
-  if (!engine.Run().status.ok()) return std::nullopt;
+  const bool run_ok = engine.Run().status.ok();
+  bench::Observability::Instance().Collect(
+      engine, std::string("hadoop") + (inject ? " faulted" : " clean"));
+  if (!run_ok) return std::nullopt;
   if (!outcome.has_value() || !outcome->ok()) return std::nullopt;
   return (*outcome)->elapsed;
 }
@@ -104,8 +114,11 @@ std::optional<SimTime> MpiRun(int nodes, bool inject) {
       comm.Allreduce<double>(v, sum);
     }
   });
+  bench::Observability::Instance().Attach(engine);
   if (inject) cluster.FailNode(nodes - 1, 10.0);
   auto run = engine.Run();
+  bench::Observability::Instance().Collect(
+      engine, std::string("mpi") + (inject ? " faulted" : " clean"));
   if (run.killed > 0 || !run.status.ok()) return std::nullopt;
   return run.end_time;
 }
@@ -126,6 +139,7 @@ std::string Cell(std::optional<SimTime> t) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -171,5 +185,5 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper §VI-D): both Big Data engines absorb the\n"
       "failure with bounded overhead (recomputation / re-execution); the\n"
       "MPI job is lost and must restart from external checkpoints.\n");
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

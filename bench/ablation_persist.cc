@@ -8,6 +8,7 @@
 //   ./build/bench/ablation_persist [vertices=300000] [iters=5] [nodes=8]
 #include <cstdio>
 
+#include "bench_opts.h"
 #include "common/config.h"
 #include "common/table.h"
 #include "pagerank_common.h"
@@ -16,6 +17,7 @@
 using namespace pstk;
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -72,5 +74,5 @@ int main(int argc, char** argv) {
       hibench->elapsed / tuned->elapsed,
       static_cast<double>(hibench->shuffle_fetched) /
           static_cast<double>(std::max<Bytes>(1, tuned->shuffle_fetched)));
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

@@ -9,7 +9,9 @@
 //
 //   ./build/bench/ablation_replication [nodes=8] [gb=20] [scale=0.001]
 #include <cstdio>
+#include <string>
 
+#include "bench_opts.h"
 #include "cluster/cluster.h"
 #include "common/config.h"
 #include "common/table.h"
@@ -36,6 +38,7 @@ Outcome Run(int nodes, int replication, double scale,
   dfs::MiniDfs dfs(cluster, options);
   if (!dfs.Install("/in/file.txt", data, /*seed=*/42).ok()) return {};
   spark::MiniSpark spark(cluster, &dfs, {});
+  bench::Observability::Instance().Attach(engine);
   Outcome outcome;
   auto result = spark.RunApp([&](spark::SparkContext& sc) {
     auto lines = sc.TextFile("/in/file.txt");
@@ -46,12 +49,15 @@ Outcome Run(int nodes, int replication, double scale,
   });
   if (!result.ok()) outcome.job = -1;
   outcome.dfs_network = dfs.network_bytes();
+  bench::Observability::Instance().Collect(
+      engine, "replication=" + std::to_string(replication));
   return outcome;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -82,5 +88,5 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper §V-B2): with few replicas some blocks are\n"
       "remote to every executor and cross the network; replication equal to\n"
       "the node count makes every block local and removes the transfers.\n");
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

@@ -8,7 +8,9 @@
 //
 //   ./build/bench/ablation_shmem [nodes=4] [ppn=4] [updates=4000]
 #include <cstdio>
+#include <string>
 
+#include "bench_opts.h"
 #include "cluster/cluster.h"
 #include "common/config.h"
 #include "common/table.h"
@@ -24,6 +26,7 @@ SimTime ShmemUpdates(int nodes, int ppn, int updates) {
   sim::Engine engine;
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
   shmem::ShmemWorld world(cluster, nodes * ppn, ppn);
+  bench::Observability::Instance().Attach(engine);
   SimTime elapsed = -1;
   auto result = world.RunSpmd([&](shmem::Pe& pe) {
     auto slots = pe.Malloc<std::int64_t>(updates);
@@ -37,6 +40,8 @@ SimTime ShmemUpdates(int nodes, int ppn, int updates) {
     pe.BarrierAll();
     if (pe.my_pe() == 0) elapsed = pe.ctx().now() - start;
   });
+  bench::Observability::Instance().Collect(
+      engine, "shmem updates=" + std::to_string(updates));
   return result.ok() ? elapsed : -1;
 }
 
@@ -44,6 +49,7 @@ SimTime MpiUpdates(int nodes, int ppn, int updates) {
   sim::Engine engine;
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
   mpi::World world(cluster, nodes * ppn, ppn);
+  bench::Observability::Instance().Attach(engine);
   SimTime elapsed = -1;
   auto result = world.RunSpmd([&](mpi::Comm& comm) {
     comm.Barrier();
@@ -66,12 +72,15 @@ SimTime MpiUpdates(int nodes, int ppn, int updates) {
     comm.Barrier();
     if (comm.rank() == 0) elapsed = comm.ctx().now() - start;
   });
+  bench::Observability::Instance().Collect(
+      engine, "mpi updates=" + std::to_string(updates));
   return result.ok() ? elapsed : -1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -100,5 +109,5 @@ int main(int argc, char** argv) {
   std::printf("\nSHMEM advantage: %.2fx — one-sided puts skip message\n"
               "matching and the receiver CPU entirely (NIC offload).\n",
               mpi_time / shmem_time);
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

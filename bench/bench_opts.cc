@@ -1,0 +1,60 @@
+#include "bench_opts.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "common/log.h"
+
+namespace pstk::bench {
+
+Observability& Observability::Instance() {
+  static Observability instance;
+  return instance;
+}
+
+void Observability::ParseFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path_ = std::string(arg.substr(std::strlen("--trace=")));
+    } else if (arg == "--metrics") {
+      metrics_ = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+}
+
+void Observability::Attach(sim::Engine& engine) {
+  if (active() || metrics_) engine.EnableTrace(true);
+}
+
+void Observability::Collect(sim::Engine& engine, const std::string& label) {
+  if (active()) {
+    // Give each run its own pid block so merged runs don't overlap.
+    engine.obs().AppendChromeTraceEvents(&events_json_, runs_ * 1000,
+                                         label + " / ");
+  }
+  ++runs_;
+  if (metrics_) engine.obs().MetricsTable(label).Print();
+}
+
+bool Observability::Finish() {
+  if (!active()) return true;
+  std::FILE* f = std::fopen(trace_path_.c_str(), "w");
+  if (f == nullptr) {
+    PSTK_WARN("bench") << "cannot write trace file " << trace_path_;
+    return false;
+  }
+  std::fputs("{\"traceEvents\":[\n", f);
+  std::fwrite(events_json_.data(), 1, events_json_.size(), f);
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pstk::bench

@@ -1,0 +1,58 @@
+// Shared observability flags for the bench binaries.
+//
+// Every bench accepts:
+//   --trace=<file>   write a merged Chrome trace_event JSON of all runs
+//   --metrics        print a per-run metrics table (counters + histograms)
+//
+// Usage pattern (see fig6_pagerank_bdb.cc):
+//   int main(int argc, char** argv) {
+//     bench::Observability::Instance().ParseFlags(&argc, argv);
+//     ... per-run: Attach(engine) before Run, Collect(engine, label) after ...
+//     return bench::Observability::Instance().Finish() ? 0 : 1;
+//   }
+//
+// Run helpers that build their own engines (pagerank_common etc.) call
+// Attach/Collect directly, so top-level benches need no plumbing beyond
+// ParseFlags + Finish.
+#pragma once
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace pstk::bench {
+
+class Observability {
+ public:
+  static Observability& Instance();
+
+  /// Strip --trace=<file> and --metrics from argv (compacting in place and
+  /// updating *argc) so downstream key=value config parsing never sees them.
+  void ParseFlags(int* argc, char** argv);
+
+  /// True when --trace was given (runs should record spans/histograms).
+  [[nodiscard]] bool active() const { return !trace_path_.empty(); }
+  [[nodiscard]] bool metrics() const { return metrics_; }
+
+  /// Enable the engine's instrumentation bus when --trace/--metrics is on.
+  void Attach(sim::Engine& engine);
+
+  /// Harvest one finished engine: append its events to the merged trace
+  /// (each run gets its own pid block, prefixed with `label`) and print the
+  /// metrics table when --metrics is on.
+  void Collect(sim::Engine& engine, const std::string& label);
+
+  /// Write the trace file (valid JSON even with zero collected runs).
+  /// Returns false if the file could not be written.
+  bool Finish();
+
+ private:
+  Observability() = default;
+
+  std::string trace_path_;
+  bool metrics_ = false;
+  std::string events_json_;
+  int runs_ = 0;
+};
+
+}  // namespace pstk::bench

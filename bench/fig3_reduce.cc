@@ -10,8 +10,10 @@
 //
 //   ./build/bench/fig3_reduce [procs=64] [ppn=8] [iters=5]
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_opts.h"
 #include "cluster/cluster.h"
 #include "common/config.h"
 #include "common/table.h"
@@ -28,6 +30,7 @@ SimTime MeasureMpiReduce(int procs, int ppn, Bytes message_bytes, int iters) {
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(
                                        (procs + ppn - 1) / ppn));
   mpi::World world(cluster, procs, ppn);
+  bench::Observability::Instance().Attach(engine);
   SimTime per_op = 0;
   auto elapsed = world.RunSpmd([&](mpi::Comm& comm) {
     const std::size_t elements = message_bytes / sizeof(float);
@@ -43,6 +46,8 @@ SimTime MeasureMpiReduce(int procs, int ppn, Bytes message_bytes, int iters) {
       per_op = (comm.ctx().now() - start) / iters;
     }
   });
+  bench::Observability::Instance().Collect(
+      engine, "mpi-reduce " + FormatBytes(message_bytes));
   if (!elapsed.ok()) return -1;
   return per_op;
 }
@@ -56,6 +61,7 @@ SimTime MeasureSparkReduce(int procs, int ppn, Bytes message_bytes, int iters,
   options.executors_per_node = ppn;
   options.rdma_shuffle = rdma;
   spark::MiniSpark spark(cluster, nullptr, options);
+  bench::Observability::Instance().Attach(engine);
 
   SimTime per_op = -1;
   auto result = spark.RunApp([&](spark::SparkContext& sc) {
@@ -74,6 +80,9 @@ SimTime MeasureSparkReduce(int procs, int ppn, Bytes message_bytes, int iters,
     }
     per_op = (sc.ctx().now() - start) / iters;
   });
+  bench::Observability::Instance().Collect(
+      engine, std::string("spark-reduce ") + FormatBytes(message_bytes) +
+                  (rdma ? " rdma" : ""));
   if (!result.ok()) return -1;
   return per_op;
 }
@@ -81,6 +90,7 @@ SimTime MeasureSparkReduce(int procs, int ppn, Bytes message_bytes, int iters,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -114,5 +124,5 @@ int main(int argc, char** argv) {
       "size (asynchronous tuned collectives over RDMA vs driver-scheduled\n"
       "jobs over sockets); Spark-RDMA ~= Spark because this benchmark\n"
       "shuffles almost nothing, so the RDMA shuffle engine is marginal.\n");
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

@@ -11,7 +11,9 @@
 //   ./build/bench/fig4_answerscount [scale=0.001] [gb=80]
 #include <cstdio>
 #include <limits>
+#include <string>
 
+#include "bench_opts.h"
 #include "cluster/cluster.h"
 #include "common/config.h"
 #include "common/table.h"
@@ -48,6 +50,7 @@ std::unique_ptr<Env> MakeEnv(int nodes, double scale, const std::string& data,
       env->cluster->scratch(n).Install("/scratch/posts.txt", data);
     }
   }
+  bench::Observability::Instance().Attach(env->engine);
   return env;
 }
 
@@ -65,7 +68,10 @@ SimTime RunOpenMp(int threads, double scale, const std::string& data) {
                 (static_cast<double>(threads) * efficiency));
     elapsed = ctx.now();
   });
-  return env->engine.Run().status.ok() ? elapsed : -1;
+  const bool ok = env->engine.Run().status.ok();
+  bench::Observability::Instance().Collect(
+      env->engine, "openmp threads=" + std::to_string(threads));
+  return ok ? elapsed : -1;
 }
 
 /// Returns -1 on infrastructure error, -2 when the int-count limit bites.
@@ -94,6 +100,8 @@ SimTime RunMpi(int procs, int ppn, double scale, const std::string& data) {
     std::vector<std::uint64_t> total(2);
     comm.Reduce<std::uint64_t>(mine, total, 0);
   });
+  bench::Observability::Instance().Collect(
+      env->engine, "mpi procs=" + std::to_string(procs));
   if (!elapsed.ok()) return -1;
   return unsupported ? -2 : elapsed.value();
 }
@@ -121,6 +129,8 @@ SimTime RunHadoop(int nodes, int ppn, double scale, const std::string& data) {
     out.Emit(key, std::to_string(sum));
   };
   auto result = engine.RunJob(conf, map, reduce, reduce);
+  bench::Observability::Instance().Collect(
+      env->engine, "hadoop nodes=" + std::to_string(nodes));
   return result.ok() ? result->elapsed : -1;
 }
 
@@ -151,6 +161,8 @@ SimTime RunSpark(int nodes, int ppn, double scale, const std::string& data) {
     if (!total.ok()) return;
     job = sc.ctx().now() - start;
   });
+  bench::Observability::Instance().Collect(
+      env->engine, "spark nodes=" + std::to_string(nodes));
   return result.ok() ? job : -1;
 }
 
@@ -163,6 +175,7 @@ std::string Cell(SimTime t) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -206,5 +219,5 @@ int main(int argc, char** argv) {
       "run below ~41 processes (2 GB int-count limit in MPI-IO) and scales\n"
       "modestly; Hadoop pays disk-persisted intermediates + per-task JVMs;\n"
       "Spark scales best on this I/O-heavy workload.\n");
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

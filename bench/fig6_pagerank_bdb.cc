@@ -9,6 +9,7 @@
 //   ./build/bench/fig6_pagerank_bdb [vertices=100000] [iters=5]
 #include <cstdio>
 
+#include "bench_opts.h"
 #include "common/config.h"
 #include "common/table.h"
 #include "pagerank_common.h"
@@ -17,6 +18,7 @@
 using namespace pstk;
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -67,5 +69,5 @@ int main(int argc, char** argv) {
       "nodes; Spark-RDMA ~= Spark because the tuned implementation keeps\n"
       "each stage's data local (persist + co-partitioning), leaving the\n"
       "RDMA shuffle engine almost nothing to accelerate.\n");
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 //   ./build/bench/fig7_pagerank_hibench [vertices=100000] [iters=5]
 #include <cstdio>
 
+#include "bench_opts.h"
 #include "common/config.h"
 #include "common/table.h"
 #include "pagerank_common.h"
@@ -13,6 +14,7 @@
 using namespace pstk;
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -59,5 +61,5 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): with a high data-shuffling rate and more\n"
       "nodes (more traffic crossing the fabric), the RDMA shuffle engine\n"
       "outperforms the default socket engine — unlike Fig 6's tuned code.\n");
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

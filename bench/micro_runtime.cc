@@ -8,6 +8,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_opts.h"
 #include "net/fabric.h"
 #include "omp/omp.h"
 #include "serde/serde.h"
@@ -148,6 +149,30 @@ void BM_EngineContextSwitches(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineContextSwitches);
 
+void BM_EnginePingPong(benchmark::State& state) {
+  // Two processes alternating timed blocks; Arg(1) turns the obs bus on so
+  // the dispatch-path tracing overhead is directly comparable to Arg(0).
+  const bool traced = state.range(0) != 0;
+  const int rounds = 1000;
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.EnableTrace(traced);
+    for (const char* name : {"ping", "pong"}) {
+      engine.Spawn(name, [&](sim::Context& ctx) {
+        for (int i = 0; i < rounds; ++i) {
+          ctx.BlockUntil(ctx.now() + 1.0, "pp");
+        }
+      });
+    }
+    auto result = engine.Run();
+    benchmark::DoNotOptimize(result.end_time);
+    benchmark::DoNotOptimize(engine.obs().events().size());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+  state.SetLabel(traced ? "tracing on" : "tracing off");
+}
+BENCHMARK(BM_EnginePingPong)->Arg(0)->Arg(1);
+
 // ---------------------------------------------------------------------------
 // Fabric cost model
 // ---------------------------------------------------------------------------
@@ -168,4 +193,26 @@ BENCHMARK(BM_FabricTransfer);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the shared bench flags before google-benchmark parses argv.
+  bench::Observability::Instance().ParseFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // --trace/--metrics capture one traced ping-pong engine (the wall-clock
+  // numbers above are never polluted by the exporter).
+  if (bench::Observability::Instance().active() ||
+      bench::Observability::Instance().metrics()) {
+    sim::Engine engine;
+    bench::Observability::Instance().Attach(engine);
+    for (const char* name : {"ping", "pong"}) {
+      engine.Spawn(name, [](sim::Context& ctx) {
+        for (int i = 0; i < 100; ++i) ctx.BlockUntil(ctx.now() + 1.0, "pp");
+      });
+    }
+    (void)engine.Run();
+    bench::Observability::Instance().Collect(engine, "ping-pong demo");
+  }
+  return bench::Observability::Instance().Finish() ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "pagerank_common.h"
 
+#include "bench_opts.h"
+
 #include <algorithm>
 
 #include "mpi/mpi.h"
@@ -55,6 +57,7 @@ Result<PageRankRun> RunSparkPageRankBdb(const workloads::Graph& graph,
   cluster::Cluster cluster(engine,
                            cluster::ClusterSpec::Comet(config.nodes));
   spark::MiniSpark spark(cluster, nullptr, SparkOptionsFor(config));
+  Observability::Instance().Attach(engine);
 
   PageRankRun run;
   auto links_data = LinksOf(graph);
@@ -112,6 +115,9 @@ Result<PageRankRun> RunSparkPageRankBdb(const workloads::Graph& graph,
         CompareToReference(final_ranks.value(), reference);
     job_elapsed = sc.ctx().now() - job_start;
   });
+  Observability::Instance().Collect(
+      engine, "spark-bdb nodes=" + std::to_string(config.nodes) +
+                  (config.rdma ? " rdma" : ""));
   if (!result.ok()) return result.status();
   if (!job_status.ok()) return job_status;
   run.elapsed = job_elapsed;
@@ -126,6 +132,7 @@ Result<PageRankRun> RunSparkPageRankHiBench(
   cluster::Cluster cluster(engine,
                            cluster::ClusterSpec::Comet(config.nodes));
   spark::MiniSpark spark(cluster, nullptr, SparkOptionsFor(config));
+  Observability::Instance().Attach(engine);
 
   PageRankRun run;
   auto links_data = LinksOf(graph);
@@ -179,6 +186,9 @@ Result<PageRankRun> RunSparkPageRankHiBench(
         CompareToReference(final_ranks.value(), reference);
     job_elapsed = sc.ctx().now() - job_start;
   });
+  Observability::Instance().Collect(
+      engine, "spark-hibench nodes=" + std::to_string(config.nodes) +
+                  (config.rdma ? " rdma" : ""));
   if (!result.ok()) return result.status();
   if (!job_status.ok()) return job_status;
   run.elapsed = job_elapsed;
@@ -194,6 +204,7 @@ Result<PageRankRun> RunMpiPageRank(const workloads::Graph& graph,
                            cluster::ClusterSpec::Comet(config.nodes));
   mpi::World world(cluster, config.nodes * config.procs_per_node,
                    config.procs_per_node);
+  Observability::Instance().Attach(engine);
 
   PageRankRun run;
   double max_delta = 0;
@@ -236,6 +247,8 @@ Result<PageRankRun> RunMpiPageRank(const workloads::Graph& graph,
       job_elapsed = comm.ctx().now() - job_start;
     }
   });
+  Observability::Instance().Collect(
+      engine, "mpi-pagerank nodes=" + std::to_string(config.nodes));
   if (!elapsed.ok()) return elapsed.status();
   run.elapsed = job_elapsed;
   run.max_delta_vs_reference = max_delta;

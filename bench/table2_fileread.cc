@@ -11,7 +11,9 @@
 //
 //   ./build/bench/table2_fileread [nodes=8] [ppn=8] [scale=0.001]
 #include <cstdio>
+#include <string>
 
+#include "bench_opts.h"
 #include "cluster/cluster.h"
 #include "common/config.h"
 #include "common/table.h"
@@ -41,6 +43,7 @@ SimTime SparkHdfsRead(int nodes, int ppn, double scale,
   spark::SparkOptions options;
   options.executors_per_node = ppn;
   spark::MiniSpark spark(cluster, &dfs, options);
+  bench::Observability::Instance().Attach(engine);
   SimTime job = -1;
   auto result = spark.RunApp([&](spark::SparkContext& sc) {
     auto lines = sc.TextFile("/in/file.txt");
@@ -49,6 +52,8 @@ SimTime SparkHdfsRead(int nodes, int ppn, double scale,
     if (!lines->Count().ok()) return;
     job = sc.ctx().now() - start;
   });
+  bench::Observability::Instance().Collect(
+      engine, "spark-hdfs " + FormatBytes(data.size()));
   return result.ok() ? job : -1;
 }
 
@@ -63,6 +68,7 @@ SimTime SparkLocalRead(int nodes, int ppn, double scale,
   spark::SparkOptions options;
   options.executors_per_node = ppn;
   spark::MiniSpark spark(cluster, nullptr, options);
+  bench::Observability::Instance().Attach(engine);
   SimTime job = -1;
   auto result = spark.RunApp([&](spark::SparkContext& sc) {
     auto lines = sc.TextFileLocal("/scratch/file.txt");
@@ -71,6 +77,8 @@ SimTime SparkLocalRead(int nodes, int ppn, double scale,
     if (!lines->Count().ok()) return;
     job = sc.ctx().now() - start;
   });
+  bench::Observability::Instance().Collect(
+      engine, "spark-local " + FormatBytes(data.size()));
   return result.ok() ? job : -1;
 }
 
@@ -82,6 +90,7 @@ SimTime MpiRead(int nodes, int ppn, double scale, const std::string& data) {
     cluster.scratch(n).Install("/scratch/file.txt", data);
   }
   mpi::World world(cluster, nodes * ppn, ppn);
+  bench::Observability::Instance().Attach(engine);
   SimTime job = -1;
   auto elapsed = world.RunSpmd([&](mpi::Comm& comm) {
     auto file = mpi::File::OpenAll(comm, "/scratch/file.txt");
@@ -106,12 +115,15 @@ SimTime MpiRead(int nodes, int ppn, double scale, const std::string& data) {
     comm.Barrier();
     if (comm.rank() == 0) job = comm.ctx().now() - start;
   });
+  bench::Observability::Instance().Collect(
+      engine, "mpi-read " + FormatBytes(data.size()));
   return elapsed.ok() ? job : -1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -152,5 +164,5 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): MPI fastest (thin native I/O path);\n"
       "HDFS adds ~25%% over Spark-on-local (extra distribution layer), the\n"
       "price of transparent datanode fault handling.\n");
-  return 0;
+  return bench::Observability::Instance().Finish() ? 0 : 1;
 }

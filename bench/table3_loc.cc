@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/loc.h"
+#include "bench_opts.h"
 #include "common/config.h"
 #include "common/table.h"
 
@@ -19,6 +20,9 @@
 using namespace pstk;
 
 int main(int argc, char** argv) {
+  // No simulation here, but accept the shared flags so every bench binary
+  // has a uniform command line (an empty-but-valid trace is still written).
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -77,5 +81,6 @@ int main(int argc, char** argv) {
       "distribution plumbing (chunking, collective I/O, reductions);\n"
       "Hadoop hides control flow but demands job scaffolding; Spark's\n"
       "transformations read like the logical dataflow.\n");
+  if (!bench::Observability::Instance().Finish()) ok = false;
   return ok ? 0 : 1;
 }

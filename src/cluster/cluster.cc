@@ -26,6 +26,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec, double data_scale)
   failed_.assign(spec_.nodes, false);
   for (std::size_t i = 0; i < spec_.nodes; ++i) {
     disks_.push_back(std::make_shared<storage::Disk>(spec_.node.scratch));
+    disks_.back()->AttachObs(&engine_.obs(), "storage.scratch");
     scratch_.push_back(
         std::make_unique<storage::LocalFs>(disks_.back(), data_scale_));
   }
@@ -40,6 +41,7 @@ std::shared_ptr<net::Fabric> Cluster::fabric(
   auto it = fabrics_.find(transport.name);
   if (it != fabrics_.end()) return it->second;
   auto fabric = std::make_shared<net::Fabric>(spec_.nodes, transport);
+  fabric->AttachObs(&engine_.obs());
   fabrics_.emplace(transport.name, fabric);
   return fabric;
 }

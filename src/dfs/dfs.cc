@@ -15,6 +15,14 @@ MiniDfs::MiniDfs(cluster::Cluster& cluster, DfsOptions options)
       placement_rng_(0xD15F00D) {
   PSTK_CHECK_MSG(options_.replication >= 1, "replication must be >= 1");
   PSTK_CHECK_MSG(options_.block_size > 0, "block size must be > 0");
+  obs::Registry& reg = cluster_.engine().obs();
+  tags_.block_reads = reg.Intern("dfs.block_reads");
+  tags_.local_reads = reg.Intern("dfs.local_reads");
+  tags_.remote_reads = reg.Intern("dfs.remote_reads");
+  tags_.network_bytes = reg.Intern("dfs.network_bytes");
+  tags_.rereplicated = reg.Intern("dfs.rereplicated_blocks");
+  tags_.lost = reg.Intern("dfs.lost_blocks");
+  tags_.read_latency = reg.Intern("dfs.read_latency");
 }
 
 void MiniDfs::set_replication(int replication) {
@@ -141,6 +149,7 @@ Status MiniDfs::Write(sim::Context& ctx, int writer_node,
       if (replica != upstream) {
         const auto times = fabric_->Transfer(upstream, replica, modeled, t);
         network_bytes_ += modeled;
+        cluster_.engine().obs().Add(tags_.network_bytes, modeled);
         t = times.arrival;
       }
       t = cluster_.scratch_disk(replica)->Write(modeled, t);
@@ -166,6 +175,9 @@ Result<std::string> MiniDfs::ReadBlock(sim::Context& ctx, int reader_node,
                       " out of range for " + path);
   }
   ChargeNamenode(ctx);
+  obs::Registry& reg = cluster_.engine().obs();
+  const SimTime t0 = ctx.now();
+  reg.Add(tags_.block_reads);
   const StoredBlock& block = blocks_.at(file.blocks[block_index]);
   if (block.info.replicas.empty()) {
     return DataLoss("all replicas lost for block " +
@@ -187,12 +199,17 @@ Result<std::string> MiniDfs::ReadBlock(sim::Context& ctx, int reader_node,
   if (source != reader_node) {
     const auto times = fabric_->Transfer(source, reader_node, modeled, t);
     network_bytes_ += modeled;
+    reg.Add(tags_.remote_reads);
+    reg.Add(tags_.network_bytes, modeled);
     ctx.Compute(times.receiver_cpu);
     t = times.arrival;
+  } else {
+    reg.Add(tags_.local_reads);
   }
   // DataNode streaming + checksum verification on the client.
   ctx.Compute(static_cast<double>(modeled) * options_.client_cpu_per_byte);
   ctx.SleepUntil(t);
+  reg.Observe(tags_.read_latency, ctx.now() - t0);
   return block.content;
 }
 
@@ -281,10 +298,14 @@ void MiniDfs::OnNodeFailed(int node, SimTime t) {
     SimTime done = cluster_.scratch_disk(source)->Read(modeled, t);
     done = fabric_->Transfer(source, target, modeled, done).arrival;
     network_bytes_ += modeled;
+    cluster_.engine().obs().Add(tags_.network_bytes, modeled);
     cluster_.scratch_disk(target)->Write(modeled, done);
     replicas.push_back(target);
     ++rereplicated;
   }
+  obs::Registry& reg = cluster_.engine().obs();
+  reg.Add(tags_.rereplicated, rereplicated);
+  reg.Add(tags_.lost, lost);
   PSTK_INFO("dfs") << "node " << node << " failed: re-replicated "
                    << rereplicated << " blocks, lost " << lost;
 }

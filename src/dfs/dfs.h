@@ -127,6 +127,16 @@ class MiniDfs {
   DfsOptions options_;
   std::shared_ptr<net::Fabric> fabric_;
   std::vector<bool> datanode_dead_;
+  struct DfsTags {
+    obs::TagId block_reads = obs::kNoTag;
+    obs::TagId local_reads = obs::kNoTag;
+    obs::TagId remote_reads = obs::kNoTag;
+    obs::TagId network_bytes = obs::kNoTag;
+    obs::TagId rereplicated = obs::kNoTag;
+    obs::TagId lost = obs::kNoTag;
+    obs::TagId read_latency = obs::kNoTag;  // histogram, seconds
+  };
+  DfsTags tags_;
   std::map<std::string, FileInfo> files_;
   std::map<BlockId, StoredBlock> blocks_;
   BlockId next_block_id_ = 1;

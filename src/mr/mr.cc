@@ -133,6 +133,30 @@ MrEngine::MrEngine(cluster::Cluster& cluster, dfs::MiniDfs& dfs,
                    MrOptions options)
     : cluster_(cluster), dfs_(dfs), options_(std::move(options)) {
   fabric_ = cluster_.fabric(options_.transport);
+  obs::Registry& reg = cluster_.engine().obs();
+  tags_.map_task = reg.Intern("mr.map_task");
+  tags_.reduce_task = reg.Intern("mr.reduce_task");
+  tags_.map_read = reg.Intern("mr.map.read");
+  tags_.map_map = reg.Intern("mr.map.map");
+  tags_.map_sort = reg.Intern("mr.map.sort");
+  tags_.map_spill = reg.Intern("mr.map.spill");
+  tags_.reduce_shuffle = reg.Intern("mr.reduce.shuffle");
+  tags_.reduce_merge = reg.Intern("mr.reduce.merge");
+  tags_.reduce_reduce = reg.Intern("mr.reduce.reduce");
+  tags_.reduce_output = reg.Intern("mr.reduce.output");
+  tags_.time_map_read = reg.Intern("mr.time.map_read");
+  tags_.time_map = reg.Intern("mr.time.map");
+  tags_.time_sort = reg.Intern("mr.time.sort");
+  tags_.time_spill = reg.Intern("mr.time.spill");
+  tags_.time_shuffle = reg.Intern("mr.time.shuffle");
+  tags_.time_merge = reg.Intern("mr.time.merge");
+  tags_.time_reduce = reg.Intern("mr.time.reduce");
+  tags_.time_output = reg.Intern("mr.time.output");
+  tags_.map_tasks = reg.Intern("mr.map_tasks");
+  tags_.reduce_tasks = reg.Intern("mr.reduce_tasks");
+  tags_.task_retries = reg.Intern("mr.task_retries");
+  tags_.spilled_bytes = reg.Intern("mr.spilled_bytes");
+  tags_.shuffled_bytes = reg.Intern("mr.shuffled_bytes");
 }
 
 Result<JobResult> MrEngine::RunJob(JobConf conf, MapFn map, ReduceFn reduce,
@@ -303,6 +327,14 @@ void MrEngine::CoordinatorMain(sim::Context& ctx, Job& job) {
     }
   }
 
+  // Mirror the job counters onto the obs bus for the metrics summary.
+  obs::Registry& reg = cluster_.engine().obs();
+  reg.Add(tags_.map_tasks, job.counters.map_tasks);
+  reg.Add(tags_.reduce_tasks, job.counters.reduce_tasks);
+  reg.Add(tags_.task_retries, job.counters.task_retries);
+  reg.Add(tags_.spilled_bytes, job.counters.spilled_bytes);
+  reg.Add(tags_.shuffled_bytes, job.counters.shuffled_bytes);
+
   JobResult result;
   result.elapsed = ctx.now() - job.submit_time;
   result.counters = job.counters;
@@ -395,10 +427,14 @@ void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
                           int map_id) {
   const int node = job.worker_nodes[worker_id];
   net::Endpoint& ep = job.network->endpoint(1 + worker_id);
+  sim::Scope task_scope(ctx, tags_.map_task);
   ctx.SleepFor(options_.jvm_startup_per_task);
 
-  auto block = dfs_.ReadBlock(ctx, node, job.conf.input_path,
-                              static_cast<std::size_t>(map_id));
+  auto block = [&] {
+    sim::Scope read_scope(ctx, tags_.map_read, tags_.time_map_read);
+    return dfs_.ReadBlock(ctx, node, job.conf.input_path,
+                          static_cast<std::size_t>(map_id));
+  }();
   if (!block.ok()) {
     // Input gone (e.g., disk failure mid-read): die; the coordinator's
     // sweep requeues the task elsewhere. Matches Hadoop task failure.
@@ -411,6 +447,7 @@ void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
   VectorEmitter collected;
   std::uint64_t records = 0;
   {
+    sim::Scope map_scope(ctx, tags_.map_map, tags_.time_map);
     std::string_view rest = block.value();
     while (!rest.empty()) {
       const auto nl = rest.find('\n');
@@ -422,53 +459,59 @@ void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
       ++records;
       job.map(std::string(line), collected);
     }
+    ChargeRecords(ctx, records, block.value().size(),
+                  options_.map_cpu_per_record);
   }
-  ChargeRecords(ctx, records, block.value().size(),
-                options_.map_cpu_per_record);
   job.counters.input_records += records;
   job.counters.map_output_records += collected.kvs.size();
 
   // Partition by key hash, sort each partition.
   const int R = job.conf.num_reducers;
   std::vector<KvVec> partitions(static_cast<std::size_t>(R));
-  for (auto& kv : collected.kvs) {
-    partitions[HashKey(kv.first) % static_cast<std::size_t>(R)].push_back(
-        std::move(kv));
-  }
-  std::uint64_t sort_records = 0;
-  for (auto& partition : partitions) {
-    std::sort(partition.begin(), partition.end());
-    sort_records += partition.size();
-  }
-  const double log_factor =
-      sort_records > 1 ? std::log2(static_cast<double>(sort_records)) : 1.0;
-  ChargeRecords(ctx, static_cast<std::uint64_t>(
-                         static_cast<double>(sort_records) * log_factor),
-                0, options_.sort_cpu_per_record);
-
-  // Optional combiner shrinks each partition before the spill.
-  if (job.combine.has_value()) {
+  {
+    sim::Scope sort_scope(ctx, tags_.map_sort, tags_.time_sort);
+    for (auto& kv : collected.kvs) {
+      partitions[HashKey(kv.first) % static_cast<std::size_t>(R)].push_back(
+          std::move(kv));
+    }
+    std::uint64_t sort_records = 0;
     for (auto& partition : partitions) {
-      VectorEmitter combined;
-      GroupAndApply(partition, *job.combine, combined);
-      partition = std::move(combined.kvs);
+      std::sort(partition.begin(), partition.end());
+      sort_records += partition.size();
+    }
+    const double log_factor =
+        sort_records > 1 ? std::log2(static_cast<double>(sort_records)) : 1.0;
+    ChargeRecords(ctx, static_cast<std::uint64_t>(
+                           static_cast<double>(sort_records) * log_factor),
+                  0, options_.sort_cpu_per_record);
+
+    // Optional combiner shrinks each partition before the spill.
+    if (job.combine.has_value()) {
+      for (auto& partition : partitions) {
+        VectorEmitter combined;
+        GroupAndApply(partition, *job.combine, combined);
+        partition = std::move(combined.kvs);
+      }
     }
   }
 
   // Spill the serialized partitions to local disk.
   Job::MapOutput output;
   output.node = node;
-  Bytes spilled = 0;
-  for (auto& partition : partitions) {
-    serde::Buffer buffer = serde::EncodeToBuffer(partition);
-    spilled += buffer.size();
-    output.partitions.push_back(std::move(buffer));
+  {
+    sim::Scope spill_scope(ctx, tags_.map_spill, tags_.time_spill);
+    Bytes spilled = 0;
+    for (auto& partition : partitions) {
+      serde::Buffer buffer = serde::EncodeToBuffer(partition);
+      spilled += buffer.size();
+      output.partitions.push_back(std::move(buffer));
+    }
+    const Bytes modeled_spill = cluster_.Modeled(spilled);
+    const SimTime disk_done =
+        cluster_.scratch_disk(node)->Write(modeled_spill, ctx.now());
+    ctx.SleepUntil(disk_done);
+    job.counters.spilled_bytes += modeled_spill;
   }
-  const Bytes modeled_spill = cluster_.Modeled(spilled);
-  const SimTime disk_done =
-      cluster_.scratch_disk(node)->Write(modeled_spill, ctx.now());
-  ctx.SleepUntil(disk_done);
-  job.counters.spilled_bytes += modeled_spill;
   job.map_outputs[map_id] = std::move(output);
 
   serde::Writer done;
@@ -480,6 +523,7 @@ void MrEngine::RunReduceTask(sim::Context& ctx, Job& job, int worker_id,
                              int reduce_id) {
   const int node = job.worker_nodes[worker_id];
   net::Endpoint& ep = job.network->endpoint(1 + worker_id);
+  sim::Scope task_scope(ctx, tags_.reduce_task);
   ctx.SleepFor(options_.jvm_startup_per_task);
 
   // Shuffle: fetch this reducer's bucket from every map output.
@@ -487,26 +531,29 @@ void MrEngine::RunReduceTask(sim::Context& ctx, Job& job, int worker_id,
   std::vector<std::int32_t> missing;
   Bytes fetched_bytes = 0;
   std::size_t fetched_outputs = 0;
-  for (const auto& [map_id, output] : job.map_outputs) {
-    if (cluster_.NodeFailed(output.node)) {
-      missing.push_back(map_id);
-      continue;
+  {
+    sim::Scope shuffle_scope(ctx, tags_.reduce_shuffle, tags_.time_shuffle);
+    for (const auto& [map_id, output] : job.map_outputs) {
+      if (cluster_.NodeFailed(output.node)) {
+        missing.push_back(map_id);
+        continue;
+      }
+      const serde::Buffer& bucket =
+          output.partitions[static_cast<std::size_t>(reduce_id)];
+      const Bytes modeled = cluster_.Modeled(bucket.size());
+      SimTime t = cluster_.scratch_disk(output.node)->Read(modeled, ctx.now());
+      if (output.node != node) {
+        const auto times = fabric_->Transfer(output.node, node, modeled, t);
+        ctx.Compute(times.receiver_cpu);
+        t = times.arrival;
+      }
+      ctx.SleepUntil(t);
+      fetched_bytes += modeled;
+      ++fetched_outputs;
+      auto kvs = serde::DecodeFromBuffer<KvVec>(bucket);
+      PSTK_CHECK_MSG(kvs.ok(), "corrupt map output");
+      merged.insert(merged.end(), kvs.value().begin(), kvs.value().end());
     }
-    const serde::Buffer& bucket =
-        output.partitions[static_cast<std::size_t>(reduce_id)];
-    const Bytes modeled = cluster_.Modeled(bucket.size());
-    SimTime t = cluster_.scratch_disk(output.node)->Read(modeled, ctx.now());
-    if (output.node != node) {
-      const auto times = fabric_->Transfer(output.node, node, modeled, t);
-      ctx.Compute(times.receiver_cpu);
-      t = times.arrival;
-    }
-    ctx.SleepUntil(t);
-    fetched_bytes += modeled;
-    ++fetched_outputs;
-    auto kvs = serde::DecodeFromBuffer<KvVec>(bucket);
-    PSTK_CHECK_MSG(kvs.ok(), "corrupt map output");
-    merged.insert(merged.end(), kvs.value().begin(), kvs.value().end());
   }
   job.counters.shuffled_bytes += fetched_bytes;
 
@@ -522,23 +569,31 @@ void MrEngine::RunReduceTask(sim::Context& ctx, Job& job, int worker_id,
 
   // Merge (sort) — Hadoop does an on-disk multi-way merge: one pass of
   // write+read of the full bucket set on local disk plus sort CPU.
-  SimTime t = cluster_.scratch_disk(node)->Write(fetched_bytes, ctx.now());
-  t = cluster_.scratch_disk(node)->Read(fetched_bytes, t);
-  ctx.SleepUntil(t);
-  std::sort(merged.begin(), merged.end());
-  const double log_factor =
-      merged.size() > 1 ? std::log2(static_cast<double>(merged.size())) : 1.0;
-  ChargeRecords(ctx, static_cast<std::uint64_t>(
-                         static_cast<double>(merged.size()) * log_factor),
-                0, options_.sort_cpu_per_record);
+  {
+    sim::Scope merge_scope(ctx, tags_.reduce_merge, tags_.time_merge);
+    SimTime t = cluster_.scratch_disk(node)->Write(fetched_bytes, ctx.now());
+    t = cluster_.scratch_disk(node)->Read(fetched_bytes, t);
+    ctx.SleepUntil(t);
+    std::sort(merged.begin(), merged.end());
+    const double log_factor =
+        merged.size() > 1 ? std::log2(static_cast<double>(merged.size()))
+                          : 1.0;
+    ChargeRecords(ctx, static_cast<std::uint64_t>(
+                           static_cast<double>(merged.size()) * log_factor),
+                  0, options_.sort_cpu_per_record);
+  }
 
   // Reduce.
   LineEmitter out;
-  GroupAndApply(merged, job.reduce, out);
-  ChargeRecords(ctx, merged.size(), 0, options_.map_cpu_per_record);
+  {
+    sim::Scope reduce_scope(ctx, tags_.reduce_reduce, tags_.time_reduce);
+    GroupAndApply(merged, job.reduce, out);
+    ChargeRecords(ctx, merged.size(), 0, options_.map_cpu_per_record);
+  }
   job.counters.reduce_output_records += out.count;
 
   if (job.conf.write_output) {
+    sim::Scope output_scope(ctx, tags_.reduce_output, tags_.time_output);
     const std::string path = job.conf.output_path + "/part-r-" +
                              std::to_string(reduce_id);
     const Status written = dfs_.Write(ctx, node, path, out.lines);

@@ -131,6 +131,36 @@ class MrEngine {
   MrOptions options_;
   std::shared_ptr<net::Fabric> fabric_;
   int job_seq_ = 0;
+
+  struct MrTags {
+    // Task and phase spans (Chrome trace).
+    obs::TagId map_task = obs::kNoTag;
+    obs::TagId reduce_task = obs::kNoTag;
+    obs::TagId map_read = obs::kNoTag;
+    obs::TagId map_map = obs::kNoTag;
+    obs::TagId map_sort = obs::kNoTag;
+    obs::TagId map_spill = obs::kNoTag;
+    obs::TagId reduce_shuffle = obs::kNoTag;
+    obs::TagId reduce_merge = obs::kNoTag;
+    obs::TagId reduce_reduce = obs::kNoTag;
+    obs::TagId reduce_output = obs::kNoTag;
+    // Per-phase elapsed-virtual-time histograms (seconds).
+    obs::TagId time_map_read = obs::kNoTag;
+    obs::TagId time_map = obs::kNoTag;
+    obs::TagId time_sort = obs::kNoTag;
+    obs::TagId time_spill = obs::kNoTag;
+    obs::TagId time_shuffle = obs::kNoTag;
+    obs::TagId time_merge = obs::kNoTag;
+    obs::TagId time_reduce = obs::kNoTag;
+    obs::TagId time_output = obs::kNoTag;
+    // Job counters mirrored from Counters at completion.
+    obs::TagId map_tasks = obs::kNoTag;
+    obs::TagId reduce_tasks = obs::kNoTag;
+    obs::TagId task_retries = obs::kNoTag;
+    obs::TagId spilled_bytes = obs::kNoTag;
+    obs::TagId shuffled_bytes = obs::kNoTag;
+  };
+  MrTags tags_;
 };
 
 }  // namespace pstk::mr

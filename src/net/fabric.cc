@@ -57,6 +57,16 @@ Fabric::Fabric(std::size_t nodes, TransportParams default_transport)
   PSTK_CHECK_MSG(nodes >= 1, "fabric needs at least one node");
 }
 
+void Fabric::AttachObs(obs::Registry* registry) {
+  obs_ = registry;
+  if (obs_ == nullptr) return;
+  const std::string scope = "net." + default_.name;
+  tag_messages_ = obs_->Intern(scope + ".messages");
+  tag_bytes_ = obs_->Intern(scope + ".bytes");
+  tag_msg_size_ = obs_->Intern(scope + ".msg_bytes");
+  tag_sender_cpu_ = obs_->Intern(scope + ".sender_cpu");
+}
+
 TransferTimes Fabric::Transfer(int src_node, int dst_node, Bytes bytes,
                                SimTime t) {
   return Transfer(default_, src_node, dst_node, bytes, t);
@@ -70,6 +80,11 @@ TransferTimes Fabric::Transfer(const TransportParams& transport, int src_node,
                  "bad dst node " << dst_node);
   ++messages_;
   bytes_ += bytes;
+  if (obs_ != nullptr) {
+    obs_->Add(tag_messages_);
+    obs_->Add(tag_bytes_, bytes);
+    obs_->Observe(tag_msg_size_, static_cast<double>(bytes));
+  }
 
   TransferTimes times;
   const auto fbytes = static_cast<double>(bytes);
@@ -82,6 +97,7 @@ TransferTimes Fabric::Transfer(const TransportParams& transport, int src_node,
     times.sender_nic_done = t + shm.base_latency + copy;
     times.arrival = times.sender_nic_done;
     times.receiver_cpu = shm.per_message_cpu;
+    if (obs_ != nullptr) obs_->Observe(tag_sender_cpu_, times.sender_cpu);
     return times;
   }
 
@@ -100,6 +116,7 @@ TransferTimes Fabric::Transfer(const TransportParams& transport, int src_node,
   // rx Acquire starts no earlier than (first byte at receiver); if the rx
   // NIC is free the arrival equals tx_done + latency.
   times.arrival = std::max(times.arrival, rx_ready);
+  if (obs_ != nullptr) obs_->Observe(tag_sender_cpu_, times.sender_cpu);
   return times;
 }
 

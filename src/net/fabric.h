@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/obs.h"
 #include "sim/timeline.h"
 
 namespace pstk::net {
@@ -71,12 +72,23 @@ class Fabric {
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] Bytes bytes_sent() const { return bytes_; }
 
+  /// Publish per-transfer metrics (message/byte counters, message-size and
+  /// sender-CPU histograms, scoped `net.<transport>.*`) into `registry`.
+  /// Optional: a detached fabric (nullptr) just skips publication.
+  void AttachObs(obs::Registry* registry);
+
  private:
   TransportParams default_;
   std::vector<sim::Timeline> tx_;
   std::vector<sim::Timeline> rx_;
   std::uint64_t messages_ = 0;
   Bytes bytes_ = 0;
+
+  obs::Registry* obs_ = nullptr;
+  obs::TagId tag_messages_ = obs::kNoTag;
+  obs::TagId tag_bytes_ = obs::kNoTag;
+  obs::TagId tag_msg_size_ = obs::kNoTag;
+  obs::TagId tag_sender_cpu_ = obs::kNoTag;
 };
 
 }  // namespace pstk::net

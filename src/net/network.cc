@@ -15,6 +15,10 @@ Network::Network(sim::Engine& engine, std::shared_ptr<Fabric> fabric,
       fabric_(std::move(fabric)),
       eager_threshold_(eager_threshold) {
   PSTK_CHECK(fabric_ != nullptr);
+  obs::Registry& reg = engine_.obs();
+  tag_eager_ = reg.Intern("net.sends.eager");
+  tag_rendezvous_ = reg.Intern("net.sends.rendezvous");
+  tag_async_ = reg.Intern("net.sends.async");
 }
 
 Endpoint& Network::CreateEndpoint(int id, int node) {
@@ -55,6 +59,8 @@ void Endpoint::Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
   message.arrival = times.arrival;
 
   const bool rendezvous = modeled_size > network_.eager_threshold();
+  ctx.engine().obs().Add(rendezvous ? network_.tag_rendezvous_
+                                    : network_.tag_eager_);
   if (rendezvous) {
     message.sender_pid = ctx.pid();
     message.wants_completion_wake = true;
@@ -73,6 +79,7 @@ void Endpoint::Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
 void Endpoint::SendAsync(sim::Context& ctx, int dst, int tag,
                          serde::Buffer payload, Bytes modeled_size) {
   if (modeled_size == 0) modeled_size = payload.size();
+  ctx.engine().obs().Add(network_.tag_async_);
   Endpoint& target = network_.endpoint(dst);
 
   const TransferTimes times = network_.fabric().Transfer(

@@ -114,6 +114,11 @@ class Network {
   Bytes eager_threshold_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;  // indexed by id
   std::uint64_t seq_ = 0;
+
+  // Send-protocol counters, published on the engine's obs bus.
+  obs::TagId tag_eager_ = obs::kNoTag;
+  obs::TagId tag_rendezvous_ = obs::kNoTag;
+  obs::TagId tag_async_ = obs::kNoTag;
 };
 
 }  // namespace pstk::net

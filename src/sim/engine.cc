@@ -53,17 +53,49 @@ SimTime Context::BlockUntil(SimTime t, std::string_view reason) {
   return engine_.ProcBlockUntil(pid_, t, reason);
 }
 
-void Context::Trace(std::string tag, std::string detail) {
-  if (!engine_.trace_enabled_) return;
-  engine_.trace_.push_back(
-      TraceEvent{now(), pid_, std::move(tag), std::move(detail)});
+void Context::Trace(std::string_view tag, std::string_view detail) {
+  obs::Registry& reg = engine_.obs_;
+  if (!reg.enabled()) return;
+  reg.Instant(node(), pid_, reg.Intern(tag), now(),
+              detail.empty() ? obs::kNoTag : reg.Intern(detail),
+              /*user=*/true);
 }
 
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine(std::uint64_t seed) : seed_(seed) {}
+Engine::Engine(std::uint64_t seed) : seed_(seed) {
+  tags_.dispatches = obs_.Intern("sim.dispatches");
+  tags_.events = obs_.Intern("sim.events");
+  tags_.wakes = obs_.Intern("sim.wakes");
+  tags_.spawns = obs_.Intern("sim.spawns");
+  tags_.kills = obs_.Intern("sim.kills");
+  tags_.run = obs_.Intern("run");
+  tags_.kill = obs_.Intern("killed");
+  tags_.block = obs_.Intern("block");
+}
+
+void Engine::EnableTrace(bool on) {
+  obs_.Enable(on);
+  if (on) {
+    // Name tracks for processes spawned before tracing was switched on.
+    for (Pid pid = 0; pid < procs_.size(); ++pid) {
+      obs_.SetTrackName(procs_[pid]->node, pid, procs_[pid]->name);
+    }
+  }
+}
+
+const std::vector<TraceEvent>& Engine::trace() const {
+  trace_compat_.clear();
+  for (const obs::Event& e : obs_.events()) {
+    if (!e.user) continue;
+    trace_compat_.push_back(TraceEvent{
+        e.time, e.track, obs_.Name(e.tag),
+        e.detail == obs::kNoTag ? std::string() : obs_.Name(e.detail)});
+  }
+  return trace_compat_;
+}
 
 Engine::~Engine() { JoinAll(); }
 
@@ -87,6 +119,10 @@ Pid Engine::SpawnAt(SimTime start, std::string name, ProcessBody body,
   proc->state = State::kReady;
   procs_.push_back(std::move(proc));
   ready_.emplace(start, pid);
+  obs_.Add(tags_.spawns);
+  if (obs_.enabled()) {
+    obs_.SetTrackName(procs_[pid]->node, pid, procs_[pid]->name);
+  }
   return pid;
 }
 
@@ -104,6 +140,7 @@ void Engine::RemoveReady(Pid pid) {
 
 void Engine::Wake(Pid pid, SimTime t) {
   PSTK_CHECK_MSG(pid < procs_.size(), "Wake: bad pid " << pid);
+  obs_.Add(tags_.wakes);
   Proc& p = *procs_[pid];
   switch (p.state) {
     case State::kBlocked:
@@ -137,6 +174,10 @@ void Engine::KillNow(Pid pid) {
   Proc& p = *procs_[pid];
   if (p.state == State::kDone || p.state == State::kKilled) return;
   p.kill_requested = true;
+  obs_.Add(tags_.kills);
+  if (obs_.enabled()) {
+    obs_.Instant(p.node, pid, tags_.kill, std::max(frontier_, p.clock));
+  }
   if (p.state == State::kBlocked) {
     MakeReady(pid, std::max(frontier_, p.clock));
   } else if (p.state == State::kReady && p.wake_at > frontier_) {
@@ -215,6 +256,10 @@ void Engine::DispatchProc(Pid pid) {
   running_ = pid;
   engine_turn_ = false;
 
+  obs_.Add(tags_.dispatches);
+  const bool traced = obs_.enabled();
+  if (traced) obs_.BeginSpan(p.node, pid, tags_.run, p.clock);
+
   if (!p.thread_started) StartThread(pid);
   {
     std::lock_guard<std::mutex> lk(p.mu);
@@ -226,6 +271,7 @@ void Engine::DispatchProc(Pid pid) {
     engine_cv_.wait(lk, [&] { return engine_turn_; });
   }
   running_ = kNoPid;
+  if (traced) obs_.EndSpan(p.node, pid, tags_.run, p.clock);
 }
 
 void Engine::ProcYieldToEngine(Proc& p) {
@@ -251,6 +297,9 @@ SimTime Engine::ProcBlock(Pid pid, std::string_view reason) {
   PSTK_CHECK(p.state == State::kRunning);
   p.state = State::kBlocked;
   p.wait_reason = reason;
+  if (obs_.enabled()) {
+    obs_.Instant(p.node, pid, tags_.block, p.clock, obs_.Intern(reason));
+  }
   ProcYieldToEngine(p);
   return p.clock;
 }
@@ -282,6 +331,7 @@ RunResult Engine::Run() {
       auto fn = std::move(it->second);
       events_.erase(it);
       frontier_ = std::max(frontier_, te);
+      obs_.Add(tags_.events);
       fn();
     } else {
       const Pid pid = ready_.begin()->second;

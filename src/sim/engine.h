@@ -15,8 +15,15 @@
 //    becomes max(own clock, wake time).
 //  * Because dispatch is min-clock-first, a process can never observe an
 //    interaction from its past (conservative causality).
+//
+// Instrumentation goes through the engine's obs::Registry (`engine.obs()`):
+// dispatch/block/kill activity is published there, higher layers intern
+// their own tags against the same registry, and EnableTrace() switches the
+// whole bus on. The legacy TraceEvent vector survives as a compat shim that
+// re-materializes user Trace() calls from the typed event stream.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -34,6 +41,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/obs.h"
 
 namespace pstk::sim {
 
@@ -58,7 +66,9 @@ struct RunResult {
   std::size_t killed = 0;
 };
 
-/// Trace record, mainly for tests and debugging.
+/// Legacy trace record, kept for tests that predate the obs bus. Rebuilt
+/// on demand from the typed event stream; new code should read
+/// Engine::obs() directly.
 struct TraceEvent {
   SimTime time;
   Pid pid;
@@ -101,8 +111,9 @@ class Context {
 
   Engine& engine() { return engine_; }
 
-  /// Record a trace event at the current clock.
-  void Trace(std::string tag, std::string detail = "");
+  /// Record a user trace instant at the current clock (no-op unless
+  /// tracing is enabled; strings are interned, not stored per event).
+  void Trace(std::string_view tag, std::string_view detail = {});
 
  private:
   friend class Engine;
@@ -154,9 +165,15 @@ class Engine {
 
   [[nodiscard]] std::size_t process_count() const { return procs_.size(); }
 
-  /// Tracing (disabled by default; tests enable it).
-  void EnableTrace(bool on) { trace_enabled_ = on; }
-  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+  /// The engine's instrumentation bus. Counters are live even with
+  /// tracing off; spans/histograms record only after EnableTrace(true).
+  [[nodiscard]] obs::Registry& obs() { return obs_; }
+  [[nodiscard]] const obs::Registry& obs() const { return obs_; }
+
+  /// Turn the instrumentation bus on (spans, histograms, user traces).
+  void EnableTrace(bool on);
+  /// Compat shim: user Trace() calls as the legacy string records.
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const;
 
   /// Blocked-process snapshot, for deadlock diagnostics.
   [[nodiscard]] std::string DescribeBlocked() const;
@@ -221,8 +238,20 @@ class Engine {
 
   SimTime frontier_ = 0;
   bool running_loop_ = false;
-  bool trace_enabled_ = false;
-  std::vector<TraceEvent> trace_;
+
+  obs::Registry obs_;
+  struct SimTags {
+    obs::TagId dispatches = obs::kNoTag;  // counter: proc dispatches
+    obs::TagId events = obs::kNoTag;      // counter: engine events run
+    obs::TagId wakes = obs::kNoTag;       // counter: Wake() calls
+    obs::TagId spawns = obs::kNoTag;      // counter: processes spawned
+    obs::TagId kills = obs::kNoTag;       // counter: fault-injected kills
+    obs::TagId run = obs::kNoTag;         // span: process occupies the core
+    obs::TagId kill = obs::kNoTag;        // instant: kill delivered
+    obs::TagId block = obs::kNoTag;       // instant: process parks
+  };
+  SimTags tags_;
+  mutable std::vector<TraceEvent> trace_compat_;
   std::size_t completed_ = 0;
   std::size_t killed_ = 0;
 };
@@ -232,10 +261,18 @@ class Engine {
 /// max(own clock, timestamp).
 class Condition {
  public:
-  /// Park the caller until notified.
+  /// Park the caller until notified. If the caller is killed mid-wait the
+  /// unwind removes it from the waiter list, so a later notify cannot
+  /// burn its wake-up on a dead process.
   void Wait(Context& ctx, std::string_view reason = "condition") {
     waiters_.push_back(ctx.pid());
-    ctx.Block(reason);
+    try {
+      ctx.Block(reason);
+    } catch (...) {
+      auto it = std::find(waiters_.begin(), waiters_.end(), ctx.pid());
+      if (it != waiters_.end()) waiters_.erase(it);
+      throw;
+    }
   }
 
   /// Wake all waiters at time `t`.
@@ -244,18 +281,53 @@ class Condition {
     waiters_.clear();
   }
 
-  /// Wake the longest-waiting process at time `t`; returns false if none.
+  /// Wake the longest-waiting *live* process at time `t`; returns false if
+  /// none. Dead waiters (killed outside Wait's unwind path) are discarded.
   bool NotifyOne(Engine& engine, SimTime t) {
-    if (waiters_.empty()) return false;
-    engine.Wake(waiters_.front(), t);
-    waiters_.pop_front();
-    return true;
+    while (!waiters_.empty()) {
+      const Pid pid = waiters_.front();
+      waiters_.pop_front();
+      if (!engine.IsAlive(pid)) continue;
+      engine.Wake(pid, t);
+      return true;
+    }
+    return false;
   }
 
   [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
 
  private:
   std::deque<Pid> waiters_;
+};
+
+/// RAII span on the calling process's (node, pid) track, with an optional
+/// elapsed-virtual-time histogram. Near-zero cost while tracing is off.
+class Scope {
+ public:
+  Scope(Context& ctx, obs::TagId span_tag, obs::TagId hist_tag = obs::kNoTag)
+      : ctx_(ctx), span_(span_tag), hist_(hist_tag),
+        active_(ctx.engine().obs().enabled()) {
+    if (active_) {
+      start_ = ctx_.now();
+      ctx_.engine().obs().BeginSpan(ctx_.node(), ctx_.pid(), span_, start_);
+    }
+  }
+  ~Scope() {
+    if (active_) {
+      auto& reg = ctx_.engine().obs();
+      reg.EndSpan(ctx_.node(), ctx_.pid(), span_, ctx_.now());
+      if (hist_ != obs::kNoTag) reg.Observe(hist_, ctx_.now() - start_);
+    }
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Context& ctx_;
+  obs::TagId span_;
+  obs::TagId hist_;
+  bool active_;
+  SimTime start_ = 0;
 };
 
 }  // namespace pstk::sim

@@ -80,9 +80,14 @@ double TaskRt::data_scale() const { return app_.data_scale(); }
 
 void TaskRt::ChargeRecords(std::uint64_t records, Bytes bytes) {
   const double inflate = 1.0 / app_.data_scale();
-  ctx_.Compute(inflate *
-               (static_cast<double>(records) * app_.options.cpu_per_record +
-                static_cast<double>(bytes) * app_.options.cpu_per_byte));
+  const SimTime seconds =
+      inflate *
+      (static_cast<double>(records) * app_.options.cpu_per_record +
+       static_cast<double>(bytes) * app_.options.cpu_per_byte);
+  ctx_.Compute(seconds);
+  if (app_.obs != nullptr) {
+    app_.obs->Observe(app_.obs_tags.time_compute, seconds);
+  }
 }
 
 void TaskRt::ChargeSerde(std::uint64_t records, Bytes actual_bytes) {
@@ -98,9 +103,13 @@ PartitionHandle TaskRt::Evaluate(RddBase& rdd, int p) {
             app_.block_store->Lookup(executor_, rdd.id(), p)) {
       ++app_.stats.cache_hits;
       if (block->on_disk) {
+        const SimTime t0 = ctx_.now();
         const SimTime done = app_.cluster->scratch_disk(node_)->Read(
-            block->modeled_size, ctx_.now());
+            block->modeled_size, t0);
         ctx_.SleepUntil(done);
+        if (app_.obs != nullptr) {
+          app_.obs->Observe(app_.obs_tags.time_persist_io, ctx_.now() - t0);
+        }
       }
       return block->data;
     }
@@ -118,9 +127,13 @@ PartitionHandle TaskRt::Evaluate(RddBase& rdd, int p) {
     app_.block_store->Put(executor_, rdd.id(), p, block, &spilled);
     if (spilled > 0) {
       app_.stats.cache_spilled_bytes += spilled;
+      const SimTime t0 = ctx_.now();
       const SimTime done =
-          app_.cluster->scratch_disk(node_)->Write(spilled, ctx_.now());
+          app_.cluster->scratch_disk(node_)->Write(spilled, t0);
       ctx_.SleepUntil(done);
+      if (app_.obs != nullptr) {
+        app_.obs->Observe(app_.obs_tags.time_persist_io, ctx_.now() - t0);
+      }
     }
   }
   return data;
@@ -131,6 +144,7 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
   const int num_maps = app_.shuffle_store.NumMaps(shuffle_id);
   std::vector<const serde::Buffer*> buffers;
   buffers.reserve(static_cast<std::size_t>(num_maps));
+  const SimTime t0 = ctx_.now();
   SimTime last_arrival = ctx_.now();
   SimTime cpu = 0;
   for (int m = 0; m < num_maps; ++m) {
@@ -147,9 +161,17 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
         app_.options.java_serialization_factor));
     if (output->executor == executor_) {
       app_.stats.shuffle_local_bytes += modeled;
+      if (app_.obs != nullptr) {
+        app_.obs->Add(app_.obs_tags.bytes_local, modeled);
+      }
       continue;  // served from the local shuffle file / page cache
     }
     app_.stats.shuffle_fetched_bytes += modeled;
+    if (app_.obs != nullptr) {
+      app_.obs->Add(app_.options.rdma_shuffle ? app_.obs_tags.bytes_rdma
+                                              : app_.obs_tags.bytes_socket,
+                    modeled);
+    }
     // All fetches are issued concurrently (Spark opens several streams);
     // NIC timelines provide the serialization.
     const auto times = app_.shuffle_fabric->Transfer(output->node, node_,
@@ -159,6 +181,9 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
   }
   ctx_.Compute(cpu);
   ctx_.SleepUntil(last_arrival);
+  if (app_.obs != nullptr) {
+    app_.obs->Observe(app_.obs_tags.time_shuffle_net, ctx_.now() - t0);
+  }
   return buffers;
 }
 
@@ -169,9 +194,12 @@ void TaskRt::CommitShuffleOutput(int shuffle_id, int map_partition,
   const Bytes modeled = app_.Modeled(static_cast<Bytes>(
       static_cast<double>(total) * app_.options.java_serialization_factor));
   // Shuffle files land on the executor's local disk.
-  const SimTime done =
-      app_.cluster->scratch_disk(node_)->Write(modeled, ctx_.now());
+  const SimTime t0 = ctx_.now();
+  const SimTime done = app_.cluster->scratch_disk(node_)->Write(modeled, t0);
   ctx_.SleepUntil(done);
+  if (app_.obs != nullptr) {
+    app_.obs->Observe(app_.obs_tags.time_shuffle_disk, ctx_.now() - t0);
+  }
 
   ShuffleStore::MapOutput output;
   output.executor = executor_;
@@ -297,6 +325,7 @@ SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
   TaskSetOutcome outcome;
   if (partitions.empty()) return outcome;
 
+  sim::Scope stage_scope(ctx_, app_.obs_tags.stage);
   const std::uint64_t task_set = app_.next_task_set++;
   app_.closures[task_set] = closure;
 
@@ -427,6 +456,7 @@ SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
 Result<std::vector<serde::Buffer>> SparkContext::RunJob(
     std::shared_ptr<RddBase> final_rdd,
     std::function<serde::Buffer(TaskRt&, int)> result_closure) {
+  sim::Scope job_scope(ctx_, app_.obs_tags.job);
   ctx_.Compute(app_.options.driver_per_job);
   ++app_.stats.jobs;
 
@@ -501,6 +531,19 @@ MiniSpark::MiniSpark(cluster::Cluster& cluster, dfs::MiniDfs* dfs,
   app_->options = std::move(options);
   app_->cluster = &cluster;
   app_->dfs = dfs;
+  app_->obs = &cluster.engine().obs();
+  app_->obs_tags.job = app_->obs->Intern("spark.job");
+  app_->obs_tags.stage = app_->obs->Intern("spark.stage");
+  app_->obs_tags.task = app_->obs->Intern("spark.task");
+  app_->obs_tags.time_compute = app_->obs->Intern("spark.time.compute");
+  app_->obs_tags.time_shuffle_net = app_->obs->Intern("spark.time.shuffle_net");
+  app_->obs_tags.time_shuffle_disk =
+      app_->obs->Intern("spark.time.shuffle_disk");
+  app_->obs_tags.time_persist_io = app_->obs->Intern("spark.time.persist_io");
+  app_->obs_tags.tasks = app_->obs->Intern("spark.tasks");
+  app_->obs_tags.bytes_socket = app_->obs->Intern("spark.shuffle.bytes.socket");
+  app_->obs_tags.bytes_rdma = app_->obs->Intern("spark.shuffle.bytes.rdma");
+  app_->obs_tags.bytes_local = app_->obs->Intern("spark.shuffle.bytes.local");
   app_->control = std::make_unique<net::Network>(
       cluster.engine(), cluster.fabric(app_->options.control_transport));
   app_->shuffle_fabric =
@@ -597,6 +640,8 @@ void MiniSpark::ExecutorMain(sim::Context& ctx, int executor_id) {
     if (closure == app_->closures.end()) continue;  // stale task
 
     ctx.Compute(app_->options.executor_per_task);
+    app_->obs->Add(app_->obs_tags.tasks);
+    sim::Scope task_scope(ctx, app_->obs_tags.task);
     TaskRt rt(*app_, ctx, executor_id, node);
     try {
       serde::Buffer result = closure->second(rt, header.partition);

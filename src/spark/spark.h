@@ -53,11 +53,32 @@ struct AppStats {
   std::uint64_t cache_misses = 0;
 };
 
+/// Interned tags for the Spark layer's obs instrumentation; filled by
+/// MiniSpark against the engine's registry.
+struct SparkObsTags {
+  // Spans (Chrome trace).
+  obs::TagId job = obs::kNoTag;
+  obs::TagId stage = obs::kNoTag;
+  obs::TagId task = obs::kNoTag;
+  // Where-time-goes histograms (virtual seconds per occurrence).
+  obs::TagId time_compute = obs::kNoTag;
+  obs::TagId time_shuffle_net = obs::kNoTag;
+  obs::TagId time_shuffle_disk = obs::kNoTag;
+  obs::TagId time_persist_io = obs::kNoTag;
+  // Counters.
+  obs::TagId tasks = obs::kNoTag;
+  obs::TagId bytes_socket = obs::kNoTag;
+  obs::TagId bytes_rdma = obs::kNoTag;
+  obs::TagId bytes_local = obs::kNoTag;
+};
+
 /// Engine-global application state shared by driver and executors.
 struct AppState {
   SparkOptions options;
   cluster::Cluster* cluster = nullptr;
   dfs::MiniDfs* dfs = nullptr;  // may be null (local-file apps)
+  obs::Registry* obs = nullptr;
+  SparkObsTags obs_tags;
   std::unique_ptr<net::Network> control;      // driver + executor endpoints
   std::shared_ptr<net::Fabric> shuffle_fabric;
   ShuffleStore shuffle_store;

@@ -30,6 +30,18 @@ DiskParams DiskParams::NfsServer() {
   return p;
 }
 
+void Disk::AttachObs(obs::Registry* registry, std::string_view scope) {
+  obs_ = registry;
+  if (obs_ == nullptr) return;
+  const std::string prefix(scope);
+  tag_reads_ = obs_->Intern(prefix + ".reads");
+  tag_writes_ = obs_->Intern(prefix + ".writes");
+  tag_bytes_read_ = obs_->Intern(prefix + ".bytes_read");
+  tag_bytes_written_ = obs_->Intern(prefix + ".bytes_written");
+  tag_op_latency_ = obs_->Intern(prefix + ".op_latency");
+  tag_queue_depth_ = obs_->Intern(prefix + ".queue_depth");
+}
+
 SimTime Disk::Transfer(Bytes bytes, Rate bandwidth, SimTime t) {
   PSTK_CHECK_MSG(!failed_, "I/O on failed disk " << params_.name);
   SimTime duration =
@@ -44,16 +56,29 @@ SimTime Disk::Transfer(Bytes bytes, Rate bandwidth, SimTime t) {
         overlap - params_.contention_threshold + 1);
     duration *= 1.0 + params_.contention_penalty * extra;
   }
-  return timeline_.Acquire(t, duration);
+  const SimTime done = timeline_.Acquire(t, duration);
+  if (obs_ != nullptr) {
+    obs_->Observe(tag_op_latency_, done - t);
+    obs_->Observe(tag_queue_depth_, static_cast<double>(overlap));
+  }
+  return done;
 }
 
 SimTime Disk::Read(Bytes bytes, SimTime t) {
   bytes_read_ += bytes;
+  if (obs_ != nullptr) {
+    obs_->Add(tag_reads_);
+    obs_->Add(tag_bytes_read_, bytes);
+  }
   return Transfer(bytes, params_.read_bandwidth, t);
 }
 
 SimTime Disk::Write(Bytes bytes, SimTime t) {
   bytes_written_ += bytes;
+  if (obs_ != nullptr) {
+    obs_->Add(tag_writes_);
+    obs_->Add(tag_bytes_written_, bytes);
+  }
   return Transfer(bytes, params_.write_bandwidth, t);
 }
 

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/units.h"
+#include "obs/obs.h"
 #include "sim/timeline.h"
 
 namespace pstk::storage {
@@ -47,6 +49,11 @@ class Disk {
   [[nodiscard]] Bytes bytes_written() const { return bytes_written_; }
   [[nodiscard]] SimTime busy_time() const { return timeline_.busy_time(); }
 
+  /// Publish per-op metrics (read/write counters, op-latency and
+  /// queue-depth histograms, scoped `<scope>.*`) into `registry`.
+  /// Optional: a detached disk (nullptr) just skips publication.
+  void AttachObs(obs::Registry* registry, std::string_view scope);
+
  private:
   SimTime Transfer(Bytes bytes, Rate bandwidth, SimTime t);
 
@@ -56,6 +63,14 @@ class Disk {
   bool failed_ = false;
   Bytes bytes_read_ = 0;
   Bytes bytes_written_ = 0;
+
+  obs::Registry* obs_ = nullptr;
+  obs::TagId tag_reads_ = obs::kNoTag;
+  obs::TagId tag_writes_ = obs::kNoTag;
+  obs::TagId tag_bytes_read_ = obs::kNoTag;
+  obs::TagId tag_bytes_written_ = obs::kNoTag;
+  obs::TagId tag_op_latency_ = obs::kNoTag;
+  obs::TagId tag_queue_depth_ = obs::kNoTag;
 };
 
 }  // namespace pstk::storage

@@ -278,6 +278,78 @@ TEST(EngineTest, TraceRecordsEvents) {
   EXPECT_EQ(engine.trace()[1].detail, "two");
 }
 
+TEST(EngineTest, ConditionDropsKilledWaiter) {
+  // Regression: a killed process must not linger in a Condition's waiter
+  // queue, or a later NotifyOne would be swallowed by the corpse instead of
+  // releasing a live waiter.
+  Engine engine;
+  Condition cond;
+  bool victim_released = false;
+  bool survivor_released = false;
+  const Pid victim = engine.Spawn("victim", [&](Context& ctx) {
+    cond.Wait(ctx, "cond");
+    victim_released = true;
+  });
+  engine.Spawn("survivor", [&](Context& ctx) {
+    ctx.Compute(0.5);  // enqueue strictly after the victim
+    cond.Wait(ctx, "cond");
+    survivor_released = true;
+  });
+  engine.Spawn("driver", [&](Context& ctx) {
+    ctx.engine().Kill(victim, 1.0);
+    ctx.SleepUntil(2.0);
+    EXPECT_TRUE(cond.NotifyOne(ctx.engine(), ctx.now()));
+  });
+  auto result = engine.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.killed, 1u);
+  EXPECT_FALSE(victim_released);
+  EXPECT_TRUE(survivor_released);
+}
+
+TEST(EngineTest, ObsCountsSchedulerActivity) {
+  Engine engine;
+  engine.Spawn("a", [](Context& ctx) { ctx.Compute(1.0); });
+  engine.Spawn("b", [](Context& ctx) {
+    ctx.Yield();
+    ctx.Compute(1.0);
+  });
+  ASSERT_TRUE(engine.Run().status.ok());
+  EXPECT_EQ(engine.obs().CounterByName("sim.spawns"), 2u);
+  EXPECT_GE(engine.obs().CounterByName("sim.dispatches"), 2u);
+  // Counters accumulate even with tracing disabled, and no trace events
+  // are recorded.
+  EXPECT_TRUE(engine.obs().events().empty());
+}
+
+TEST(EngineTest, TraceExportIsDeterministic) {
+  auto run_once = [] {
+    Engine engine(7);
+    engine.EnableTrace(true);
+    Condition cond;
+    for (int i = 0; i < 6; ++i) {
+      engine.Spawn("p" + std::to_string(i), [&, i](Context& ctx) {
+        ctx.Compute(ctx.rng().Uniform(0.0, 1.0));
+        ctx.Trace("step", "p" + std::to_string(i));
+        if (i % 2 == 0) {
+          cond.Wait(ctx, "pair");
+        } else {
+          ctx.SleepFor(0.25);
+          cond.NotifyOne(ctx.engine(), ctx.now());
+        }
+      });
+    }
+    EXPECT_TRUE(engine.Run().status.ok());
+    return std::pair(engine.obs().ToChromeTraceJson(),
+                     engine.obs().CounterByName("sim.dispatches"));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);  // byte-identical JSON
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.first.find("\"traceEvents\""), std::string::npos);
+}
+
 TEST(EngineTest, ManyProcesses) {
   Engine engine;
   std::atomic<int> done{0};
