@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/log.h"
+#include "verify/checkers.h"
 
 namespace pstk::bench {
 
@@ -21,6 +22,8 @@ void Observability::ParseFlags(int* argc, char** argv) {
       trace_path_ = std::string(arg.substr(std::strlen("--trace=")));
     } else if (arg == "--metrics") {
       metrics_ = true;
+    } else if (arg == "--verify") {
+      verify_ = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -31,6 +34,7 @@ void Observability::ParseFlags(int* argc, char** argv) {
 
 void Observability::Attach(sim::Engine& engine) {
   if (active() || metrics_) engine.EnableTrace(true);
+  if (verify_) verify::InstallAll(engine.verify());
 }
 
 void Observability::Collect(sim::Engine& engine, const std::string& label) {
@@ -41,6 +45,10 @@ void Observability::Collect(sim::Engine& engine, const std::string& label) {
   }
   ++runs_;
   if (metrics_) engine.obs().MetricsTable(label).Print();
+  if (verify_) {
+    std::printf("--- verify: %s ---\n%s", label.c_str(),
+                engine.verify().RenderReport().c_str());
+  }
 }
 
 bool Observability::Finish() {

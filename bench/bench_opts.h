@@ -3,6 +3,9 @@
 // Every bench accepts:
 //   --trace=<file>   write a merged Chrome trace_event JSON of all runs
 //   --metrics        print a per-run metrics table (counters + histograms)
+//   --verify         install the runtime-verification checkers (MPI usage,
+//                    SHMEM synchronization, Spark/MR invariants) and print
+//                    a findings report per run
 //
 // Usage pattern (see fig6_pagerank_bdb.cc):
 //   int main(int argc, char** argv) {
@@ -26,15 +29,18 @@ class Observability {
  public:
   static Observability& Instance();
 
-  /// Strip --trace=<file> and --metrics from argv (compacting in place and
-  /// updating *argc) so downstream key=value config parsing never sees them.
+  /// Strip --trace=<file>, --metrics, and --verify from argv (compacting in
+  /// place and updating *argc) so downstream key=value config parsing never
+  /// sees them.
   void ParseFlags(int* argc, char** argv);
 
   /// True when --trace was given (runs should record spans/histograms).
   [[nodiscard]] bool active() const { return !trace_path_.empty(); }
   [[nodiscard]] bool metrics() const { return metrics_; }
+  [[nodiscard]] bool verify() const { return verify_; }
 
-  /// Enable the engine's instrumentation bus when --trace/--metrics is on.
+  /// Enable the engine's instrumentation bus when --trace/--metrics is on
+  /// and install the verification checkers when --verify is on.
   void Attach(sim::Engine& engine);
 
   /// Harvest one finished engine: append its events to the merged trace
@@ -51,6 +57,7 @@ class Observability {
 
   std::string trace_path_;
   bool metrics_ = false;
+  bool verify_ = false;
   std::string events_json_;
   int runs_ = 0;
 };

@@ -1,6 +1,6 @@
 // Table III: maintainability analysis — lines of code and boilerplate
 // share of the four AnswersCount implementations (the example programs in
-// examples/answerscount_*.cpp, measured between their BENCHMARK-BEGIN/END
+// examples/answerscount_*.cc, measured between their BENCHMARK-BEGIN/END
 // markers, exactly like the paper counted benchmark bodies).
 //
 //   ./build/bench/table3_loc [root=<repo root>]
@@ -38,17 +38,17 @@ int main(int argc, char** argv) {
   // Boilerplate = framework setup/teardown/plumbing, not algorithm logic.
   const Subject subjects[] = {
       {"OpenMP",
-       "examples/answerscount_omp.cpp",
+       "examples/answerscount_omp.cc",
        {"omp::Runtime", "ReadAll", "return;"}},
       {"MPI",
-       "examples/answerscount_mpi.cpp",
+       "examples/answerscount_mpi.cc",
        {"File::OpenAll", "ReadLinesAtAll", "Reduce<", "comm.rank",
         "comm.size", "INT_MAX", "int32_t", "return;"}},
       {"Hadoop MR",
-       "examples/answerscount_mr.cpp",
+       "examples/answerscount_mr.cc",
        {"MrEngine", "JobConf", "conf.", "RunJob", "mr::Emitter"}},
       {"Spark",
-       "examples/answerscount_spark.cpp",
+       "examples/answerscount_spark.cc",
        {"TextFile", "return;"}},
   };
 

@@ -6,9 +6,14 @@
 //    the job finishes with the correct answer.
 //  * MPI: the job has no recovery path — losing a rank aborts it.
 //
-//   ./build/examples/fault_tolerance_demo [nodes=4]
+// With --verify, the runtime checkers annotate both outcomes: the Spark
+// run reports the broken-then-recovered stage barrier, the MPI run's
+// deadlock report names the wait-for cycle among the surviving ranks.
+//
+//   ./build/examples/fault_tolerance_demo [nodes=4] [--verify]
 #include <cstdio>
 
+#include "bench_opts.h"
 #include "cluster/cluster.h"
 #include "common/config.h"
 #include "mpi/mpi.h"
@@ -21,6 +26,7 @@ namespace {
 
 bool RunSparkWithFailure(int nodes) {
   sim::Engine engine;
+  bench::Observability::Instance().Attach(engine);
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
   spark::SparkOptions options;
   options.executors_per_node = 2;
@@ -59,11 +65,13 @@ bool RunSparkWithFailure(int nodes) {
   } else {
     std::printf("\n");
   }
+  bench::Observability::Instance().Collect(engine, "spark+failure");
   return ok;
 }
 
 bool RunMpiWithFailure(int nodes) {
   sim::Engine engine;
+  bench::Observability::Instance().Attach(engine);
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
   mpi::World world(cluster, nodes * 2, 2);
   world.SpawnRanks([](mpi::Comm& comm) {
@@ -83,12 +91,14 @@ bool RunMpiWithFailure(int nodes) {
   std::printf("MPI   + node failure: %s\n",
               aborted ? "job ABORTED (no recovery path)"
                       : "job unexpectedly survived");
+  bench::Observability::Instance().Collect(engine, "mpi+failure");
   return aborted;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability::Instance().ParseFlags(&argc, argv);
   auto config = Config::FromArgs(argc, argv);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
@@ -102,5 +112,6 @@ int main(int argc, char** argv) {
       "\nTakeaway (paper §VI-D): lineage lets Spark recompute exactly the "
       "lost partitions;\nMPI applications need external "
       "checkpoint/restart to survive the same fault.\n");
+  if (!bench::Observability::Instance().Finish()) return 1;
   return spark_ok && mpi_ok ? 0 : 2;
 }

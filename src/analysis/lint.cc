@@ -1,0 +1,319 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace pstk::analysis {
+
+namespace {
+
+/// Source lines with comments stripped (block-comment state carried across
+/// lines), ready for substring heuristics.
+std::vector<std::string> StripComments(const std::string& source) {
+  std::vector<std::string> out;
+  bool in_block_comment = false;
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string code;
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        const auto close = line.find("*/", i);
+        if (close == std::string::npos) {
+          i = line.size();
+        } else {
+          in_block_comment = false;
+          i = close + 2;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      code += line[i];
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text` contains `word` bounded by non-identifier characters.
+bool ContainsWord(const std::string& text, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end == text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool IsLoopHeader(const std::string& code) {
+  return code.find("for (") != std::string::npos ||
+         code.find("for(") != std::string::npos ||
+         code.find("while (") != std::string::npos ||
+         code.find("while(") != std::string::npos;
+}
+
+int BraceDelta(const std::string& code) {
+  int delta = 0;
+  for (char c : code) {
+    if (c == '{') ++delta;
+    if (c == '}') --delta;
+  }
+  return delta;
+}
+
+/// A blocking `X.Send(...)` (not SendAsync/Isend) aimed at a neighbor
+/// computed from the caller's own rank, with a matching Recv nearby: the
+/// classic symmetric exchange that deadlocks under rendezvous.
+void CheckBlockingSymmetricSend(const std::string& file,
+                                const std::vector<std::string>& lines,
+                                std::vector<LintFinding>& out) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i];
+    const auto send = code.find(".Send(");
+    if (send == std::string::npos) continue;
+    if (code.find("SendAsync") != std::string::npos ||
+        code.find("Isend") != std::string::npos) {
+      continue;
+    }
+    // Destination derived from the caller's rank/pe => symmetric pattern.
+    const std::string args = code.substr(send);
+    const bool rank_relative =
+        (ContainsWord(args, "rank") || ContainsWord(args, "pe") ||
+         ContainsWord(args, "partner") || ContainsWord(args, "neighbor")) &&
+        (args.find('+') != std::string::npos ||
+         args.find('-') != std::string::npos ||
+         args.find('^') != std::string::npos ||
+         args.find('%') != std::string::npos);
+    if (!rank_relative) continue;
+    bool recv_nearby = false;
+    for (std::size_t j = i; j < std::min(lines.size(), i + 5); ++j) {
+      if (lines[j].find("Recv(") != std::string::npos) {
+        recv_nearby = true;
+        break;
+      }
+    }
+    if (!recv_nearby) continue;
+    out.push_back(LintFinding{
+        "mpi-blocking-symmetric-send", file, static_cast<int>(i + 1),
+        "blocking Send to a rank-relative peer with a matching Recv "
+        "nearby; use Isend/SendAsync or reorder, or the exchange "
+        "deadlocks once messages cross the rendezvous threshold"});
+  }
+}
+
+/// An RDD variable defined outside a loop, reused inside one, and never
+/// persisted: every iteration recomputes the whole lineage.
+void CheckMissingPersist(const std::string& file,
+                         const std::vector<std::string>& lines,
+                         std::vector<LintFinding>& out) {
+  static const char* const kRddMakers[] = {
+      "sc.Parallelize", "sc.TextFile",   ".Map<",       ".Map(",
+      ".FlatMap",       ".Filter(",      ".KeyBy",      ".ReduceByKey",
+      ".GroupByKey",    ".PartitionBy",  ".Join(",      ".MapValues",
+      ".Distinct(",     ".Union(",
+  };
+
+  struct Candidate {
+    std::size_t decl_line = 0;
+    bool declared_in_loop = false;
+    std::size_t first_loop_use = 0;  // 0 = none
+  };
+  std::map<std::string, Candidate> vars;
+
+  // Pass 1: declarations + loop-use tracking in one sweep.
+  int depth = 0;
+  std::vector<int> loop_stack;  // brace depth at each open loop header
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i];
+    const bool in_loop = !loop_stack.empty();
+
+    // `auto name = <rdd-producing expression>` (also Rdd<T> name = ...).
+    const bool makes_rdd = std::any_of(
+        std::begin(kRddMakers), std::end(kRddMakers),
+        [&](const char* m) { return code.find(m) != std::string::npos; });
+    const auto eq = code.find('=');
+    if (makes_rdd && eq != std::string::npos &&
+        (code.find("auto ") != std::string::npos ||
+         code.find("Rdd<") < eq)) {
+      // Identifier immediately left of '='.
+      std::size_t end = eq;
+      while (end > 0 && std::isspace(static_cast<unsigned char>(
+                            code[end - 1])) != 0) {
+        --end;
+      }
+      std::size_t begin = end;
+      while (begin > 0 && IsIdentChar(code[begin - 1])) --begin;
+      if (begin < end) {
+        const std::string name = code.substr(begin, end - begin);
+        if (vars.count(name) == 0) {
+          vars[name] = Candidate{i + 1, in_loop, 0};
+        }
+      }
+    }
+
+    for (auto& [name, c] : vars) {
+      if (c.first_loop_use != 0 || i + 1 == c.decl_line) continue;
+      if (in_loop && !c.declared_in_loop &&
+          code.find(name + ".") != std::string::npos) {
+        c.first_loop_use = i + 1;
+      }
+    }
+
+    if (IsLoopHeader(code)) loop_stack.push_back(depth);
+    depth += BraceDelta(code);
+    while (!loop_stack.empty() && depth <= loop_stack.back()) {
+      loop_stack.pop_back();
+    }
+  }
+
+  // Pass 2: persisted anywhere?
+  for (const auto& [name, c] : vars) {
+    if (c.first_loop_use == 0) continue;
+    bool persisted = false;
+    for (const std::string& code : lines) {
+      if (code.find(name + ".Persist") != std::string::npos ||
+          code.find(name + ".Cache") != std::string::npos) {
+        persisted = true;
+        break;
+      }
+    }
+    if (persisted) continue;
+    out.push_back(LintFinding{
+        "spark-missing-persist", file, static_cast<int>(c.first_loop_use),
+        "RDD '" + name + "' (defined at line " +
+            std::to_string(c.decl_line) +
+            ") is reused inside a loop without Persist()/Cache(); every "
+            "iteration recomputes its whole lineage"});
+  }
+}
+
+/// `#pragma omp parallel for` without a reduction clause over a body that
+/// accumulates (`+=`) into a variable — a shared-variable data race.
+void CheckOmpSharedReduction(const std::string& file,
+                             const std::vector<std::string>& lines,
+                             std::vector<LintFinding>& out) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i];
+    if (code.find("#pragma omp parallel") == std::string::npos) continue;
+    if (code.find("for") == std::string::npos) continue;
+    if (code.find("reduction(") != std::string::npos) continue;
+    // Scan the loop body (bounded window) for unguarded accumulation.
+    bool guarded = false;
+    for (std::size_t j = i + 1; j < std::min(lines.size(), i + 16); ++j) {
+      const std::string& body = lines[j];
+      if (body.find("#pragma omp atomic") != std::string::npos ||
+          body.find("#pragma omp critical") != std::string::npos) {
+        guarded = true;
+        continue;
+      }
+      if (body.find("+=") == std::string::npos) continue;
+      if (guarded) {
+        guarded = false;  // the guard only covers the next statement
+        continue;
+      }
+      out.push_back(LintFinding{
+          "omp-shared-reduction", file, static_cast<int>(i + 1),
+          "parallel-for accumulates into a shared variable at line " +
+              std::to_string(j + 1) +
+              " without a reduction clause (or omp atomic): data race"});
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintSource(const std::string& file,
+                                    const std::string& source) {
+  const std::vector<std::string> lines = StripComments(source);
+  std::vector<LintFinding> out;
+  CheckBlockingSymmetricSend(file, lines, out);
+  CheckMissingPersist(file, lines, out);
+  CheckOmpSharedReduction(file, lines, out);
+  std::sort(out.begin(), out.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return out;
+}
+
+Result<std::vector<LintFinding>> LintFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSource(path, buffer.str());
+}
+
+Result<std::vector<LintFinding>> LintTree(
+    const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cc" || ext == ".cpp" || ext == ".h") {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) return Internal("cannot walk " + root + ": " + ec.message());
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      return NotFound("lint root not found: " + root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<LintFinding> all;
+  for (const std::string& file : files) {
+    auto findings = LintFile(file);
+    if (!findings.ok()) return findings.status();
+    for (auto& f : findings.value()) all.push_back(std::move(f));
+  }
+  return all;
+}
+
+std::string RenderLintReport(const std::vector<LintFinding>& findings) {
+  std::ostringstream oss;
+  if (findings.empty()) {
+    oss << "pstk-lint: clean (0 findings)\n";
+    return oss.str();
+  }
+  oss << "pstk-lint: " << findings.size() << " finding(s)\n";
+  std::map<std::string, int> by_rule;
+  for (const LintFinding& f : findings) {
+    oss << "  " << f.file << ":" << f.line << ": [" << f.rule << "] "
+        << f.message << "\n";
+    ++by_rule[f.rule];
+  }
+  oss << "by rule:\n";
+  for (const auto& [rule, count] : by_rule) {
+    oss << "  " << rule << ": " << count << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace pstk::analysis

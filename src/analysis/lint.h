@@ -1,0 +1,49 @@
+// pstk-lint: heuristic static scanning of benchmark/example sources for
+// the cross-paradigm misuse patterns the runtime verifier catches
+// dynamically (see src/verify). The rules are line-based heuristics in
+// the spirit of the paper's Table III source analysis — they trade
+// soundness for zero build-system integration: comments are stripped and
+// a small amount of brace/loop structure is tracked, nothing more.
+//
+// Rules:
+//   mpi-blocking-symmetric-send  blocking Send into a rank-symmetric
+//                                exchange (deadlocks once the message
+//                                size crosses the rendezvous threshold)
+//   spark-missing-persist        an RDD built outside a loop, reused
+//                                inside it, and never Persist()/Cache()d
+//                                (recompute storm)
+//   omp-shared-reduction         `#pragma omp parallel for` without a
+//                                reduction clause over a body that
+//                                accumulates into a shared variable
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstk::analysis {
+
+struct LintFinding {
+  std::string rule;     // stable slug, e.g. "spark-missing-persist"
+  std::string file;     // label or path of the offending source
+  int line = 0;         // 1-based line number
+  std::string message;  // human diagnostic
+};
+
+/// Scan one source text. `file` is only used to label findings.
+std::vector<LintFinding> LintSource(const std::string& file,
+                                    const std::string& source);
+
+/// Read and scan one file from the host filesystem.
+Result<std::vector<LintFinding>> LintFile(const std::string& path);
+
+/// Recursively scan every .cc/.cpp/.h under each root (files sorted for
+/// deterministic output). Roots may also name single files.
+Result<std::vector<LintFinding>> LintTree(const std::vector<std::string>& roots);
+
+/// Render findings as a Table III-style report (one row per finding plus
+/// a per-rule summary); "clean" when there are none.
+std::string RenderLintReport(const std::vector<LintFinding>& findings);
+
+}  // namespace pstk::analysis

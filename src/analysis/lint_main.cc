@@ -1,0 +1,37 @@
+// pstk-lint driver: scan source trees for cross-paradigm misuse patterns
+// (see lint.h for the rules) and print a Table III-style report.
+//
+//   ./build/src/analysis/pstk-lint [path...]
+//
+// With no arguments, scans the repo's examples/ and bench/ trees. Exits
+// nonzero only on I/O errors — findings are a report, not a failure, so
+// the repo's own sweep target stays usable as documentation.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) {
+#ifdef PSTK_REPO_ROOT
+    roots = {std::string(PSTK_REPO_ROOT) + "/examples",
+             std::string(PSTK_REPO_ROOT) + "/bench"};
+#else
+    std::fprintf(stderr, "usage: pstk-lint <path>...\n");
+    return 2;
+#endif
+  }
+
+  auto findings = pstk::analysis::LintTree(roots);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "pstk-lint: %s\n",
+                 findings.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(pstk::analysis::RenderLintReport(findings.value()).c_str(),
+             stdout);
+  return 0;
+}

@@ -22,6 +22,11 @@ Comm::Comm(World& world, sim::Context& ctx, int rank, int size, int comm_id,
   PSTK_CHECK_MSG(rank_ >= 0 && rank_ < size_,
                  "rank " << rank_ << " size " << size_ << " comm " << comm_id_);
   PSTK_CHECK(static_cast<int>(group_.size()) == size_);
+  ctx_.engine().verify().OnMpiCommCreated(comm_id_, group_[rank_]);
+}
+
+Comm::~Comm() {
+  ctx_.engine().verify().OnMpiCommDestroyed(comm_id_, group_[rank_]);
 }
 
 int Comm::GlobalRank(int local) const {
@@ -35,7 +40,9 @@ net::Endpoint& Comm::endpoint() {
 
 cluster::Cluster& Comm::cluster() { return world_.cluster_; }
 
-int Comm::NextCollTag() {
+int Comm::NextCollTag(const char* op) {
+  ctx_.engine().verify().OnMpiCollective(comm_id_, size_, group_[rank_], op,
+                                         coll_seq_, ctx_.now());
   // 256 comms x 256 in-flight collectives x 4096 sub-tags.
   const int tag = kCollTagBase | ((comm_id_ & 0xFF) << 20) |
                   ((static_cast<int>(coll_seq_) & 0xFF) << 12);
@@ -63,9 +70,19 @@ void Comm::RawSend(int dest_local, int tag, const void* data, Bytes bytes,
 Bytes Comm::RawRecv(int src_local, int tag, void* data, Bytes max_bytes) {
   const int src = src_local < 0 ? net::kAnySource : GlobalRank(src_local);
   net::Message m = endpoint().Recv(ctx_, src, tag);
-  PSTK_CHECK_MSG(m.payload.size() <= max_bytes,
-                 "message truncation: got " << m.payload.size()
-                                            << " bytes, buffer " << max_bytes);
+  if (m.payload.size() > max_bytes) {
+    verify::Hub& hub = ctx_.engine().verify();
+    if (hub.active()) {
+      // MPI_ERR_TRUNCATE semantics: report, deliver the prefix, continue.
+      hub.OnMpiTruncation(group_[rank_], m.src, m.tag, m.payload.size(),
+                          max_bytes, ctx_.now());
+      std::memcpy(data, m.payload.data(), max_bytes);
+      return max_bytes;
+    }
+    PSTK_CHECK_MSG(false, "message truncation: got "
+                              << m.payload.size() << " bytes, buffer "
+                              << max_bytes);
+  }
   std::memcpy(data, m.payload.data(), m.payload.size());
   return m.payload.size();
 }
@@ -97,6 +114,7 @@ Request Comm::Irecv(void* data, Bytes max_bytes, int source, int tag) {
   request.tag = tag;
   request.buffer = data;
   request.max_bytes = max_bytes;
+  ++outstanding_recvs_;
   return request;
 }
 
@@ -113,6 +131,7 @@ void Comm::Wait(Request& request) {
             RawRecv(request.peer, request.tag, request.buffer,
                     request.max_bytes);
         request.complete = true;
+        --outstanding_recvs_;
       }
       break;
   }
@@ -130,7 +149,7 @@ bool Comm::Iprobe(int source, int tag) {
 void Comm::Barrier() {
   // Dissemination barrier: in round k, rank sends to (rank + 2^k) % n and
   // waits for a token from (rank - 2^k + n) % n.
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("barrier");
   std::uint8_t token = 1;
   for (int k = 0, dist = 1; dist < size_; ++k, dist <<= 1) {
     const int to = (rank_ + dist) % size_;
@@ -141,7 +160,7 @@ void Comm::Barrier() {
 }
 
 void Comm::Bcast(void* data, Bytes bytes, int root) {
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("bcast");
   const int n = size_;
   const int relative = (rank_ - root + n) % n;
 

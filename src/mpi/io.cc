@@ -7,6 +7,27 @@
 
 namespace pstk::mpi {
 
+namespace {
+
+// MPI_File_read_at_all takes its count of MPI_BYTE elements as a C `int`:
+// more than INT_MAX bytes per rank cannot be expressed in one collective
+// read. This is the root cause of the paper's AnswersCount failures below
+// ~40 MPI processes (§V-C, Fig. 4).
+constexpr std::int64_t kMaxIoCount = std::numeric_limits<std::int32_t>::max();
+
+Status CountOverflow(Comm& comm, std::int64_t count, const char* callsite,
+                     const std::string& path) {
+  comm.ctx().engine().verify().OnMpiIoCountOverflow(comm.rank(), count,
+                                                    callsite, path,
+                                                    comm.ctx().now());
+  return OutOfRange(std::string("MPI-IO: ") + callsite + ": count " +
+                    std::to_string(count) +
+                    " exceeds INT_MAX (2147483647) MPI_BYTE elements; a "
+                    "collective read cannot move more than 2 GB per rank");
+}
+
+}  // namespace
+
 Result<File> File::OpenAll(Comm& comm, const std::string& path) {
   comm.Barrier();  // collective open synchronizes the job
   storage::LocalFs& fs = comm.cluster().scratch(comm.node());
@@ -23,6 +44,9 @@ Result<File> File::OpenAll(Comm& comm, const std::string& path) {
 Result<std::string> File::ReadRange(Comm& comm, Bytes modeled_offset,
                                     std::int64_t count) {
   if (count < 0) return InvalidArgument("MPI-IO: negative count");
+  if (count > kMaxIoCount) {
+    return CountOverflow(comm, count, "MPI_File_read_at", path_);
+  }
   if (modeled_offset > modeled_size_) {
     return OutOfRange("MPI-IO: offset past EOF");
   }
@@ -45,13 +69,18 @@ Result<std::string> File::ReadRange(Comm& comm, Bytes modeled_offset,
 }
 
 Result<std::string> File::ReadAt(Comm& comm, Bytes modeled_offset,
-                                 std::int32_t count) {
+                                 std::int64_t count) {
   return ReadRange(comm, modeled_offset, count);
 }
 
 Result<std::string> File::ReadLinesAtAll(Comm& comm, Bytes modeled_offset,
-                                         std::int32_t count) {
+                                         std::int64_t count) {
   if (count < 0) return InvalidArgument("MPI-IO: negative count");
+  // The count check must precede the barrier: when every rank's chunk
+  // overflows they all bail out symmetrically instead of deadlocking.
+  if (count > kMaxIoCount) {
+    return CountOverflow(comm, count, "MPI_File_read_at_all", path_);
+  }
   if (modeled_offset > modeled_size_) {
     return OutOfRange("MPI-IO: offset past EOF");
   }
@@ -93,7 +122,11 @@ Result<std::string> File::ReadLinesAtAll(Comm& comm, Bytes modeled_offset,
 }
 
 Result<std::string> File::ReadAtAll(Comm& comm, Bytes modeled_offset,
-                                    std::int32_t count) {
+                                    std::int64_t count) {
+  if (count < 0) return InvalidArgument("MPI-IO: negative count");
+  if (count > kMaxIoCount) {
+    return CountOverflow(comm, count, "MPI_File_read_at_all", path_);
+  }
   // Collective read: two-phase style exchange is not modeled, but the call
   // synchronizes like MPI_File_read_at_all on a shared handle.
   comm.Barrier();

@@ -151,6 +151,16 @@ class Comm {
   /// same color land in one comm, ordered by key then rank.
   std::unique_ptr<Comm> Split(int color, int key);
 
+  ~Comm();
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  /// Nonblocking receive requests posted but never completed via
+  /// Wait/Waitall (the verify layer flags leaks at MPI_Finalize).
+  [[nodiscard]] int outstanding_recv_requests() const {
+    return outstanding_recvs_;
+  }
+
  private:
   friend class World;
   Comm(World& world, sim::Context& ctx, int rank, int size, int comm_id,
@@ -159,8 +169,9 @@ class Comm {
   /// Translate a comm-local rank to a world endpoint id.
   [[nodiscard]] int GlobalRank(int local) const;
   [[nodiscard]] net::Endpoint& endpoint();
-  /// Tag for the next collective operation (per-comm lockstep sequence).
-  int NextCollTag();
+  /// Tag for the next collective operation (per-comm lockstep sequence);
+  /// `op` names the collective for the verify hub's call-order check.
+  int NextCollTag(const char* op);
   /// Internal raw send/recv with explicit async choice (collectives use
   /// async sends to avoid rendezvous deadlocks on symmetric exchanges).
   void RawSend(int dest_local, int tag, const void* data, Bytes bytes,
@@ -176,6 +187,7 @@ class Comm {
   int comm_id_;
   std::vector<int> group_;  // local rank -> world rank
   std::uint32_t coll_seq_ = 0;
+  int outstanding_recvs_ = 0;
 };
 
 /// The MPI job: spawns one simulated process per rank, block-placed
@@ -218,10 +230,12 @@ class World {
 /// MPI-IO over node-local scratch replicas (the paper's setup: the input
 /// file is replicated to every node's local scratch).
 ///
-/// Offsets and counts are in *modeled* (logical) bytes — and the count of a
-/// collective read is an `int`, exactly like MPI_File_read_at_all's count
-/// of MPI_BYTE elements. Requesting more than INT_MAX modeled bytes per
-/// rank fails, reproducing the paper's 2 GB-per-rank limitation.
+/// Offsets and counts are in *modeled* (logical) bytes. The count
+/// parameter is a wide integer so callers can *express* per-rank reads
+/// above 2 GB, but — exactly like MPI_File_read_at_all, whose count of
+/// MPI_BYTE elements is a C `int` — any count above INT_MAX fails with a
+/// structured diagnostic (and a verify-hub finding when --verify is on),
+/// reproducing the paper's 2 GB-per-rank limitation (§V-C, Fig. 4).
 class File {
  public:
   /// Collective open: every rank checks its node-local replica.
@@ -234,11 +248,11 @@ class File {
   /// `modeled_offset` from its node-local replica. Returns the actual
   /// (scaled-down staged) bytes backing that logical range.
   Result<std::string> ReadAtAll(Comm& comm, Bytes modeled_offset,
-                                std::int32_t count);
+                                std::int64_t count);
 
   /// Independent (non-collective) read, same coordinates.
   Result<std::string> ReadAt(Comm& comm, Bytes modeled_offset,
-                             std::int32_t count);
+                             std::int64_t count);
 
   /// Collective read adjusted to whole text records: the returned data
   /// contains exactly the lines *starting* inside the logical range
@@ -247,7 +261,7 @@ class File {
   /// and reads past its end to finish the last). Ranges that exactly tile
   /// the file yield every line exactly once.
   Result<std::string> ReadLinesAtAll(Comm& comm, Bytes modeled_offset,
-                                     std::int32_t count);
+                                     std::int64_t count);
 
  private:
   File(std::string path, Bytes modeled_size, Bytes actual_size)
@@ -271,7 +285,7 @@ template <typename T, typename Op>
 void Comm::Reduce(std::span<const T> data, std::span<T> out, int root,
                   Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("reduce");
   const int n = size_;
   const int relative = (rank_ - root + n) % n;
   std::vector<T> accum(data.begin(), data.end());
@@ -304,7 +318,7 @@ void Comm::Reduce(std::span<const T> data, std::span<T> out, int root,
 template <typename T, typename Op>
 void Comm::Allreduce(std::span<const T> data, std::span<T> out, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("allreduce");
   const int n = size_;
   std::vector<T> accum(data.begin(), data.end());
   std::vector<T> incoming(data.size());
@@ -360,7 +374,7 @@ void Comm::Allreduce(std::span<const T> data, std::span<T> out, Op op) {
 template <typename T>
 void Comm::Gather(std::span<const T> data, std::span<T> out, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("gather");
   const Bytes bytes = data.size_bytes();
   if (rank_ == root) {
     std::memcpy(out.data() + static_cast<std::size_t>(rank_) * data.size(),
@@ -378,7 +392,7 @@ void Comm::Gather(std::span<const T> data, std::span<T> out, int root) {
 template <typename T>
 void Comm::Allgather(std::span<const T> data, std::span<T> out) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("allgather");
   const std::size_t piece = data.size();
   const Bytes bytes = data.size_bytes();
   std::memcpy(out.data() + static_cast<std::size_t>(rank_) * piece,
@@ -398,7 +412,7 @@ void Comm::Allgather(std::span<const T> data, std::span<T> out) {
 template <typename T>
 void Comm::Scatter(std::span<const T> data, std::span<T> out, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("scatter");
   const std::size_t piece = out.size();
   if (rank_ == root) {
     for (int r = 0; r < size_; ++r) {
@@ -417,7 +431,7 @@ void Comm::Scatter(std::span<const T> data, std::span<T> out, int root) {
 template <typename T>
 void Comm::Alltoall(std::span<const T> data, std::span<T> out) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = NextCollTag();
+  const int tag = NextCollTag("alltoall");
   const std::size_t piece = data.size() / static_cast<std::size_t>(size_);
   const Bytes bytes = piece * sizeof(T);
   std::memcpy(out.data() + static_cast<std::size_t>(rank_) * piece,

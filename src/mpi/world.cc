@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "mpi/mpi.h"
+#include "verify/verify.h"
 
 namespace pstk::mpi {
 
@@ -35,12 +36,28 @@ void World::SpawnRanks(RankBody body) {
     cluster_.engine().Spawn(
         "mpi-rank-" + std::to_string(r),
         [this, r, group, body](sim::Context& ctx) {
-          // mpirun launch + MPI_Init.
+          // mpirun launch + MPI_Init (which registers the rank with its
+          // NIC endpoint, so deadlock wait-for edges resolve immediately).
           ctx.SleepUntil(options_.startup_cost);
+          network_->endpoint(r).Bind(ctx);
           Comm comm(*this, ctx, r, nranks_, /*comm_id=*/0, group);
           body(comm);
           // MPI_Finalize synchronizes the job teardown.
           comm.Barrier();
+          verify::Hub& hub = ctx.engine().verify();
+          if (hub.active()) {
+            // Exiting the dissemination barrier implies every rank has
+            // entered finalize, so all user sends are already deposited:
+            // anything still in the inbox is an unmatched send.
+            std::vector<verify::PendingMessage> unmatched;
+            for (const net::Endpoint::PendingInfo& p :
+                 network_->endpoint(r).Pending()) {
+              unmatched.push_back(
+                  verify::PendingMessage{p.src, p.tag, p.bytes});
+            }
+            hub.OnMpiRankExit(r, unmatched, comm.outstanding_recv_requests(),
+                              ctx.now());
+          }
           job_end_ = std::max(job_end_, ctx.now());
         },
         node);
@@ -57,6 +74,8 @@ Result<SimTime> World::RunSpmd(RankBody body) {
                    " rank(s); job aborted");
   }
   if (!result.status.ok()) return result.status;
+  // Clean completion: flush end-of-job checks (leaked communicators).
+  cluster_.engine().verify().OnJobEnd("mpi", job_end_);
   return job_end_;
 }
 

@@ -312,6 +312,12 @@ void MrEngine::CoordinatorMain(sim::Context& ctx, Job& job) {
         job.running_reduces.erase(reduce_id);
         job.pending_reduces.push_back(reduce_id);
         ++job.counters.task_retries;
+        // The map->reduce stage barrier broke (a reducer ran while map
+        // outputs were missing); the coordinator recovers by re-running.
+        cluster_.engine().verify().OnStageBarrier(
+            "mr", /*stage_id=*/reduce_id,
+            static_cast<int>(job.done_maps.size()),
+            static_cast<int>(total_maps), /*will_recover=*/true, ctx.now());
         break;
       }
       default:

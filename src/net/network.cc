@@ -41,9 +41,19 @@ bool Network::HasEndpoint(int id) const {
          endpoints_[id] != nullptr;
 }
 
+std::vector<Endpoint::PendingInfo> Endpoint::Pending() const {
+  std::vector<PendingInfo> pending;
+  pending.reserve(inbox_.size());
+  for (const Message& m : inbox_) {
+    pending.push_back(PendingInfo{m.src, m.tag, m.size});
+  }
+  return pending;
+}
+
 void Endpoint::Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
                     Bytes modeled_size) {
   if (modeled_size == 0) modeled_size = payload.size();
+  user_pid_ = ctx.pid();
   Endpoint& target = network_.endpoint(dst);
 
   const TransferTimes times = network_.fabric().Transfer(
@@ -69,7 +79,11 @@ void Endpoint::Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
 
   if (rendezvous) {
     // Synchronous semantics for large messages: wait until consumed.
-    ctx.Block("send-rendezvous to ep " + std::to_string(dst));
+    // The receiver owning the destination endpoint must drain it; the
+    // owner is resolved lazily so a receiver that binds after we park
+    // still shows up in deadlock wait-for edges.
+    ctx.BlockOn("send-rendezvous to ep " + std::to_string(dst),
+                [&target]() { return target.user_pid_; });
   } else {
     // Eager: the sender is done once its NIC has pushed the bytes.
     ctx.SleepUntil(times.sender_nic_done);
@@ -79,6 +93,7 @@ void Endpoint::Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
 void Endpoint::SendAsync(sim::Context& ctx, int dst, int tag,
                          serde::Buffer payload, Bytes modeled_size) {
   if (modeled_size == 0) modeled_size = payload.size();
+  user_pid_ = ctx.pid();
   ctx.engine().obs().Add(network_.tag_async_);
   Endpoint& target = network_.endpoint(dst);
 
@@ -122,6 +137,7 @@ std::size_t Endpoint::FindMatch(int src, int tag) const {
 Message Endpoint::Recv(sim::Context& ctx, int src, int tag) {
   PSTK_CHECK_MSG(waiter_ == sim::kNoPid,
                  "endpoint " << id_ << " already has a receiver parked");
+  user_pid_ = ctx.pid();
   for (;;) {
     const std::size_t idx = FindMatch(src, tag);
     if (idx != kNoMatch) {
@@ -146,8 +162,17 @@ Message Endpoint::Recv(sim::Context& ctx, int src, int tag) {
       waiter_ = sim::kNoPid;
     } else {
       waiter_ = ctx.pid();
-      ctx.Block("recv src=" + std::to_string(src) +
-                " tag=" + std::to_string(tag));
+      // The expected sender (when named) owns the wait-for edge; wildcard
+      // receives have no single owner. Resolution is lazy: a peer that
+      // binds its endpoint after we park is still a valid edge target.
+      Network* net = &network_;
+      ctx.BlockOn("recv src=" + std::to_string(src) +
+                      " tag=" + std::to_string(tag),
+                  [net, src]() {
+                    return src != kAnySource && net->HasEndpoint(src)
+                               ? net->endpoint(src).user_pid_
+                               : sim::kNoPid;
+                  });
       waiter_ = sim::kNoPid;
     }
   }
@@ -158,6 +183,7 @@ std::optional<Message> Endpoint::RecvWithTimeout(sim::Context& ctx,
                                                  int tag) {
   PSTK_CHECK_MSG(waiter_ == sim::kNoPid,
                  "endpoint " << id_ << " already has a receiver parked");
+  user_pid_ = ctx.pid();
   for (;;) {
     if (auto message = TryRecv(ctx, src, tag)) return message;
     if (ctx.now() >= deadline) return std::nullopt;
@@ -172,6 +198,7 @@ std::optional<Message> Endpoint::RecvWithTimeout(sim::Context& ctx,
 }
 
 std::optional<Message> Endpoint::TryRecv(sim::Context& ctx, int src, int tag) {
+  user_pid_ = ctx.pid();
   const std::size_t idx = FindMatch(src, tag);
   if (idx == kNoMatch || inbox_[idx].arrival > ctx.now()) return std::nullopt;
   Message message = std::move(inbox_[idx]);

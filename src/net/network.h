@@ -75,6 +75,22 @@ class Endpoint {
   [[nodiscard]] int node() const { return node_; }
   [[nodiscard]] std::size_t inbox_size() const { return inbox_.size(); }
 
+  /// (src, tag, modeled size) of every message still in the inbox — used
+  /// by the verify layer to flag unmatched sends when the owner exits.
+  struct PendingInfo {
+    int src;
+    int tag;
+    Bytes bytes;
+  };
+  [[nodiscard]] std::vector<PendingInfo> Pending() const;
+
+  /// The process last seen using this endpoint (deadlock holder edges).
+  [[nodiscard]] sim::Pid user_pid() const { return user_pid_; }
+
+  /// Register the calling process as this endpoint's owner (runtimes call
+  /// this at init so wait-for edges resolve even before any traffic).
+  void Bind(sim::Context& ctx) { user_pid_ = ctx.pid(); }
+
  private:
   friend class Network;
   Endpoint(Network& network, int id, int node)
@@ -88,6 +104,7 @@ class Endpoint {
   int node_;
   std::deque<Message> inbox_;
   sim::Pid waiter_ = sim::kNoPid;  // process parked in Recv, if any
+  sim::Pid user_pid_ = sim::kNoPid;  // last process to use this endpoint
 };
 
 /// Factory/owner of endpoints over one Fabric.

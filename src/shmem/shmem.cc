@@ -110,6 +110,9 @@ std::uint8_t* Pe::HeapAt(int pe, Bytes offset) {
 void Pe::RawPut(Bytes offset, const void* src, Bytes bytes, int target_pe) {
   PSTK_CHECK_MSG(target_pe >= 0 && target_pe < world_.npes_,
                  "bad target PE " << target_pe);
+  ctx_.engine().verify().OnShmemAccess(pe_, target_pe, offset, bytes,
+                                       /*write=*/true, /*atomic=*/false,
+                                       ctx_.now());
   const auto times = world_.fabric_->RdmaWrite(
       ctx_.node(), world_.NodeOfPe(target_pe), bytes, ctx_.now());
   ctx_.Compute(times.sender_cpu);
@@ -128,6 +131,9 @@ void Pe::RawPut(Bytes offset, const void* src, Bytes bytes, int target_pe) {
 void Pe::RawGet(void* dest, Bytes offset, Bytes bytes, int target_pe) {
   PSTK_CHECK_MSG(target_pe >= 0 && target_pe < world_.npes_,
                  "bad target PE " << target_pe);
+  ctx_.engine().verify().OnShmemAccess(pe_, target_pe, offset, bytes,
+                                       /*write=*/false, /*atomic=*/false,
+                                       ctx_.now());
   const auto times = world_.fabric_->RdmaRead(
       ctx_.node(), world_.NodeOfPe(target_pe), bytes, ctx_.now());
   ctx_.Compute(times.sender_cpu);
@@ -139,6 +145,9 @@ void Pe::Quiet() { ctx_.SleepUntil(last_put_completion_); }
 
 std::int64_t Pe::AtomicFetchAdd(SymPtr<std::int64_t> target,
                                 std::int64_t value, int target_pe) {
+  ctx_.engine().verify().OnShmemAccess(pe_, target_pe, target.offset,
+                                       sizeof(std::int64_t), /*write=*/true,
+                                       /*atomic=*/true, ctx_.now());
   const auto times = world_.fabric_->RdmaRead(
       ctx_.node(), world_.NodeOfPe(target_pe), sizeof(std::int64_t),
       ctx_.now());
@@ -156,6 +165,9 @@ std::int64_t Pe::AtomicFetchAdd(SymPtr<std::int64_t> target,
 std::int64_t Pe::AtomicCompareSwap(SymPtr<std::int64_t> target,
                                    std::int64_t expected, std::int64_t desired,
                                    int target_pe) {
+  ctx_.engine().verify().OnShmemAccess(pe_, target_pe, target.offset,
+                                       sizeof(std::int64_t), /*write=*/true,
+                                       /*atomic=*/true, ctx_.now());
   const auto times = world_.fabric_->RdmaRead(
       ctx_.node(), world_.NodeOfPe(target_pe), sizeof(std::int64_t),
       ctx_.now());
@@ -176,7 +188,13 @@ void Pe::WaitUntil(SymPtr<std::int64_t> ivar, Cmp cmp, std::int64_t value) {
                  "PE " << pe_ << " already has a parked wait_until");
   for (;;) {
     const std::int64_t current = *Local(ivar);
-    if (Compare(current, cmp, value)) return;
+    if (Compare(current, cmp, value)) {
+      // Point-to-point synchronization: the waiter now happens-after every
+      // write to the watched ivar.
+      ctx_.engine().verify().OnShmemWaitSatisfied(pe_, ivar.offset,
+                                                  ctx_.now());
+      return;
+    }
     waiter_slot = ctx_.pid();
     ctx_.Block("shmem wait_until");
     waiter_slot = sim::kNoPid;
@@ -185,6 +203,7 @@ void Pe::WaitUntil(SymPtr<std::int64_t> ivar, Cmp cmp, std::int64_t value) {
 
 void Pe::BarrierAll() {
   Quiet();  // barrier implies completion of outstanding puts
+  ctx_.engine().verify().OnShmemBarrier(pe_, world_.npes_, ctx_.now());
   const int tag =
       kCollTagBase | ((static_cast<int>(coll_seq_) & 0xFFF) << 12);
   ++coll_seq_;

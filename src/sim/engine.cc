@@ -49,6 +49,14 @@ SimTime Context::Block(std::string_view reason) {
   return engine_.ProcBlock(pid_, reason);
 }
 
+SimTime Context::BlockOn(std::string_view reason, Pid holder) {
+  return engine_.ProcBlock(pid_, reason, holder);
+}
+
+SimTime Context::BlockOn(std::string_view reason, std::function<Pid()> holder) {
+  return engine_.ProcBlock(pid_, reason, kNoPid, std::move(holder));
+}
+
 SimTime Context::BlockUntil(SimTime t, std::string_view reason) {
   return engine_.ProcBlockUntil(pid_, t, reason);
 }
@@ -213,6 +221,86 @@ std::string Engine::DescribeBlocked() const {
   return oss.str();
 }
 
+namespace {
+// "mpi-rank-3" -> "mpi"; "shmem-pe-0" -> "shmem"; "driver" -> "driver".
+std::string FrameworkOf(const std::string& name) {
+  const auto dash = name.find('-');
+  return dash == std::string::npos ? name : name.substr(0, dash);
+}
+}  // namespace
+
+std::string Engine::DeadlockReport() const {
+  std::ostringstream oss;
+  oss << "wait-for graph:\n";
+  std::map<std::string, int> blame;
+  for (Pid pid = 0; pid < procs_.size(); ++pid) {
+    const Proc& p = *procs_[pid];
+    if (p.state != State::kBlocked) continue;
+    ++blame[FrameworkOf(p.name)];
+    oss << "  " << p.name << " (pid " << pid << ", t=" << p.clock
+        << ") waits [" << p.wait_reason << "]";
+    const Pid held_by = p.WaitHolder();
+    if (held_by != kNoPid && held_by < procs_.size()) {
+      const Proc& h = *procs_[held_by];
+      oss << " -> held by " << h.name << " (pid " << held_by << ")";
+    } else {
+      oss << " -> held by (no known owner)";
+    }
+    oss << "\n";
+  }
+
+  // Cycle extraction. Each blocked process has at most one wait-for edge
+  // (its holder), so the graph is functional: follow holders, coloring
+  // nodes; re-meeting a node from the current walk closes a cycle.
+  //   0 = unvisited, 1 = on the current walk, 2 = finished.
+  std::vector<std::uint8_t> color(procs_.size(), 0);
+  std::vector<std::string> cycles;
+  auto blocked_holder = [&](Pid pid) -> Pid {
+    const Proc& p = *procs_[pid];
+    if (p.state != State::kBlocked) return kNoPid;
+    const Pid held_by = p.WaitHolder();
+    if (held_by == kNoPid || held_by >= procs_.size()) return kNoPid;
+    return procs_[held_by]->state == State::kBlocked ? held_by : kNoPid;
+  };
+  for (Pid start = 0; start < procs_.size(); ++start) {
+    if (color[start] != 0 || procs_[start]->state != State::kBlocked) continue;
+    std::vector<Pid> walk;
+    Pid cur = start;
+    while (cur != kNoPid && color[cur] == 0) {
+      color[cur] = 1;
+      walk.push_back(cur);
+      cur = blocked_holder(cur);
+    }
+    if (cur != kNoPid && color[cur] == 1) {
+      // cur is on the current walk: the suffix from cur is a cycle.
+      std::ostringstream cyc;
+      bool in_cycle = false;
+      for (Pid pid : walk) {
+        if (pid == cur) in_cycle = true;
+        if (in_cycle) cyc << procs_[pid]->name << " -> ";
+      }
+      cyc << procs_[cur]->name;
+      cycles.push_back(cyc.str());
+    }
+    for (Pid pid : walk) color[pid] = 2;
+  }
+
+  if (cycles.empty()) {
+    oss << "no wait-for cycle among simulated processes (a process waits "
+           "on an event that never fires)\n";
+  } else {
+    for (const std::string& cycle : cycles) {
+      oss << "wait-for cycle: " << cycle << "\n";
+    }
+  }
+  oss << "blame:";
+  for (const auto& [framework, count] : blame) {
+    oss << " " << framework << "=" << count;
+  }
+  oss << " blocked process(es)\n";
+  return oss.str();
+}
+
 void Engine::StartThread(Pid pid) {
   Proc& p = *procs_[pid];
   PSTK_CHECK(!p.thread_started);
@@ -292,15 +380,20 @@ void Engine::CheckKilled(Proc& p) {
   if (p.kill_requested) throw ProcessKilled{};
 }
 
-SimTime Engine::ProcBlock(Pid pid, std::string_view reason) {
+SimTime Engine::ProcBlock(Pid pid, std::string_view reason, Pid holder,
+                          std::function<Pid()> holder_fn) {
   Proc& p = *procs_[pid];
   PSTK_CHECK(p.state == State::kRunning);
   p.state = State::kBlocked;
   p.wait_reason = reason;
+  p.wait_holder = holder;
+  p.wait_holder_fn = std::move(holder_fn);
   if (obs_.enabled()) {
     obs_.Instant(p.node, pid, tags_.block, p.clock, obs_.Intern(reason));
   }
   ProcYieldToEngine(p);
+  p.wait_holder = kNoPid;
+  p.wait_holder_fn = nullptr;
   return p.clock;
 }
 
@@ -357,8 +450,15 @@ RunResult Engine::Run() {
     if (p->state == State::kBlocked) ++blocked;
   }
   if (blocked > 0) {
-    result.status = Internal("simulation deadlock; blocked processes:\n" +
-                             DescribeBlocked());
+    const std::string report = DeadlockReport();
+    if (verify_.active()) {
+      // A deadlock after fault injection is the expected teardown of a
+      // non-fault-tolerant job, not a usage bug — downgrade to a warning.
+      verify_.Report(verify::Finding{
+          killed_ > 0 ? verify::Severity::kWarning : verify::Severity::kError,
+          "deadlock", "sim-deadlock", report, "", frontier_});
+    }
+    result.status = Internal("simulation deadlock; " + report);
     // JoinAll force-kills the blocked threads, but those deaths are cleanup,
     // not simulated faults — result.killed keeps the pre-teardown count.
     JoinAll();

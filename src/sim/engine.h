@@ -42,6 +42,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "obs/obs.h"
+#include "verify/verify.h"
 
 namespace pstk::sim {
 
@@ -102,6 +103,16 @@ class Context {
   /// Engine::Wake(pid, t). Returns the wake timestamp actually applied.
   /// `reason` shows up in deadlock reports.
   SimTime Block(std::string_view reason);
+
+  /// Like Block, but names the process expected to provide the wake-up
+  /// (the resource owner): deadlock reports use it as this process's
+  /// wait-for edge, enabling cycle extraction.
+  SimTime BlockOn(std::string_view reason, Pid holder);
+
+  /// BlockOn with a lazily resolved holder: `holder` runs at report time,
+  /// so an owner registered *after* this process parked (e.g. the peer
+  /// rank binding its endpoint at the same virtual instant) is still seen.
+  SimTime BlockOn(std::string_view reason, std::function<Pid()> holder);
 
   /// Park until time `t`, but wakeable earlier via Engine::Wake.
   SimTime BlockUntil(SimTime t, std::string_view reason);
@@ -178,6 +189,17 @@ class Engine {
   /// Blocked-process snapshot, for deadlock diagnostics.
   [[nodiscard]] std::string DescribeBlocked() const;
 
+  /// Structured deadlock diagnosis: the wait-for graph (process → wait
+  /// reason → holding process), every cycle in it, and per-framework
+  /// blame (grouped by process-name prefix). Used by Run() when blocked
+  /// processes remain; also reported into verify() when checkers are on.
+  [[nodiscard]] std::string DeadlockReport() const;
+
+  /// The engine's runtime-verification hub. Inactive (and free) until a
+  /// checker is installed (see verify/checkers.h, bench --verify).
+  [[nodiscard]] verify::Hub& verify() { return verify_; }
+  [[nodiscard]] const verify::Hub& verify() const { return verify_; }
+
  private:
   friend class Context;
 
@@ -207,11 +229,21 @@ class Engine {
     bool kill_requested = false;
     bool thread_started = false;
     std::string wait_reason;
+    Pid wait_holder = kNoPid;  // who is expected to wake us (BlockOn)
+    std::function<Pid()> wait_holder_fn;  // lazy holder, wins over the pid
     std::exception_ptr error;
+
+    /// The wait-for edge as of now: lazy resolvers see owners registered
+    /// after this process parked.
+    [[nodiscard]] Pid WaitHolder() const {
+      return wait_holder_fn ? wait_holder_fn() : wait_holder;
+    }
   };
 
   // -- called from process threads --------------------------------------
-  SimTime ProcBlock(Pid pid, std::string_view reason);          // indefinite
+  SimTime ProcBlock(Pid pid, std::string_view reason,
+                    Pid holder = kNoPid,
+                    std::function<Pid()> holder_fn = nullptr);  // indefinite
   SimTime ProcBlockUntil(Pid pid, SimTime t, std::string_view reason);
   void ProcYieldToEngine(Proc& p);  // park thread, hand control back
   void CheckKilled(Proc& p);
@@ -240,6 +272,7 @@ class Engine {
   bool running_loop_ = false;
 
   obs::Registry obs_;
+  verify::Hub verify_;
   struct SimTags {
     obs::TagId dispatches = obs::kNoTag;  // counter: proc dispatches
     obs::TagId events = obs::kNoTag;      // counter: engine events run

@@ -54,6 +54,21 @@ TaskHeader DecodeHeader(serde::Reader& r) {
   return h;
 }
 
+/// Collect every lineage edge (child -> parent) reachable from `rdd` for
+/// the verify hub's acyclicity check.
+void CollectLineage(RddBase& rdd, std::set<int>& seen,
+                    std::vector<verify::LineageEdge>& out) {
+  if (!seen.insert(rdd.id()).second) return;
+  for (const auto& parent : rdd.narrow_parents) {
+    out.push_back(verify::LineageEdge{rdd.id(), parent->id()});
+    CollectLineage(*parent, seen, out);
+  }
+  for (const auto& dep : rdd.shuffle_deps) {
+    out.push_back(verify::LineageEdge{rdd.id(), dep->parent_ptr()->id()});
+    CollectLineage(*dep->parent_ptr(), seen, out);
+  }
+}
+
 /// Collect the job's shuffle dependencies in parents-first order.
 void CollectShuffleDeps(RddBase& rdd, std::set<int>& seen_rdds,
                         std::set<int>& seen_shuffles,
@@ -117,6 +132,10 @@ PartitionHandle TaskRt::Evaluate(RddBase& rdd, int p) {
   }
 
   PartitionHandle data = rdd.Compute(*this, p);
+  if (app_.verify != nullptr) {
+    app_.verify->OnSparkPartitionComputed(
+        rdd.id(), p, rdd.storage_level != StorageLevel::kNone, ctx_.now());
+  }
 
   if (rdd.storage_level != StorageLevel::kNone) {
     BlockStore::Block block;
@@ -151,6 +170,18 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
     const ShuffleStore::MapOutput* output =
         app_.shuffle_store.GetMapOutput(shuffle_id, m);
     if (output == nullptr || !app_.ExecutorAlive(output->executor)) {
+      if (app_.verify != nullptr && app_.verify->active()) {
+        int ready = 0;
+        for (int i = 0; i < num_maps; ++i) {
+          const ShuffleStore::MapOutput* o =
+              app_.shuffle_store.GetMapOutput(shuffle_id, i);
+          if (o != nullptr && app_.ExecutorAlive(o->executor)) ++ready;
+        }
+        // The stage barrier broke (a reducer started with map outputs
+        // missing), but lineage-based recovery will recompute them.
+        app_.verify->OnStageBarrier("spark", shuffle_id, ready, num_maps,
+                                    /*will_recover=*/true, ctx_.now());
+      }
       throw FetchFailed{shuffle_id};
     }
     const serde::Buffer& bucket =
@@ -466,6 +497,12 @@ Result<std::vector<serde::Buffer>> SparkContext::RunJob(
     std::set<int> seen_shuffles;
     CollectShuffleDeps(*final_rdd, seen_rdds, seen_shuffles, deps);
   }
+  if (app_.verify != nullptr && app_.verify->active()) {
+    std::vector<verify::LineageEdge> edges;
+    std::set<int> seen;
+    CollectLineage(*final_rdd, seen, edges);
+    app_.verify->OnSparkLineage(edges);
+  }
 
   std::map<int, serde::Buffer> results;
   std::set<int> result_done;
@@ -532,6 +569,7 @@ MiniSpark::MiniSpark(cluster::Cluster& cluster, dfs::MiniDfs* dfs,
   app_->cluster = &cluster;
   app_->dfs = dfs;
   app_->obs = &cluster.engine().obs();
+  app_->verify = &cluster.engine().verify();
   app_->obs_tags.job = app_->obs->Intern("spark.job");
   app_->obs_tags.stage = app_->obs->Intern("spark.stage");
   app_->obs_tags.task = app_->obs->Intern("spark.task");

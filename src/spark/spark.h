@@ -78,6 +78,7 @@ struct AppState {
   cluster::Cluster* cluster = nullptr;
   dfs::MiniDfs* dfs = nullptr;  // may be null (local-file apps)
   obs::Registry* obs = nullptr;
+  verify::Hub* verify = nullptr;  // engine-owned runtime-verification hub
   SparkObsTags obs_tags;
   std::unique_ptr<net::Network> control;      // driver + executor endpoints
   std::shared_ptr<net::Fabric> shuffle_fabric;

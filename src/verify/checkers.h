@@ -1,0 +1,30 @@
+// The concrete runtime checkers installable on a verify::Hub:
+//
+//  * MpiUsageChecker   — MUST-style MPI usage: unmatched sends, message
+//    truncation, leaked requests/communicators, cross-rank collective
+//    call-order consistency, MPI-IO INT_MAX count overflow (Fig. 4).
+//  * ShmemSyncChecker  — vector-clock happens-before over symmetric-heap
+//    put/get/atomics vs. barrier/wait_until; flags racy accesses.
+//  * SparkInvariantChecker — lineage acyclicity, stage-barrier violations,
+//    recompute-storm warnings for un-persisted iteratively reused RDDs
+//    (the Fig. 5/6 persist() lesson as a diagnostic).
+//
+// The deadlock explainer (wait-for graph + cycle extraction) lives in
+// sim::Engine itself — it reports into the same Hub under checker
+// "deadlock".
+#pragma once
+
+#include <memory>
+
+#include "verify/verify.h"
+
+namespace pstk::verify {
+
+std::unique_ptr<Checker> MakeMpiUsageChecker();
+std::unique_ptr<Checker> MakeShmemSyncChecker();
+std::unique_ptr<Checker> MakeSparkInvariantChecker();
+
+/// Install every checker on the hub (what `--verify` does).
+void InstallAll(Hub& hub);
+
+}  // namespace pstk::verify

@@ -1,0 +1,126 @@
+// MUST-style MPI usage checker: correctness diagnostics for the MiniMPI
+// runtime, reported as structured findings instead of hangs or aborts.
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "verify/checkers.h"
+
+namespace pstk::verify {
+
+namespace {
+
+// Collective tags start here in MiniMPI/MiniSHMEM; messages at or above
+// this tag are runtime-internal (barrier tokens etc.), not user traffic.
+constexpr int kCollTagBase = 0x40000000;
+
+class MpiUsageChecker final : public Checker {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "mpi-usage"; }
+
+  void OnMpiCollective(int comm_id, int comm_size, int rank,
+                       std::string_view op, std::uint32_t seq,
+                       SimTime t) override {
+    (void)comm_size;
+    auto [it, inserted] =
+        first_call_.try_emplace({comm_id, seq}, FirstCall{std::string(op), rank});
+    if (inserted) return;
+    const FirstCall& first = it->second;
+    if (first.op == op) return;
+    std::ostringstream msg;
+    msg << "collective call-order mismatch on comm " << comm_id
+        << ": at collective #" << seq << " rank " << rank << " called "
+        << op << " while rank " << first.rank << " called " << first.op;
+    Report(Finding{Severity::kError, "mpi-usage", "mpi-collective-mismatch",
+                   msg.str(), "rank " + std::to_string(rank), t});
+  }
+
+  void OnMpiTruncation(int rank, int src, int tag, Bytes got, Bytes buffer,
+                       SimTime t) override {
+    std::ostringstream msg;
+    msg << "message truncation at rank " << rank << ": received " << got
+        << " bytes from endpoint " << src << " (tag " << tag
+        << ") into a " << buffer
+        << "-byte buffer; payload truncated (MPI_ERR_TRUNCATE)";
+    Report(Finding{Severity::kError, "mpi-usage", "mpi-truncation", msg.str(),
+                   "rank " + std::to_string(rank), t});
+  }
+
+  void OnMpiRankExit(int rank, const std::vector<PendingMessage>& unmatched,
+                     int leaked_requests, SimTime t) override {
+    for (const PendingMessage& m : unmatched) {
+      if (m.tag >= kCollTagBase) continue;  // runtime-internal traffic
+      std::ostringstream msg;
+      msg << "unmatched send: a " << m.bytes << "-byte message from endpoint "
+          << m.src << " with tag " << m.tag << " was never received by rank "
+          << rank << " (it reached MPI_Finalize with the message pending)";
+      Report(Finding{Severity::kError, "mpi-usage", "mpi-unmatched-send",
+                     msg.str(), "rank " + std::to_string(rank), t});
+    }
+    if (leaked_requests > 0) {
+      std::ostringstream msg;
+      msg << "rank " << rank << " reached MPI_Finalize with "
+          << leaked_requests
+          << " outstanding nonblocking receive request(s) never completed "
+             "by MPI_Wait/MPI_Waitall (request leak)";
+      Report(Finding{Severity::kError, "mpi-usage", "mpi-request-leak",
+                     msg.str(), "rank " + std::to_string(rank), t});
+    }
+  }
+
+  void OnMpiCommCreated(int comm_id, int rank) override {
+    ++live_comms_[{comm_id, rank}];
+  }
+
+  void OnMpiCommDestroyed(int comm_id, int rank) override {
+    auto it = live_comms_.find({comm_id, rank});
+    if (it == live_comms_.end()) return;
+    if (--it->second <= 0) live_comms_.erase(it);
+  }
+
+  void OnMpiIoCountOverflow(int rank, std::int64_t count,
+                            std::string_view callsite, std::string_view path,
+                            SimTime t) override {
+    std::ostringstream msg;
+    msg << callsite << " at rank " << rank << " on \"" << path
+        << "\": count " << count << " exceeds INT_MAX (2147483647); the "
+        << "int count argument caps a rank's collective read at 2 GB — "
+        << "use more ranks so each reads under 2 GB (paper Fig. 4)";
+    Report(Finding{Severity::kError, "mpi-usage", "mpi-io-count-overflow",
+                   msg.str(), "rank " + std::to_string(rank), t});
+  }
+
+  void OnJobEnd(std::string_view framework, SimTime t) override {
+    if (framework != "mpi") return;
+    for (const auto& [key, live] : live_comms_) {
+      if (live <= 0) continue;
+      std::ostringstream msg;
+      msg << "communicator leak: comm " << key.first << " on rank "
+          << key.second << " was created " << live
+          << " more time(s) than freed by job end";
+      Report(Finding{Severity::kError, "mpi-usage", "mpi-comm-leak", msg.str(),
+                     "rank " + std::to_string(key.second), t});
+    }
+    live_comms_.clear();
+    first_call_.clear();
+  }
+
+ private:
+  struct FirstCall {
+    std::string op;
+    int rank;
+  };
+  // (comm_id, collective sequence number) -> first op observed.
+  std::map<std::pair<int, std::uint32_t>, FirstCall> first_call_;
+  // (comm_id, rank) -> live (created - destroyed) count.
+  std::map<std::pair<int, int>, int> live_comms_;
+};
+
+}  // namespace
+
+std::unique_ptr<Checker> MakeMpiUsageChecker() {
+  return std::make_unique<MpiUsageChecker>();
+}
+
+}  // namespace pstk::verify
