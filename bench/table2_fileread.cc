@@ -101,7 +101,11 @@ SimTime MpiRead(int nodes, int ppn, double scale, const std::string& data) {
     const Bytes offset = chunk * comm.rank();
     const Bytes len =
         comm.rank() == comm.size() - 1 ? file->size() - offset : chunk;
-    if (len > static_cast<Bytes>(INT32_MAX)) return;  // paper's limitation
+    // Uniform guard: every rank tests the largest per-rank length (the
+    // last rank's remainder), so all ranks bail out together instead of
+    // one rank abandoning the collectives below.  // paper's limitation
+    const Bytes max_len = file->size() - chunk * (comm.size() - 1);
+    if (max_len > static_cast<Bytes>(INT32_MAX)) return;
     auto part =
         file->ReadLinesAtAll(comm, offset, static_cast<std::int32_t>(len));
     if (!part.ok()) return;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "analysis/loc.h"
 #include "bench_opts.h"
 #include "common/config.h"
@@ -55,8 +56,8 @@ int main(int argc, char** argv) {
   std::printf("Table III — Lines of code / boilerplate of the AnswersCount "
               "implementations\n\n");
   Table table;
-  table.SetHeader(
-      {"framework", "code lines", "boilerplate", "boilerplate %"});
+  table.SetHeader({"framework", "code lines", "boilerplate",
+                   "boilerplate %", "lint findings"});
   bool ok = true;
   for (const Subject& subject : subjects) {
     auto report = analysis::AnalyzeFile(subject.label,
@@ -68,11 +69,21 @@ int main(int argc, char** argv) {
       ok = false;
       continue;
     }
+    // Maintainability has a correctness face too: how many statically
+    // detectable misuse patterns does each paradigm's version carry?
+    auto findings = analysis::LintFile(root + "/" + subject.file);
+    if (!findings.ok()) {
+      std::fprintf(stderr, "%s: %s\n", subject.label,
+                   findings.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
     table.Row()
         .Cell(subject.label)
         .Cell(std::int64_t{report->code_lines})
         .Cell(std::int64_t{report->boilerplate_lines})
-        .Cell(100.0 * report->BoilerplateShare(), 0);
+        .Cell(100.0 * report->BoilerplateShare(), 0)
+        .Cell(static_cast<std::int64_t>(findings->size()));
   }
   table.Print();
   std::printf(

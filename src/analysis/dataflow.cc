@@ -1,0 +1,284 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pstk::analysis {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Words that directly denote the caller's own rank / PE id.
+const char* const kRankWords[] = {"rank", "my_pe", "my_rank", "pe_id"};
+
+/// Type words that carry 64-bit sizes/offsets in this codebase.
+const char* const kWideTypeWords[] = {
+    "Bytes",    "size_t",   "int64_t",  "uint64_t",   "ssize_t",
+    "ptrdiff_t", "streamsize", "streamoff", "long",    "off_t",
+};
+
+bool TypeIsWide(const std::string& type) {
+  for (const char* w : kWideTypeWords) {
+    if (ContainsWord(type, w)) return true;
+  }
+  return false;
+}
+
+bool MentionsRankDirectly(const std::string& text) {
+  for (const char* w : kRankWords) {
+    if (ContainsWord(text, w)) return true;
+  }
+  return false;
+}
+
+bool MentionsWideDirectly(const std::string& text) {
+  // `x.size()` / `file->size()` / `sizeof(...)` produce 64-bit sizes.
+  if (ContainsWord(text, "sizeof")) return true;
+  std::size_t pos = 0;
+  while ((pos = text.find("size", pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const std::size_t end = pos + 4;
+    if (left_ok && text.compare(end, 2, "()") == 0) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool AnyVarWord(const std::string& text,
+                const std::vector<std::string>& names) {
+  return std::any_of(names.begin(), names.end(), [&](const std::string& n) {
+    return ContainsWord(text, n);
+  });
+}
+
+const char* const kGuardSentinels[] = {"INT_MAX", "INT32_MAX", "2147483647"};
+
+bool IsIntMaxGuard(const std::string& cond) {
+  for (const char* s : kGuardSentinels) {
+    if (cond.find(s) != std::string::npos) return true;
+  }
+  return cond.find("numeric_limits") != std::string::npos &&
+         cond.find("max") != std::string::npos;
+}
+
+}  // namespace
+
+bool ContainsWord(const std::string& text, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end == text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+FunctionFlow::FunctionFlow(const Function& fn) : fn_(&fn) {
+  for (const Param& p : fn.params) {
+    if (p.name.empty()) continue;
+    VarInfo v;
+    v.name = p.name;
+    v.type = p.type;
+    v.decl_line = fn.line;
+    v.is_param = true;
+    vars_.push_back(std::move(v));
+  }
+  std::vector<BranchCtx> branches;
+  Walk(fn.body, 0, &branches);
+  ComputeDerived();
+  // Derived facts are only complete after the walk; stamp divergence onto
+  // the recorded branch contexts now. Status guards (`.ok()`) are treated
+  // as rank-uniform even when the value is rank-tainted: the taint flows
+  // through collective reads whose *content* differs per rank while the
+  // error outcome is uniform, and flagging every error-handling path
+  // would drown the genuinely divergent branches.
+  const auto divergent = [this](const BranchCtx& b) {
+    return b.cond.find(".ok()") == std::string::npos &&
+           IsRankDerived(b.cond);
+  };
+  for (BranchCtx& b : branch_conds_) {
+    b.rank_divergent = divergent(b);
+  }
+  for (FlowEvent& e : events_) {
+    for (BranchCtx& b : e.branches) {
+      b.rank_divergent = divergent(b);
+    }
+  }
+}
+
+void FunctionFlow::Walk(const std::vector<Stmt>& body, int loop_depth,
+                        std::vector<BranchCtx>* branches) {
+  for (const Stmt& s : body) {
+    stmts_.push_back(StmtCtx{&s, loop_depth});
+
+    if (!s.decl_name.empty()) {
+      const bool known =
+          std::any_of(vars_.begin(), vars_.end(),
+                      [&](const VarInfo& v) { return v.name == s.decl_name; });
+      if (!known) {
+        VarInfo v;
+        v.name = s.decl_name;
+        v.type = s.decl_type;
+        v.init = s.init_text;
+        v.decl_line = s.line;
+        v.decl_loop_depth = loop_depth;
+        vars_.push_back(std::move(v));
+      }
+    }
+    for (const Assign& a : s.assigns) {
+      for (VarInfo& v : vars_) {
+        if (v.name != a.name) continue;
+        // Only the part after the operator reaches the variable; for our
+        // text-level queries the whole statement text is the usable rhs.
+        v.writes.push_back(VarWrite{a.line, s.text, loop_depth});
+        break;
+      }
+    }
+
+    for (const CallExpr& c : s.calls) {
+      FlowEvent e;
+      e.stmt = &s;
+      e.call = &c;
+      e.loop_depth = loop_depth;
+      e.branches = *branches;
+      e.order = order_++;
+      events_.push_back(std::move(e));
+    }
+    if (s.kind == StmtKind::kReturn) {
+      FlowEvent e;
+      e.stmt = &s;
+      e.loop_depth = loop_depth;
+      e.branches = *branches;
+      e.order = order_++;
+      events_.push_back(std::move(e));
+    }
+
+    switch (s.kind) {
+      case StmtKind::kLoop: {
+        if (!s.induction_var.empty()) {
+          const bool known = std::any_of(
+              vars_.begin(), vars_.end(),
+              [&](const VarInfo& v) { return v.name == s.induction_var; });
+          if (!known) {
+            VarInfo v;
+            v.name = s.induction_var;
+            v.type = s.induction_type;
+            v.decl_line = s.line;
+            v.decl_loop_depth = loop_depth + 1;
+            vars_.push_back(std::move(v));
+          }
+        }
+        Walk(s.children, loop_depth + 1, branches);
+        break;
+      }
+      case StmtKind::kBranch: {
+        branch_conds_.push_back(BranchCtx{s.text, s.line, false});
+        branches->push_back(BranchCtx{s.text, s.line, false});
+        Walk(s.children, loop_depth, branches);
+        Walk(s.else_children, loop_depth, branches);
+        branches->pop_back();
+        break;
+      }
+      case StmtKind::kBlock:
+        Walk(s.children, loop_depth, branches);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void FunctionFlow::ComputeDerived() {
+  // Fixpoint over short derivation chains (right = rank+1; partner =
+  // right^1; ...). Bounded by the variable count.
+  bool changed = true;
+  std::size_t guard = vars_.size() + 2;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (const VarInfo& v : vars_) {
+      const bool already_rank = AnyVarWord(v.name, rank_vars_);
+      if (!already_rank) {
+        bool rank = MentionsRankDirectly(v.name);
+        if (!rank && MentionsRankDirectly(v.init)) rank = true;
+        if (!rank && AnyVarWord(v.init, rank_vars_)) rank = true;
+        for (const VarWrite& w : v.writes) {
+          if (rank) break;
+          if (MentionsRankDirectly(w.rhs) || AnyVarWord(w.rhs, rank_vars_)) {
+            rank = true;
+          }
+        }
+        if (rank) {
+          rank_vars_.push_back(v.name);
+          changed = true;
+        }
+      }
+      const bool already_wide = AnyVarWord(v.name, wide_vars_);
+      if (!already_wide) {
+        bool wide = TypeIsWide(v.type);
+        if (!wide && MentionsWideDirectly(v.init)) wide = true;
+        if (!wide && AnyVarWord(v.init, wide_vars_)) wide = true;
+        for (const VarWrite& w : v.writes) {
+          if (wide) break;
+          if (MentionsWideDirectly(w.rhs) || AnyVarWord(w.rhs, wide_vars_)) {
+            wide = true;
+          }
+        }
+        if (wide) {
+          wide_vars_.push_back(v.name);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+const VarInfo* FunctionFlow::Lookup(const std::string& name) const {
+  for (const VarInfo& v : vars_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+bool FunctionFlow::IsRankDerived(const std::string& expr) const {
+  return MentionsRankDirectly(expr) || AnyVarWord(expr, rank_vars_);
+}
+
+bool FunctionFlow::Is64BitSized(const std::string& expr) const {
+  return MentionsWideDirectly(expr) || AnyVarWord(expr, wide_vars_);
+}
+
+bool FunctionFlow::HasIntMaxGuard() const {
+  return std::any_of(
+      branch_conds_.begin(), branch_conds_.end(),
+      [](const BranchCtx& b) { return IsIntMaxGuard(b.cond); });
+}
+
+std::vector<FunctionFlow::UseSite> FunctionFlow::UsesOf(
+    const std::string& name) const {
+  std::vector<UseSite> out;
+  for (const StmtCtx& c : stmts_) {
+    if (c.stmt->decl_name == name && !ContainsWord(c.stmt->init_text, name)) {
+      continue;  // the declaration itself is not a use
+    }
+    if (ContainsWord(c.stmt->text, name)) {
+      out.push_back(UseSite{c.stmt->line, c.loop_depth});
+    }
+  }
+  return out;
+}
+
+bool FunctionFlow::HasMethodCall(
+    const std::string& name, const std::vector<std::string>& methods) const {
+  return std::any_of(events_.begin(), events_.end(), [&](const FlowEvent& e) {
+    return e.call != nullptr && e.call->receiver == name &&
+           std::find(methods.begin(), methods.end(), e.call->method) !=
+               methods.end();
+  });
+}
+
+}  // namespace pstk::analysis

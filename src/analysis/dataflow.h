@@ -1,0 +1,133 @@
+// Stage 3 of the pstk-lint pipeline: intra-procedural def-use analysis.
+//
+// For one Function (stage 2), builds:
+//   * a variable table — parameters and local declarations with type,
+//     initializer text, declaring loop depth, and every reaching write
+//   * a linearized event stream — every call and return in statement
+//     order, each with its enclosing loop depth and branch-condition stack
+//   * derived value facts via fixpoint over initializers/writes:
+//       - rank-derived: the value depends on the caller's own MPI rank /
+//         SHMEM PE id (seeds: `rank`/`my_pe` words, `.rank()` calls)
+//       - 64-bit-sized: the value carries a 64-bit size/offset type
+//         (Bytes, size_t, int64_t, ...) or comes from `.size()`/`sizeof`
+//
+// Rule passes (lint.cc) query these instead of re-deriving structure from
+// text, which is what kills the substring scanner's false positives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/parse.h"
+
+namespace pstk::analysis {
+
+/// True when `text` contains `word` bounded by non-identifier characters.
+bool ContainsWord(const std::string& text, const std::string& word);
+
+struct VarWrite {
+  int line = 0;
+  std::string rhs;     // compact right-hand-side text
+  int loop_depth = 0;  // loop nesting at the write site
+};
+
+struct VarInfo {
+  std::string name;
+  std::string type;  // declared type text ("auto" included); "" for params
+                     // only when unnamed
+  std::string init;  // compact initializer text
+  int decl_line = 0;
+  int decl_loop_depth = 0;
+  bool is_param = false;
+  std::vector<VarWrite> writes;
+};
+
+struct BranchCtx {
+  std::string cond;  // compact condition text
+  int line = 0;
+  bool rank_divergent = false;  // condition depends on rank / PE id
+};
+
+/// One call or return site in statement order.
+struct FlowEvent {
+  const Stmt* stmt = nullptr;
+  const CallExpr* call = nullptr;  // null for a return statement
+  int loop_depth = 0;
+  std::vector<BranchCtx> branches;  // innermost last
+  int order = 0;                    // linearized position in the function
+
+  [[nodiscard]] bool InRankDivergentBranch() const {
+    for (const BranchCtx& b : branches) {
+      if (b.rank_divergent) return true;
+    }
+    return false;
+  }
+};
+
+class FunctionFlow {
+ public:
+  explicit FunctionFlow(const Function& fn);
+
+  [[nodiscard]] const Function& fn() const { return *fn_; }
+
+  /// Variable table lookup (params + locals); nullptr when unknown.
+  [[nodiscard]] const VarInfo* Lookup(const std::string& name) const;
+  [[nodiscard]] const std::vector<VarInfo>& vars() const { return vars_; }
+
+  /// Calls and returns in statement order with loop/branch context.
+  [[nodiscard]] const std::vector<FlowEvent>& events() const {
+    return events_;
+  }
+
+  /// Every branch condition in the function (if/switch), in order.
+  [[nodiscard]] const std::vector<BranchCtx>& branch_conds() const {
+    return branch_conds_;
+  }
+
+  /// Expression mentions the caller's rank / PE id, directly (`rank`,
+  /// `my_pe` words) or through a rank-derived variable.
+  [[nodiscard]] bool IsRankDerived(const std::string& expr) const;
+
+  /// Expression carries a 64-bit size: references a 64-bit-typed variable,
+  /// a `size()` call, or `sizeof`.
+  [[nodiscard]] bool Is64BitSized(const std::string& expr) const;
+
+  /// Some branch condition compares against the `int` ceiling (INT_MAX,
+  /// INT32_MAX, numeric_limits<int32>::max(), 2147483647) — the idiomatic
+  /// guard before narrowing a 64-bit count.
+  [[nodiscard]] bool HasIntMaxGuard() const;
+
+  /// Statement-order uses of `name` (word match in statement text),
+  /// excluding its declaration site.
+  struct UseSite {
+    int line = 0;
+    int loop_depth = 0;
+  };
+  [[nodiscard]] std::vector<UseSite> UsesOf(const std::string& name) const;
+
+  /// Any call whose receiver is `name` and whose method is in `methods`.
+  [[nodiscard]] bool HasMethodCall(
+      const std::string& name,
+      const std::vector<std::string>& methods) const;
+
+ private:
+  struct StmtCtx {
+    const Stmt* stmt;
+    int loop_depth;
+  };
+
+  void Walk(const std::vector<Stmt>& body, int loop_depth,
+            std::vector<BranchCtx>* branches);
+  void ComputeDerived();
+
+  const Function* fn_;
+  std::vector<VarInfo> vars_;
+  std::vector<FlowEvent> events_;
+  std::vector<BranchCtx> branch_conds_;
+  std::vector<StmtCtx> stmts_;  // every statement, for use queries
+  std::vector<std::string> rank_vars_;
+  std::vector<std::string> wide_vars_;  // 64-bit-sized variables
+  int order_ = 0;
+};
+
+}  // namespace pstk::analysis

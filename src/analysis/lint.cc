@@ -5,250 +5,614 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
+#include "analysis/dataflow.h"
+#include "analysis/parse.h"
 #include "common/strings.h"
 
 namespace pstk::analysis {
 
 namespace {
 
-/// Source lines with comments stripped (block-comment state carried across
-/// lines), ready for substring heuristics.
-std::vector<std::string> StripComments(const std::string& source) {
-  std::vector<std::string> out;
-  bool in_block_comment = false;
-  std::istringstream lines(source);
-  std::string line;
-  while (std::getline(lines, line)) {
-    std::string code;
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        const auto close = line.find("*/", i);
-        if (close == std::string::npos) {
-          i = line.size();
-        } else {
-          in_block_comment = false;
-          i = close + 2;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) break;
-      if (line.compare(i, 2, "/*") == 0) {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      code += line[i];
-      ++i;
-    }
-    out.push_back(std::move(code));
+// ===========================================================================
+// Rule registry
+// ===========================================================================
+
+const RuleInfo kRules[] = {
+    {"mpi-blocking-symmetric-send", Severity::kError,
+     "blocking Send to a rank-relative peer with a matching Recv after it; "
+     "the symmetric exchange deadlocks once messages cross the rendezvous "
+     "threshold",
+     "use Isend/SendAsync for one side of the exchange, or order the pair "
+     "so one rank sends first"},
+    {"mpi-collective-in-divergent-branch", Severity::kError,
+     "collective call (or early return) under a rank-derived condition: "
+     "ranks disagree on the collective call sequence and the job hangs",
+     "hoist the collective out of the branch, or make the condition "
+     "uniform across ranks"},
+    {"mpi-int-count-overflow", Severity::kError,
+     "64-bit size expression narrowed into an int count parameter with no "
+     "INT_MAX guard: counts above 2^31-1 wrap (the paper's Fig. 4 "
+     "structural failure)",
+     "guard the count against numeric_limits<int32_t>::max() before "
+     "narrowing, or chunk the transfer"},
+    {"mpi-tag-mismatch", Severity::kError,
+     "every send tag and every receive tag in this function is a constant "
+     "and the two sets are disjoint: no message can ever match",
+     "make the send and receive tags agree (or derive both from one "
+     "constant)"},
+    {"omp-missing-private", Severity::kWarning,
+     "scalar declared before `#pragma omp parallel for` is plainly "
+     "assigned inside the loop body without private()/firstprivate(): "
+     "threads race on the shared temporary",
+     "add private(<var>) to the pragma, or declare the variable inside "
+     "the loop body"},
+    {"omp-shared-reduction", Severity::kError,
+     "parallel-for body accumulates into a variable declared outside the "
+     "loop without a reduction clause (or omp atomic/critical): data race",
+     "add reduction(+ : <var>) to the pragma, or guard the update with "
+     "#pragma omp atomic"},
+    {"shmem-put-without-quiet", Severity::kError,
+     "symmetric put followed by a get of the same symmetric object with "
+     "no Quiet()/Fence()/BarrierAll() between: the put may not be "
+     "remotely complete",
+     "call Quiet() (or a barrier) between the put and the read-back"},
+    {"spark-missing-persist", Severity::kWarning,
+     "RDD reused (inside a loop, or by multiple actions) without "
+     "Persist()/Cache(): every reuse recomputes the whole lineage (the "
+     "paper's Fig. 6 persist() omission)",
+     "call .Persist(StorageLevel::kMemoryAndDisk) (or .Cache()) on the "
+     "RDD before reusing it"},
+};
+
+const RuleInfo* FindRule(const std::string& slug) {
+  for (const RuleInfo& r : kRules) {
+    if (slug == r.slug) return &r;
   }
-  return out;
+  return nullptr;
 }
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `text` contains `word` bounded by non-identifier characters.
-bool ContainsWord(const std::string& text, const std::string& word) {
-  std::size_t pos = 0;
-  while ((pos = text.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end == text.size() || !IsIdentChar(text[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
+LintFinding MakeFinding(const char* slug, const std::string& file, int line,
+                        std::string message) {
+  const RuleInfo* rule = FindRule(slug);
+  LintFinding f;
+  f.rule = slug;
+  f.file = file;
+  f.line = line;
+  f.message = std::move(message);
+  if (rule != nullptr) {
+    f.severity = rule->severity;
+    f.fixit = rule->fix;
   }
-  return false;
+  return f;
 }
 
-bool IsLoopHeader(const std::string& code) {
-  return code.find("for (") != std::string::npos ||
-         code.find("for(") != std::string::npos ||
-         code.find("while (") != std::string::npos ||
-         code.find("while(") != std::string::npos;
+bool MethodIn(const CallExpr& call,
+              std::initializer_list<const char*> names) {
+  return std::any_of(names.begin(), names.end(),
+                     [&](const char* n) { return call.method == n; });
 }
 
-int BraceDelta(const std::string& code) {
-  int delta = 0;
-  for (char c : code) {
-    if (c == '{') ++delta;
-    if (c == '}') --delta;
+/// Leading identifier of an argument expression ("local_bins.at(slot)" ->
+/// "local_bins"); "" when the argument does not start with one.
+std::string BaseIdent(const std::string& arg) {
+  std::size_t i = 0;
+  while (i < arg.size() && (arg[i] == '(' || arg[i] == '&' || arg[i] == '*')) {
+    ++i;
   }
-  return delta;
+  std::size_t j = i;
+  while (j < arg.size() &&
+         (std::isalnum(static_cast<unsigned char>(arg[j])) != 0 ||
+          arg[j] == '_')) {
+    ++j;
+  }
+  return arg.substr(i, j - i);
 }
 
-/// A blocking `X.Send(...)` (not SendAsync/Isend) aimed at a neighbor
-/// computed from the caller's own rank, with a matching Recv nearby: the
-/// classic symmetric exchange that deadlocks under rendezvous.
+// ===========================================================================
+// MPI rules
+// ===========================================================================
+
+bool HasArithmetic(const std::string& text) {
+  return text.find('+') != std::string::npos ||
+         text.find('-') != std::string::npos ||
+         text.find('^') != std::string::npos ||
+         text.find('%') != std::string::npos;
+}
+
 void CheckBlockingSymmetricSend(const std::string& file,
-                                const std::vector<std::string>& lines,
+                                const FunctionFlow& flow,
                                 std::vector<LintFinding>& out) {
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i];
-    const auto send = code.find(".Send(");
-    if (send == std::string::npos) continue;
-    if (code.find("SendAsync") != std::string::npos ||
-        code.find("Isend") != std::string::npos) {
-      continue;
-    }
-    // Destination derived from the caller's rank/pe => symmetric pattern.
-    const std::string args = code.substr(send);
-    const bool rank_relative =
-        (ContainsWord(args, "rank") || ContainsWord(args, "pe") ||
-         ContainsWord(args, "partner") || ContainsWord(args, "neighbor")) &&
-        (args.find('+') != std::string::npos ||
-         args.find('-') != std::string::npos ||
-         args.find('^') != std::string::npos ||
-         args.find('%') != std::string::npos);
+  for (const FlowEvent& e : flow.events()) {
+    if (e.call == nullptr || e.call->method != "Send") continue;
+    const bool rank_relative = std::any_of(
+        e.call->args.begin(), e.call->args.end(), [&](const std::string& a) {
+          if (!flow.IsRankDerived(a)) return false;
+          if (HasArithmetic(a)) return true;
+          // `partner = rank ^ 1; Send(..., partner, ...)`: the arithmetic
+          // lives in the variable's initializer, not the argument text.
+          const VarInfo* var = flow.Lookup(a);
+          return var != nullptr && HasArithmetic(var->init);
+        });
     if (!rank_relative) continue;
-    bool recv_nearby = false;
-    for (std::size_t j = i; j < std::min(lines.size(), i + 5); ++j) {
-      if (lines[j].find("Recv(") != std::string::npos) {
-        recv_nearby = true;
-        break;
-      }
-    }
-    if (!recv_nearby) continue;
-    out.push_back(LintFinding{
-        "mpi-blocking-symmetric-send", file, static_cast<int>(i + 1),
+    const bool recv_after = std::any_of(
+        flow.events().begin(), flow.events().end(), [&](const FlowEvent& r) {
+          return r.call != nullptr && r.call->method == "Recv" &&
+                 r.order >= e.order;
+        });
+    if (!recv_after) continue;
+    out.push_back(MakeFinding(
+        "mpi-blocking-symmetric-send", file, e.call->line,
         "blocking Send to a rank-relative peer with a matching Recv "
         "nearby; use Isend/SendAsync or reorder, or the exchange "
-        "deadlocks once messages cross the rendezvous threshold"});
+        "deadlocks once messages cross the rendezvous threshold"));
   }
 }
 
-/// An RDD variable defined outside a loop, reused inside one, and never
-/// persisted: every iteration recomputes the whole lineage.
-void CheckMissingPersist(const std::string& file,
-                         const std::vector<std::string>& lines,
-                         std::vector<LintFinding>& out) {
-  static const char* const kRddMakers[] = {
-      "sc.Parallelize", "sc.TextFile",   ".Map<",       ".Map(",
-      ".FlatMap",       ".Filter(",      ".KeyBy",      ".ReduceByKey",
-      ".GroupByKey",    ".PartitionBy",  ".Join(",      ".MapValues",
-      ".Distinct(",     ".Union(",
-  };
+const char* const kCollectives[] = {
+    "Reduce",     "Allreduce",      "AllReduce", "Allgather", "AllGather",
+    "Gather",     "Scatter",        "Alltoall",  "AllToAll",  "Barrier",
+    "BarrierAll", "Broadcast",      "BroadcastAll", "Bcast",  "OpenAll",
+    "ReadAtAll",  "ReadLinesAtAll", "WriteAtAll", "Scan",     "ReduceAll",
+};
 
-  struct Candidate {
-    std::size_t decl_line = 0;
-    bool declared_in_loop = false;
-    std::size_t first_loop_use = 0;  // 0 = none
-  };
-  std::map<std::string, Candidate> vars;
+bool IsCollective(const CallExpr& call) {
+  return std::any_of(std::begin(kCollectives), std::end(kCollectives),
+                     [&](const char* n) { return call.method == n; });
+}
 
-  // Pass 1: declarations + loop-use tracking in one sweep.
-  int depth = 0;
-  std::vector<int> loop_stack;  // brace depth at each open loop header
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i];
-    const bool in_loop = !loop_stack.empty();
-
-    // `auto name = <rdd-producing expression>` (also Rdd<T> name = ...).
-    const bool makes_rdd = std::any_of(
-        std::begin(kRddMakers), std::end(kRddMakers),
-        [&](const char* m) { return code.find(m) != std::string::npos; });
-    const auto eq = code.find('=');
-    if (makes_rdd && eq != std::string::npos &&
-        (code.find("auto ") != std::string::npos ||
-         code.find("Rdd<") < eq)) {
-      // Identifier immediately left of '='.
-      std::size_t end = eq;
-      while (end > 0 && std::isspace(static_cast<unsigned char>(
-                            code[end - 1])) != 0) {
-        --end;
-      }
-      std::size_t begin = end;
-      while (begin > 0 && IsIdentChar(code[begin - 1])) --begin;
-      if (begin < end) {
-        const std::string name = code.substr(begin, end - begin);
-        if (vars.count(name) == 0) {
-          vars[name] = Candidate{i + 1, in_loop, 0};
-        }
+void CheckCollectiveDivergence(const std::string& file,
+                               const FunctionFlow& flow,
+                               std::vector<LintFinding>& out) {
+  for (const FlowEvent& e : flow.events()) {
+    if (!e.InRankDivergentBranch()) continue;
+    const BranchCtx* branch = nullptr;
+    for (const BranchCtx& b : e.branches) {
+      if (b.rank_divergent) branch = &b;
+    }
+    if (e.call != nullptr && IsCollective(*e.call)) {
+      out.push_back(MakeFinding(
+          "mpi-collective-in-divergent-branch", file, e.call->line,
+          "collective " + e.call->method + "() under the rank-derived "
+          "condition at line " + std::to_string(branch->line) +
+          " (`" + branch->cond + "`): ranks that skip the branch never "
+          "reach the collective"));
+      continue;
+    }
+    if (e.call == nullptr && e.stmt->kind == StmtKind::kReturn) {
+      const bool collective_later = std::any_of(
+          flow.events().begin(), flow.events().end(),
+          [&](const FlowEvent& later) {
+            return later.call != nullptr && IsCollective(*later.call) &&
+                   later.order > e.order;
+          });
+      if (collective_later) {
+        out.push_back(MakeFinding(
+            "mpi-collective-in-divergent-branch", file, e.stmt->line,
+            "early return under the rank-derived condition at line " +
+                std::to_string(branch->line) + " (`" + branch->cond +
+                "`) while collectives follow: returning ranks drop out "
+                "of the collective sequence"));
       }
     }
-
-    for (auto& [name, c] : vars) {
-      if (c.first_loop_use != 0 || i + 1 == c.decl_line) continue;
-      if (in_loop && !c.declared_in_loop &&
-          code.find(name + ".") != std::string::npos) {
-        c.first_loop_use = i + 1;
-      }
-    }
-
-    if (IsLoopHeader(code)) loop_stack.push_back(depth);
-    depth += BraceDelta(code);
-    while (!loop_stack.empty() && depth <= loop_stack.back()) {
-      loop_stack.pop_back();
-    }
-  }
-
-  // Pass 2: persisted anywhere?
-  for (const auto& [name, c] : vars) {
-    if (c.first_loop_use == 0) continue;
-    bool persisted = false;
-    for (const std::string& code : lines) {
-      if (code.find(name + ".Persist") != std::string::npos ||
-          code.find(name + ".Cache") != std::string::npos) {
-        persisted = true;
-        break;
-      }
-    }
-    if (persisted) continue;
-    out.push_back(LintFinding{
-        "spark-missing-persist", file, static_cast<int>(c.first_loop_use),
-        "RDD '" + name + "' (defined at line " +
-            std::to_string(c.decl_line) +
-            ") is reused inside a loop without Persist()/Cache(); every "
-            "iteration recomputes its whole lineage"});
   }
 }
 
-/// `#pragma omp parallel for` without a reduction clause over a body that
-/// accumulates (`+=`) into a variable — a shared-variable data race.
-void CheckOmpSharedReduction(const std::string& file,
-                             const std::vector<std::string>& lines,
-                             std::vector<LintFinding>& out) {
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i];
-    if (code.find("#pragma omp parallel") == std::string::npos) continue;
-    if (code.find("for") == std::string::npos) continue;
-    if (code.find("reduction(") != std::string::npos) continue;
-    // Scan the loop body (bounded window) for unguarded accumulation.
-    bool guarded = false;
-    for (std::size_t j = i + 1; j < std::min(lines.size(), i + 16); ++j) {
-      const std::string& body = lines[j];
-      if (body.find("#pragma omp atomic") != std::string::npos ||
-          body.find("#pragma omp critical") != std::string::npos) {
-        guarded = true;
-        continue;
+const char* const kNarrowCasts[] = {
+    "static_cast<int>(",           "static_cast<std::int32_t>(",
+    "static_cast<int32_t>(",       "static_cast<std::uint32_t>(",
+    "static_cast<uint32_t>(",      "static_cast<unsigned>(",
+    "static_cast<unsigned int>(",
+};
+
+/// Operand text of the first narrowing cast in `arg` ("" when none).
+std::string NarrowCastOperand(const std::string& arg) {
+  for (const char* cast : kNarrowCasts) {
+    const std::size_t at = arg.find(cast);
+    if (at == std::string::npos) continue;
+    const std::size_t open = at + std::char_traits<char>::length(cast) - 1;
+    int depth = 0;
+    for (std::size_t j = open; j < arg.size(); ++j) {
+      if (arg[j] == '(') ++depth;
+      if (arg[j] == ')' && --depth == 0) {
+        return arg.substr(open + 1, j - open - 1);
       }
-      if (body.find("+=") == std::string::npos) continue;
-      if (guarded) {
-        guarded = false;  // the guard only covers the next statement
-        continue;
-      }
-      out.push_back(LintFinding{
-          "omp-shared-reduction", file, static_cast<int>(i + 1),
-          "parallel-for accumulates into a shared variable at line " +
-              std::to_string(j + 1) +
-              " without a reduction clause (or omp atomic): data race"});
+    }
+  }
+  return "";
+}
+
+void CheckIntCountOverflow(const std::string& file, const FunctionFlow& flow,
+                           std::vector<LintFinding>& out) {
+  for (const FlowEvent& e : flow.events()) {
+    if (e.call == nullptr) continue;
+    if (!MethodIn(*e.call, {"Send", "Isend", "Recv", "Irecv", "ReadAtAll",
+                            "ReadLinesAtAll", "WriteAtAll", "ReadAt",
+                            "WriteAt"})) {
+      continue;
+    }
+    for (const std::string& arg : e.call->args) {
+      const std::string operand = NarrowCastOperand(arg);
+      if (operand.empty() || !flow.Is64BitSized(operand)) continue;
+      if (flow.HasIntMaxGuard()) continue;
+      out.push_back(MakeFinding(
+          "mpi-int-count-overflow", file, e.call->line,
+          "64-bit size `" + operand + "` narrowed to an int count of " +
+              e.call->method + "() with no INT_MAX guard in the "
+              "function: counts above 2 GB wrap (the Fig. 4 failure — "
+              "MPI_File_read_at_all takes an `int` count)"));
       break;
     }
   }
 }
 
+void CheckTagMismatch(const std::string& file, const FunctionFlow& flow,
+                      std::vector<LintFinding>& out) {
+  std::set<long long> send_tags;
+  std::set<long long> recv_tags;
+  int first_recv_line = 0;
+  for (const FlowEvent& e : flow.events()) {
+    if (e.call == nullptr || e.call->args.size() < 2) continue;
+    const bool is_send = MethodIn(*e.call, {"Send", "Isend"});
+    const bool is_recv = MethodIn(*e.call, {"Recv", "Irecv"});
+    if (!is_send && !is_recv) continue;
+    const std::string& tag = e.call->args.back();
+    // Only constant tags are provable; one variable tag voids the check.
+    char* end = nullptr;
+    const long long value = std::strtoll(tag.c_str(), &end, 0);
+    if (end == tag.c_str() || *end != '\0') return;
+    if (is_send) send_tags.insert(value);
+    if (is_recv) {
+      recv_tags.insert(value);
+      if (first_recv_line == 0) first_recv_line = e.call->line;
+    }
+  }
+  if (send_tags.empty() || recv_tags.empty()) return;
+  std::vector<long long> overlap;
+  std::set_intersection(send_tags.begin(), send_tags.end(),
+                        recv_tags.begin(), recv_tags.end(),
+                        std::back_inserter(overlap));
+  if (!overlap.empty()) return;
+  std::ostringstream msg;
+  msg << "send tag(s) {";
+  for (long long t : send_tags) msg << " " << t;
+  msg << " } and receive tag(s) {";
+  for (long long t : recv_tags) msg << " " << t;
+  msg << " } never intersect: within this function no send can match a "
+         "receive";
+  out.push_back(MakeFinding("mpi-tag-mismatch", file, first_recv_line,
+                            msg.str()));
+}
+
+// ===========================================================================
+// SHMEM rule
+// ===========================================================================
+
+void CheckPutWithoutQuiet(const std::string& file, const FunctionFlow& flow,
+                          std::vector<LintFinding>& out) {
+  struct PendingPut {
+    std::string base;
+    int line;
+  };
+  std::vector<PendingPut> pending;
+  for (const FlowEvent& e : flow.events()) {
+    if (e.call == nullptr) continue;
+    const CallExpr& c = *e.call;
+    if (MethodIn(c, {"Put", "PutValue"}) && !c.args.empty()) {
+      const std::string base = BaseIdent(c.args[0]);
+      if (!base.empty()) pending.push_back(PendingPut{base, c.line});
+      continue;
+    }
+    if (MethodIn(c, {"Quiet", "Fence", "Barrier", "BarrierAll"})) {
+      pending.clear();
+      continue;
+    }
+    std::string src;
+    if (c.method == "GetValue" && !c.args.empty()) src = c.args[0];
+    if (c.method == "Get" && c.args.size() >= 2) src = c.args[1];
+    if (src.empty()) continue;
+    const std::string base = BaseIdent(src);
+    for (const PendingPut& p : pending) {
+      if (p.base != base) continue;
+      out.push_back(MakeFinding(
+          "shmem-put-without-quiet", file, c.line,
+          "get of symmetric object '" + base + "' follows the put at "
+          "line " + std::to_string(p.line) + " with no Quiet()/Fence()/"
+          "BarrierAll() between: the put is not remotely complete and "
+          "the get may read stale data"));
+      break;
+    }
+  }
+}
+
+// ===========================================================================
+// OpenMP rules
+// ===========================================================================
+
+bool IsOmpParallelFor(const std::string& pragma) {
+  return pragma.find("omp") != std::string::npos &&
+         pragma.find("parallel") != std::string::npos &&
+         pragma.find("for") != std::string::npos;
+}
+
+/// Identifiers inside every `clause( ... )` occurrence of `pragma`.
+std::vector<std::string> ClauseVars(const std::string& pragma,
+                                    const char* clause) {
+  std::vector<std::string> out;
+  const std::string needle = std::string(clause) + "(";
+  std::size_t pos = 0;
+  while ((pos = pragma.find(needle, pos)) != std::string::npos) {
+    const std::size_t open = pos + needle.size() - 1;
+    const std::size_t close = pragma.find(')', open);
+    if (close == std::string::npos) break;
+    std::string word;
+    for (std::size_t j = open + 1; j <= close; ++j) {
+      const char c = pragma[j];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        word += c;
+      } else {
+        if (!word.empty()) out.push_back(word);
+        word.clear();
+      }
+    }
+    pos = close;
+  }
+  return out;
+}
+
+void CollectSubtreeDecls(const std::vector<Stmt>& body,
+                         std::set<std::string>* names) {
+  ForEachStmt(body, [&](const Stmt& s) {
+    if (!s.decl_name.empty()) names->insert(s.decl_name);
+    if (!s.induction_var.empty()) names->insert(s.induction_var);
+  });
+}
+
+/// Walk the loop body; `guarded(stmt)` is true when the statement sits
+/// directly under an `omp atomic`/`omp critical` pragma sibling.
+void ForEachBodyStmtWithGuards(
+    const std::vector<Stmt>& body,
+    const std::function<void(const Stmt&, bool guarded)>& visit) {
+  bool guard_next = false;
+  for (const Stmt& s : body) {
+    if (s.kind == StmtKind::kPragma) {
+      if (s.text.find("omp") != std::string::npos &&
+          (s.text.find("atomic") != std::string::npos ||
+           s.text.find("critical") != std::string::npos)) {
+        guard_next = true;
+        continue;
+      }
+      guard_next = false;
+      continue;
+    }
+    visit(s, guard_next);
+    if (!guard_next) {
+      ForEachBodyStmtWithGuards(s.children, visit);
+      ForEachBodyStmtWithGuards(s.else_children, visit);
+    }
+    guard_next = false;
+  }
+}
+
+void CheckOmpPragma(const std::string& file, const Stmt& pragma,
+                    const Stmt& loop, const FunctionFlow& flow,
+                    std::vector<LintFinding>& out) {
+  std::set<std::string> declared_inside;
+  CollectSubtreeDecls({loop}, &declared_inside);
+
+  std::set<std::string> protected_vars;
+  for (const char* clause :
+       {"reduction", "private", "firstprivate", "lastprivate", "linear"}) {
+    for (std::string& v : ClauseVars(pragma.text, clause)) {
+      protected_vars.insert(std::move(v));
+    }
+  }
+
+  // --- omp-shared-reduction: unguarded accumulation into a shared var.
+  if (pragma.text.find("reduction(") == std::string::npos) {
+    bool flagged = false;
+    ForEachBodyStmtWithGuards(loop.children, [&](const Stmt& s,
+                                                 bool guarded) {
+      if (flagged || guarded) return;
+      for (const Assign& a : s.assigns) {
+        if (a.op == "=" || a.op.size() < 2) continue;
+        if (declared_inside.count(a.name) != 0) continue;
+        if (protected_vars.count(a.name) != 0) continue;
+        // `a[i] += ...` with the loop's own induction index is a
+        // disjoint-element update, not a race.
+        if (!a.subscript.empty() &&
+            declared_inside.count(a.subscript) != 0) {
+          continue;
+        }
+        out.push_back(MakeFinding(
+            "omp-shared-reduction", file, pragma.line,
+            "parallel-for accumulates into shared '" + a.name +
+                "' at line " + std::to_string(s.line) +
+                " without a reduction clause (or omp atomic): data race"));
+        flagged = true;
+        return;
+      }
+    });
+  }
+
+  // --- omp-missing-private: plain scalar assignment to an outer local.
+  std::set<std::string> already;
+  ForEachBodyStmtWithGuards(loop.children, [&](const Stmt& s, bool guarded) {
+    if (guarded) return;
+    for (const Assign& a : s.assigns) {
+      if (a.op != "=" || !a.subscript.empty()) continue;
+      if (declared_inside.count(a.name) != 0) continue;
+      if (protected_vars.count(a.name) != 0) continue;
+      if (already.count(a.name) != 0) continue;
+      const VarInfo* var = flow.Lookup(a.name);
+      if (var == nullptr || var->is_param) continue;
+      static const char* const kScalarWords[] = {
+          "int",     "long",   "double",   "float",    "bool",
+          "char",    "short",  "unsigned", "size_t",   "int32_t",
+          "int64_t", "uint32_t", "uint64_t", "auto",   "Bytes",
+          "SimTime",
+      };
+      const bool scalar = std::any_of(
+          std::begin(kScalarWords), std::end(kScalarWords),
+          [&](const char* w) { return ContainsWord(var->type, w); });
+      if (!scalar) continue;
+      already.insert(a.name);
+      out.push_back(MakeFinding(
+          "omp-missing-private", file, s.line,
+          "'" + a.name + "' (declared at line " +
+              std::to_string(var->decl_line) +
+              ", outside the parallel loop) is assigned inside the "
+              "parallel-for body; without private(" + a.name +
+              ") every thread writes the same shared scalar"));
+    }
+  });
+}
+
+void CheckOmpRules(const std::string& file, const std::vector<Stmt>& body,
+                   const FunctionFlow& flow,
+                   std::vector<LintFinding>& out) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const Stmt& s = body[i];
+    if (s.kind == StmtKind::kPragma && IsOmpParallelFor(s.text) &&
+        i + 1 < body.size() && body[i + 1].kind == StmtKind::kLoop) {
+      CheckOmpPragma(file, s, body[i + 1], flow, out);
+    }
+    CheckOmpRules(file, s.children, flow, out);
+    CheckOmpRules(file, s.else_children, flow, out);
+  }
+}
+
+// ===========================================================================
+// Spark rule
+// ===========================================================================
+
+const char* const kRddMakers[] = {
+    ".Parallelize(", ".TextFile(",  ".Map<",        ".Map(",
+    ".FlatMap",      ".Filter(",    ".KeyBy",       ".ReduceByKey",
+    ".GroupByKey",   ".PartitionBy", ".Join(",      ".MapValues",
+    ".Distinct(",    ".Union(",     ".AsPairs",     ".AsRdd",
+};
+
+const char* const kRddActions[] = {
+    "Count",   "Collect", "CollectAsMap", "Reduce",        "Fold",
+    "Take",    "First",   "Foreach",      "SaveAsTextFile", "CountByKey",
+    "Lookup",  "TakeSample",
+};
+
+void CheckMissingPersist(const std::string& file, const FunctionFlow& flow,
+                         std::vector<LintFinding>& out) {
+  for (const VarInfo& var : flow.vars()) {
+    if (var.is_param || var.init.empty()) continue;
+    const bool rdd_type = ContainsWord(var.type, "auto") ||
+                          var.type.find("Rdd") != std::string::npos;
+    const bool makes_rdd =
+        rdd_type && std::any_of(std::begin(kRddMakers), std::end(kRddMakers),
+                                [&](const char* m) {
+                                  return var.init.find(m) !=
+                                         std::string::npos;
+                                });
+    if (!makes_rdd) continue;
+    if (flow.HasMethodCall(var.name, {"Persist", "Cache"})) continue;
+
+    // Reuse class 1: touched inside a loop it was declared outside of.
+    int first_loop_use = 0;
+    for (const FunctionFlow::UseSite& use : flow.UsesOf(var.name)) {
+      if (use.loop_depth > var.decl_loop_depth) {
+        first_loop_use = use.line;
+        break;
+      }
+    }
+    // Reuse class 2: two or more actions each force a computation.
+    int action_count = 0;
+    int second_action_line = 0;
+    for (const FlowEvent& e : flow.events()) {
+      if (e.call == nullptr || e.call->receiver != var.name) continue;
+      if (std::any_of(std::begin(kRddActions), std::end(kRddActions),
+                      [&](const char* a) { return e.call->method == a; })) {
+        ++action_count;
+        if (action_count == 2) second_action_line = e.call->line;
+      }
+    }
+
+    if (first_loop_use != 0) {
+      out.push_back(MakeFinding(
+          "spark-missing-persist", file, first_loop_use,
+          "RDD '" + var.name + "' (defined at line " +
+              std::to_string(var.decl_line) +
+              ") is reused inside a loop without Persist()/Cache(); "
+              "every iteration recomputes its whole lineage"));
+    } else if (action_count >= 2) {
+      out.push_back(MakeFinding(
+          "spark-missing-persist", file, second_action_line,
+          "RDD '" + var.name + "' (defined at line " +
+              std::to_string(var.decl_line) + ") is computed by " +
+              std::to_string(action_count) +
+              " actions without Persist()/Cache(); each action recomputes "
+              "the whole lineage"));
+    }
+  }
+}
+
+// ===========================================================================
+// JSON helpers
+// ===========================================================================
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "warning";
+}
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> rules(std::begin(kRules),
+                                           std::end(kRules));
+  return rules;
+}
 
 std::vector<LintFinding> LintSource(const std::string& file,
                                     const std::string& source) {
-  const std::vector<std::string> lines = StripComments(source);
+  const Unit unit = ParseSource(source);
   std::vector<LintFinding> out;
-  CheckBlockingSymmetricSend(file, lines, out);
-  CheckMissingPersist(file, lines, out);
-  CheckOmpSharedReduction(file, lines, out);
+  for (const Function& fn : unit.functions) {
+    const FunctionFlow flow(fn);
+    CheckBlockingSymmetricSend(file, flow, out);
+    CheckCollectiveDivergence(file, flow, out);
+    CheckIntCountOverflow(file, flow, out);
+    CheckTagMismatch(file, flow, out);
+    CheckPutWithoutQuiet(file, flow, out);
+    CheckOmpRules(file, fn.body, flow, out);
+    CheckMissingPersist(file, flow, out);
+  }
   std::sort(out.begin(), out.end(),
             [](const LintFinding& a, const LintFinding& b) {
               return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -296,6 +660,16 @@ Result<std::vector<LintFinding>> LintTree(
   return all;
 }
 
+Severity WorstSeverity(const std::vector<LintFinding>& findings) {
+  Severity worst = Severity::kNote;
+  for (const LintFinding& f : findings) {
+    if (static_cast<int>(f.severity) > static_cast<int>(worst)) {
+      worst = f.severity;
+    }
+  }
+  return worst;
+}
+
 std::string RenderLintReport(const std::vector<LintFinding>& findings) {
   std::ostringstream oss;
   if (findings.empty()) {
@@ -305,8 +679,9 @@ std::string RenderLintReport(const std::vector<LintFinding>& findings) {
   oss << "pstk-lint: " << findings.size() << " finding(s)\n";
   std::map<std::string, int> by_rule;
   for (const LintFinding& f : findings) {
-    oss << "  " << f.file << ":" << f.line << ": [" << f.rule << "] "
-        << f.message << "\n";
+    oss << "  " << f.file << ":" << f.line << ": " << SeverityName(f.severity)
+        << ": [" << f.rule << "] " << f.message << "\n";
+    if (!f.fixit.empty()) oss << "      fix: " << f.fixit << "\n";
     ++by_rule[f.rule];
   }
   oss << "by rule:\n";
@@ -314,6 +689,144 @@ std::string RenderLintReport(const std::vector<LintFinding>& findings) {
     oss << "  " << rule << ": " << count << "\n";
   }
   return oss.str();
+}
+
+std::string RenderJson(const std::vector<LintFinding>& findings) {
+  std::ostringstream oss;
+  oss << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    oss << "  {\"rule\": \"" << EscapeJson(f.rule) << "\", \"file\": \""
+        << EscapeJson(f.file) << "\", \"line\": " << f.line
+        << ", \"severity\": \"" << SeverityName(f.severity)
+        << "\", \"message\": \"" << EscapeJson(f.message)
+        << "\", \"fixit\": \"" << EscapeJson(f.fixit) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  oss << "]\n";
+  return oss.str();
+}
+
+std::string RenderSarif(const std::vector<LintFinding>& findings) {
+  std::ostringstream oss;
+  oss << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n"
+      << "      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"pstk-lint\",\n"
+      << "          \"informationUri\": "
+         "\"https://github.com/pstk/parastack\",\n"
+      << "          \"version\": \"0.3.0\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = Rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const RuleInfo& r = rules[i];
+    oss << "            {\"id\": \"" << r.slug
+        << "\", \"shortDescription\": {\"text\": \"" << EscapeJson(r.summary)
+        << "\"}, \"help\": {\"text\": \"" << EscapeJson(r.fix)
+        << "\"}, \"defaultConfiguration\": {\"level\": \""
+        << SeverityName(r.severity) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  oss << "          ]\n        }\n      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    std::size_t rule_index = rules.size();
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (f.rule == rules[r].slug) rule_index = r;
+    }
+    oss << "        {\"ruleId\": \"" << EscapeJson(f.rule) << "\"";
+    if (rule_index < rules.size()) {
+      oss << ", \"ruleIndex\": " << rule_index;
+    }
+    oss << ", \"level\": \"" << SeverityName(f.severity)
+        << "\", \"message\": {\"text\": \"" << EscapeJson(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << EscapeJson(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  oss << "      ]\n    }\n  ]\n}\n";
+  return oss.str();
+}
+
+std::vector<BaselineEntry> ParseBaseline(const std::string& text) {
+  std::vector<BaselineEntry> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto fields = SplitNonEmpty(line, ' ');
+    if (fields.empty()) continue;
+    BaselineEntry entry;
+    entry.rule = fields[0];
+    if (fields.size() > 1) entry.path = fields[1];
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<std::vector<BaselineEntry>> LoadBaseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot open baseline " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseBaseline(buffer.str());
+}
+
+std::string FormatBaseline(const std::vector<LintFinding>& findings) {
+  std::set<std::string> lines;
+  for (const LintFinding& f : findings) {
+    lines.insert(f.rule + " " + f.file);
+  }
+  std::string out =
+      "# pstk-lint baseline: `rule path` per line suppresses matching\n"
+      "# findings (path matched by suffix). '#' starts a comment.\n";
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool PathMatches(const std::string& file, const std::string& pattern) {
+  if (pattern.empty()) return true;  // rule-wide suppression
+  if (file == pattern) return true;
+  if (!EndsWith(file, pattern)) return false;
+  // Suffix must start at a path component ("fig4.cc" must not match
+  // "notfig4.cc").
+  const char before = file[file.size() - pattern.size() - 1];
+  return before == '/' || pattern.front() == '/';
+}
+
+}  // namespace
+
+std::vector<LintFinding> ApplyBaseline(
+    std::vector<LintFinding> findings,
+    const std::vector<BaselineEntry>& baseline, int* suppressed) {
+  int dropped = 0;
+  std::vector<LintFinding> kept;
+  kept.reserve(findings.size());
+  for (LintFinding& f : findings) {
+    const bool matched = std::any_of(
+        baseline.begin(), baseline.end(), [&](const BaselineEntry& e) {
+          return e.rule == f.rule && PathMatches(f.file, e.path);
+        });
+    if (matched) {
+      ++dropped;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  if (suppressed != nullptr) *suppressed = dropped;
+  return kept;
 }
 
 }  // namespace pstk::analysis

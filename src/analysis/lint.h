@@ -1,22 +1,42 @@
-// pstk-lint: heuristic static scanning of benchmark/example sources for
-// the cross-paradigm misuse patterns the runtime verifier catches
-// dynamically (see src/verify). The rules are line-based heuristics in
-// the spirit of the paper's Table III source analysis — they trade
-// soundness for zero build-system integration: comments are stripped and
-// a small amount of brace/loop structure is tracked, nothing more.
+// pstk-lint: dataflow-based static analysis of benchmark/example sources
+// for cross-paradigm misuse — the static twin of the runtime verifier
+// (src/verify). Sources run through a three-stage pipeline:
 //
-// Rules:
-//   mpi-blocking-symmetric-send  blocking Send into a rank-symmetric
-//                                exchange (deadlocks once the message
-//                                size crosses the rendezvous threshold)
-//   spark-missing-persist        an RDD built outside a loop, reused
-//                                inside it, and never Persist()/Cache()d
-//                                (recompute storm)
-//   omp-shared-reduction         `#pragma omp parallel for` without a
-//                                reduction clause over a body that
-//                                accumulates into a shared variable
+//   token.h   C++-subset tokenizer (comment/string-literal aware)
+//   parse.h   structural parser: functions, loops, branches, pragmas,
+//             calls with argument text, lambdas lifted as functions
+//   dataflow.h per-function def-use: variable table, reaching writes,
+//             rank-derived / 64-bit-size value facts, branch context
+//
+// Rules (slug — severity — what it catches):
+//   mpi-blocking-symmetric-send — error — blocking Send to a rank-derived
+//       peer with a matching Recv after it; deadlocks at the rendezvous
+//       threshold
+//   mpi-collective-in-divergent-branch — error — collective call (or
+//       early return) under a rank-derived condition: ranks disagree on
+//       the collective sequence (the call-order bug the runtime verifier
+//       only sees when the branch executes)
+//   mpi-int-count-overflow — error — 64-bit size expression narrowed via
+//       static_cast into an int count of Send/Recv/ReadAtAll with no
+//       INT_MAX guard in the function (the paper's Fig. 4 failure,
+//       diagnosed statically)
+//   mpi-tag-mismatch — error — all send tags and all recv tags in a
+//       function are constants and the two sets are disjoint: the match
+//       can never happen
+//   shmem-put-without-quiet — error — symmetric put followed by a get of
+//       the same symmetric object with no Quiet/Fence/BarrierAll between
+//   omp-shared-reduction — error — `#pragma omp parallel for` whose body
+//       accumulates (+=) into a variable declared outside the loop,
+//       without reduction/atomic/critical
+//   omp-missing-private — warning — scalar declared before a
+//       `#pragma omp parallel for` and plainly assigned inside the loop
+//       body without private()/firstprivate()/reduction()
+//   spark-missing-persist — warning — RDD reused inside a loop, or hit by
+//       two actions, without Persist()/Cache(): every reuse recomputes
+//       the whole lineage (the paper's Fig. 6 persist() omission)
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,12 +44,30 @@
 
 namespace pstk::analysis {
 
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+/// SARIF-style level name: "note" / "warning" / "error".
+const char* SeverityName(Severity severity);
+
 struct LintFinding {
   std::string rule;     // stable slug, e.g. "spark-missing-persist"
   std::string file;     // label or path of the offending source
   int line = 0;         // 1-based line number
   std::string message;  // human diagnostic
+  Severity severity = Severity::kWarning;
+  std::string fixit;    // short remediation hint ("" when obvious)
 };
+
+/// Static metadata for one rule (drives --format=sarif and the report).
+struct RuleInfo {
+  const char* slug;
+  Severity severity;
+  const char* summary;  // one-line description
+  const char* fix;      // default remediation hint
+};
+
+/// All registered rules, sorted by slug.
+const std::vector<RuleInfo>& Rules();
 
 /// Scan one source text. `file` is only used to label findings.
 std::vector<LintFinding> LintSource(const std::string& file,
@@ -42,8 +80,45 @@ Result<std::vector<LintFinding>> LintFile(const std::string& path);
 /// deterministic output). Roots may also name single files.
 Result<std::vector<LintFinding>> LintTree(const std::vector<std::string>& roots);
 
+/// Highest severity present (kNote when empty).
+Severity WorstSeverity(const std::vector<LintFinding>& findings);
+
+// --- output formats --------------------------------------------------------
+
 /// Render findings as a Table III-style report (one row per finding plus
 /// a per-rule summary); "clean" when there are none.
 std::string RenderLintReport(const std::vector<LintFinding>& findings);
+
+/// Machine-readable JSON: an array of finding objects.
+std::string RenderJson(const std::vector<LintFinding>& findings);
+
+/// SARIF 2.1.0 (GitHub code-scanning upload format): one run, the rule
+/// registry as tool.driver.rules, one result per finding.
+std::string RenderSarif(const std::vector<LintFinding>& findings);
+
+// --- baseline suppression --------------------------------------------------
+
+/// One suppression: findings of `rule` in files whose path ends with
+/// `path` are dropped.
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+};
+
+/// Parse baseline text: one `rule path` pair per line, `#` comments and
+/// blank lines ignored.
+std::vector<BaselineEntry> ParseBaseline(const std::string& text);
+
+/// Load and parse a baseline file.
+Result<std::vector<BaselineEntry>> LoadBaseline(const std::string& path);
+
+/// Render findings as baseline text that suppresses exactly them
+/// (deduplicated, with a header comment).
+std::string FormatBaseline(const std::vector<LintFinding>& findings);
+
+/// Remove suppressed findings; `suppressed` (optional) receives the count.
+std::vector<LintFinding> ApplyBaseline(
+    std::vector<LintFinding> findings,
+    const std::vector<BaselineEntry>& baseline, int* suppressed = nullptr);
 
 }  // namespace pstk::analysis

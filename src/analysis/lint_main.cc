@@ -1,37 +1,138 @@
 // pstk-lint driver: scan source trees for cross-paradigm misuse patterns
-// (see lint.h for the rules) and print a Table III-style report.
+// (see lint.h for the rules).
 //
-//   ./build/src/analysis/pstk-lint [path...]
+//   ./build/src/analysis/pstk-lint [options] [path...]
 //
-// With no arguments, scans the repo's examples/ and bench/ trees. Exits
-// nonzero only on I/O errors — findings are a report, not a failure, so
-// the repo's own sweep target stays usable as documentation.
+// Options:
+//   --format=text|json|sarif   output format (default: text report)
+//   --baseline=<file>          suppress findings listed in <file>
+//                              (`rule path` per line, `#` comments)
+//   --fail-on=error|warning|none
+//                              exit 1 when a finding at or above this
+//                              severity survives the baseline
+//                              (default: none — findings never fail)
+//   --write-baseline           print the current findings in baseline
+//                              format (for regenerating the file)
+//
+// With no paths, scans the repo's examples/ and bench/ trees. Exit codes:
+// 0 clean or below threshold, 1 findings at/above --fail-on, 2 usage or
+// I/O error.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.h"
+#include "common/strings.h"
+
+namespace {
+
+using pstk::analysis::LintFinding;
+using pstk::analysis::Severity;
+
+/// SARIF/report paths read better repo-relative; strip the build-time
+/// repo prefix when a scanned path lives under it.
+void MakeRepoRelative(std::vector<LintFinding>& findings) {
+#ifdef PSTK_REPO_ROOT
+  const std::string prefix = std::string(PSTK_REPO_ROOT) + "/";
+  for (LintFinding& f : findings) {
+    if (pstk::StartsWith(f.file, prefix)) {
+      f.file = f.file.substr(prefix.size());
+    }
+  }
+#else
+  (void)findings;
+#endif
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pstk-lint [--format=text|json|sarif] "
+               "[--baseline=<file>] [--fail-on=error|warning|none] "
+               "[--write-baseline] [path...]\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string baseline_path;
+  std::string fail_on = "none";
+  bool write_baseline = false;
   std::vector<std::string> roots;
-  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (pstk::StartsWith(arg, "--format=")) {
+      format = arg.substr(std::strlen("--format="));
+      if (format != "text" && format != "json" && format != "sarif") {
+        return Usage();
+      }
+    } else if (pstk::StartsWith(arg, "--baseline=")) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
+    } else if (pstk::StartsWith(arg, "--fail-on=")) {
+      fail_on = arg.substr(std::strlen("--fail-on="));
+      if (fail_on != "error" && fail_on != "warning" && fail_on != "none") {
+        return Usage();
+      }
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (pstk::StartsWith(arg, "--")) {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
   if (roots.empty()) {
 #ifdef PSTK_REPO_ROOT
     roots = {std::string(PSTK_REPO_ROOT) + "/examples",
              std::string(PSTK_REPO_ROOT) + "/bench"};
 #else
-    std::fprintf(stderr, "usage: pstk-lint <path>...\n");
-    return 2;
+    return Usage();
 #endif
   }
 
-  auto findings = pstk::analysis::LintTree(roots);
-  if (!findings.ok()) {
+  auto scanned = pstk::analysis::LintTree(roots);
+  if (!scanned.ok()) {
     std::fprintf(stderr, "pstk-lint: %s\n",
-                 findings.status().ToString().c_str());
-    return 1;
+                 scanned.status().ToString().c_str());
+    return 2;
   }
-  std::fputs(pstk::analysis::RenderLintReport(findings.value()).c_str(),
-             stdout);
-  return 0;
+  std::vector<LintFinding> findings = std::move(scanned.value());
+  MakeRepoRelative(findings);
+
+  int suppressed = 0;
+  if (!baseline_path.empty()) {
+    auto baseline = pstk::analysis::LoadBaseline(baseline_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "pstk-lint: %s\n",
+                   baseline.status().ToString().c_str());
+      return 2;
+    }
+    findings = pstk::analysis::ApplyBaseline(std::move(findings),
+                                             baseline.value(), &suppressed);
+  }
+
+  if (write_baseline) {
+    std::fputs(pstk::analysis::FormatBaseline(findings).c_str(), stdout);
+    return 0;
+  }
+
+  if (format == "json") {
+    std::fputs(pstk::analysis::RenderJson(findings).c_str(), stdout);
+  } else if (format == "sarif") {
+    std::fputs(pstk::analysis::RenderSarif(findings).c_str(), stdout);
+  } else {
+    std::fputs(pstk::analysis::RenderLintReport(findings).c_str(), stdout);
+    if (suppressed > 0) {
+      std::printf("(%d baseline-suppressed finding(s) not shown)\n",
+                  suppressed);
+    }
+  }
+
+  if (fail_on == "none" || findings.empty()) return 0;
+  const Severity worst = pstk::analysis::WorstSeverity(findings);
+  const Severity threshold =
+      fail_on == "error" ? Severity::kError : Severity::kWarning;
+  return static_cast<int>(worst) >= static_cast<int>(threshold) ? 1 : 0;
 }

@@ -1,0 +1,294 @@
+#include "analysis/token.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pstk::analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character operators, longest first within each leading character.
+const char* const kMultiPunct[] = {
+    "...", "<<=", ">>=", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+    "++", "--",  ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        SkipLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        SkipBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && Peek(1) == '"') {
+        LexRawString();
+        continue;
+      }
+      if (c == '"') {
+        LexString('"', TokKind::kString);
+        continue;
+      }
+      if (c == '\'') {
+        LexString('\'', TokKind::kChar);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdent();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char Peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokKind kind, std::string text, int line) {
+    out_.push_back(Token{kind, std::move(text), line});
+  }
+
+  void SkipLineComment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+  }
+
+  void SkipBlockComment() {
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  /// A whole preprocessor directive, honoring backslash-newline
+  /// continuations and stripping comments; `#pragma` is kept verbatim.
+  void LexDirective() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {
+        text += ' ';
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && Peek(1) == '/') {
+        SkipLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        SkipBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += c;
+      ++pos_;
+    }
+    // Normalize "#  pragma" spelling for downstream substring checks.
+    std::size_t i = 1;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    const bool is_pragma = text.compare(i, 6, "pragma") == 0;
+    Emit(is_pragma ? TokKind::kPragma : TokKind::kDirective,
+         std::move(text), start_line);
+  }
+
+  void LexRawString() {
+    const int start_line = line_;
+    std::string text = "R\"";
+    pos_ += 2;
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim += src_[pos_];
+      text += src_[pos_];
+      ++pos_;
+    }
+    text += '(';
+    if (pos_ < src_.size()) ++pos_;  // consume '('
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        text += closer;
+        pos_ += closer.size();
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_];
+      ++pos_;
+    }
+    Emit(TokKind::kString, std::move(text), start_line);
+  }
+
+  void LexString(char quote, TokKind kind) {
+    const int start_line = line_;
+    std::string text(1, quote);
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text += c;
+        text += src_[pos_ + 1];
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {  // unterminated literal: stop at end of line
+        break;
+      }
+      text += c;
+      ++pos_;
+      if (c == quote) break;
+    }
+    Emit(kind, std::move(text), start_line);
+  }
+
+  void LexIdent() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+      text += src_[pos_];
+      ++pos_;
+    }
+    Emit(TokKind::kIdent, std::move(text), start_line);
+  }
+
+  void LexNumber() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        // Exponent sign: 1e+9 / 0x1p-3.
+        text += c;
+        ++pos_;
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            text.compare(0, 2, "0x") != 0 && pos_ < src_.size() &&
+            (src_[pos_] == '+' || src_[pos_] == '-')) {
+          text += src_[pos_];
+          ++pos_;
+        }
+        continue;
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, std::move(text), start_line);
+  }
+
+  void LexPunct() {
+    const int start_line = line_;
+    for (const char* op : kMultiPunct) {
+      const std::size_t n = std::char_traits<char>::length(op);
+      if (src_.compare(pos_, n, op) == 0) {
+        pos_ += n;
+        Emit(TokKind::kPunct, op, start_line);
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[pos_]), start_line);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& source) {
+  return Lexer(source).Run();
+}
+
+std::optional<long long> TokenIntValue(const Token& token) {
+  if (token.kind != TokKind::kNumber) return std::nullopt;
+  std::string digits;
+  for (char c : token.text) {
+    if (c == '\'') continue;
+    digits += c;
+  }
+  if (digits.find('.') != std::string::npos) return std::nullopt;
+  // Reject decimal exponents (1e9); allow hex (0x...e is a digit there).
+  const bool hex = digits.size() > 1 && (digits[1] == 'x' || digits[1] == 'X');
+  if (!hex && (digits.find('e') != std::string::npos ||
+               digits.find('E') != std::string::npos)) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(digits.c_str(), &end, 0);
+  if (end == digits.c_str()) return std::nullopt;
+  // Trailing integer suffixes (u, l, ll, z) are fine; anything else is not
+  // a plain integer literal.
+  for (const char* p = end; *p != '\0'; ++p) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+    if (c != 'u' && c != 'l' && c != 'z') return std::nullopt;
+  }
+  return value;
+}
+
+std::string JoinTokens(const std::vector<Token>& tokens, std::size_t begin,
+                       std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const std::string& text = tokens[i].text;
+    if (text.empty()) continue;
+    if (!out.empty() && (IsIdentChar(out.back()) || out.back() == '>') &&
+        (IsIdentChar(text.front()))) {
+      // `const Bytes`, `long long`, and `Foo<T> x` need separating spaces;
+      // punctuation glues tight.
+      out += ' ';
+    }
+    out += text;
+  }
+  return out;
+}
+
+}  // namespace pstk::analysis

@@ -1,0 +1,69 @@
+// Stage 1 of the pstk-lint pipeline: a C++-subset tokenizer.
+//
+// Produces a flat token stream with comments discarded and string/char
+// literals kept as single opaque tokens, so no later stage can ever
+// mistake the contents of a literal (or a comment) for code — the
+// false-positive class the old line-substring scanner suffered from
+// ("rank+1" inside a log message, "Send(" inside a comment).
+//
+// The subset understood:
+//   * identifiers and numeric literals (with digit separators/suffixes)
+//   * "..." / '...' literals with escapes, and raw strings R"delim(...)delim"
+//   * line and block comments (skipped, but line accounting is exact)
+//   * preprocessor directives: `#pragma ...` survives as one kPragma token
+//     carrying the whole directive text (backslash continuations folded);
+//     every other directive becomes a kDirective token and is otherwise
+//     opaque
+//   * multi-character operators (::, ->, +=, <<, ...) as single kPunct
+//     tokens, everything else as one-character punctuation
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pstk::analysis {
+
+enum class TokKind : std::uint8_t {
+  kIdent,      // identifier or keyword
+  kNumber,     // numeric literal
+  kString,     // "..." or R"(...)" — text includes the quotes
+  kChar,       // '...'
+  kPunct,      // operator / punctuation, possibly multi-character
+  kPragma,     // a whole `#pragma ...` directive, continuations folded
+  kDirective,  // any other preprocessor directive (opaque)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+
+  [[nodiscard]] bool Is(TokKind k, const char* t) const {
+    return kind == k && text == t;
+  }
+  [[nodiscard]] bool IsPunct(const char* t) const {
+    return Is(TokKind::kPunct, t);
+  }
+  [[nodiscard]] bool IsIdent(const char* t) const {
+    return Is(TokKind::kIdent, t);
+  }
+};
+
+/// Tokenize C++-subset source text. Never fails: unrecognized bytes become
+/// single-character punctuation tokens, unterminated literals end at EOF.
+std::vector<Token> Tokenize(const std::string& source);
+
+/// Integer value of a numeric literal token (decimal/hex/octal, optional
+/// suffix and digit separators); nullopt for floats or non-numbers.
+std::optional<long long> TokenIntValue(const Token& token);
+
+/// Reassemble a token range into compact source-like text: a space is
+/// inserted only where gluing two tokens together would merge them (both
+/// identifier-like). `"static_cast" "<" "std::int32_t" ">" "(" "len" ")"`
+/// renders as `static_cast<std::int32_t>(len)`.
+std::string JoinTokens(const std::vector<Token>& tokens, std::size_t begin,
+                       std::size_t end);
+
+}  // namespace pstk::analysis

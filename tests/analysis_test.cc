@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "analysis/dataflow.h"
+#include "analysis/lint.h"
 #include "analysis/loc.h"
+#include "analysis/parse.h"
+#include "analysis/token.h"
 
 namespace pstk::analysis {
 namespace {
@@ -66,6 +72,538 @@ TEST(LocTest, AnalyzeMissingFileFails) {
   const auto report = AnalyzeFile("x", "/no/such/file.cc", {});
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+// ===========================================================================
+// Stage 1: tokenizer
+// ===========================================================================
+
+TEST(TokenTest, CommentsAndStringContentsAreOpaque) {
+  const std::string source = R"cc(
+// comm.Send(buf, n, rank + 1, 0);
+Log("calling Send(rank+1)"); /* Recv( */
+)cc";
+  const auto tokens = Tokenize(source);
+  // Nothing from the comment or the literal leaks as an identifier.
+  for (const Token& t : tokens) {
+    EXPECT_FALSE(t.IsIdent("Send")) << t.text;
+    EXPECT_FALSE(t.IsIdent("Recv")) << t.text;
+    EXPECT_FALSE(t.IsIdent("rank")) << t.text;
+  }
+  // The literal survives as one opaque kString token with exact text.
+  const auto str = std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+    return t.kind == TokKind::kString;
+  });
+  ASSERT_NE(str, tokens.end());
+  EXPECT_EQ(str->text, "\"calling Send(rank+1)\"");
+  EXPECT_EQ(str->line, 3);
+}
+
+TEST(TokenTest, RawStringsAndPragmasAreSingleTokens) {
+  const std::string source =
+      "auto s = R\"x(Send( " "\n" "more)x\";\n"
+      "  #pragma omp parallel \\\n      for\n"
+      "int after = 1;\n";
+  const auto tokens = Tokenize(source);
+  const auto raw = std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+    return t.kind == TokKind::kString;
+  });
+  ASSERT_NE(raw, tokens.end());
+  EXPECT_NE(raw->text.find("Send("), std::string::npos);  // inside literal only
+  const auto pragma =
+      std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+        return t.kind == TokKind::kPragma;
+      });
+  ASSERT_NE(pragma, tokens.end());
+  // Backslash continuation folded into one directive token.
+  EXPECT_NE(pragma->text.find("omp parallel"), std::string::npos);
+  EXPECT_NE(pragma->text.find("for"), std::string::npos);
+  // Line accounting stays exact across the raw string + continuation.
+  const auto after = std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+    return t.IsIdent("after");
+  });
+  ASSERT_NE(after, tokens.end());
+  EXPECT_EQ(after->line, 5);
+}
+
+TEST(TokenTest, OperatorsNumbersAndJoin) {
+  const auto tokens = Tokenize("x <<= y->z; n += 2'000; p = 0x10;");
+  auto has_punct = [&](const char* p) {
+    return std::any_of(tokens.begin(), tokens.end(),
+                       [&](const Token& t) { return t.IsPunct(p); });
+  };
+  EXPECT_TRUE(has_punct("<<="));
+  EXPECT_TRUE(has_punct("->"));
+  EXPECT_TRUE(has_punct("+="));
+  long long hex = 0;
+  long long sep = 0;
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kNumber) continue;
+    const auto v = TokenIntValue(t);
+    ASSERT_TRUE(v.has_value()) << t.text;
+    if (t.text == "0x10") hex = *v;
+    if (t.text == "2'000") sep = *v;
+  }
+  EXPECT_EQ(hex, 16);
+  EXPECT_EQ(sep, 2000);
+  EXPECT_FALSE(TokenIntValue(Token{TokKind::kNumber, "1.5e3", 1}).has_value());
+
+  const auto cast = Tokenize("static_cast<std::int32_t>(len)");
+  EXPECT_EQ(JoinTokens(cast, 0, cast.size()),
+            "static_cast<std::int32_t>(len)");
+}
+
+// ===========================================================================
+// Stage 2: structural parser
+// ===========================================================================
+
+TEST(ParseTest, FunctionsLoopsBranchesCalls) {
+  const Unit unit = ParseSource(R"cc(
+int Compute(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      total += i;
+    } else {
+      total -= 1;
+    }
+  }
+  helper.Run(total, n + 1);
+  return total;
+}
+)cc");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  const Function& fn = unit.functions[0];
+  EXPECT_EQ(fn.name, "Compute");
+  ASSERT_EQ(fn.params.size(), 1u);
+  EXPECT_EQ(fn.params[0].name, "n");
+  ASSERT_GE(fn.body.size(), 4u);
+  EXPECT_EQ(fn.body[0].decl_name, "total");
+  const Stmt& loop = fn.body[1];
+  ASSERT_EQ(loop.kind, StmtKind::kLoop);
+  EXPECT_EQ(loop.induction_var, "i");
+  ASSERT_EQ(loop.children.size(), 1u);
+  const Stmt& branch = loop.children[0];
+  ASSERT_EQ(branch.kind, StmtKind::kBranch);
+  ASSERT_EQ(branch.children.size(), 1u);
+  ASSERT_EQ(branch.else_children.size(), 1u);
+  ASSERT_EQ(branch.children[0].assigns.size(), 1u);
+  EXPECT_EQ(branch.children[0].assigns[0].name, "total");
+  EXPECT_EQ(branch.children[0].assigns[0].op, "+=");
+  const Stmt& call_stmt = fn.body[2];
+  ASSERT_EQ(call_stmt.calls.size(), 1u);
+  EXPECT_EQ(call_stmt.calls[0].receiver, "helper");
+  EXPECT_EQ(call_stmt.calls[0].method, "Run");
+  ASSERT_EQ(call_stmt.calls[0].args.size(), 2u);
+  EXPECT_EQ(call_stmt.calls[0].args[1], "n+1");
+  EXPECT_EQ(fn.body[3].kind, StmtKind::kReturn);
+}
+
+TEST(ParseTest, LambdaBodyLiftedAsFunction) {
+  const Unit unit = ParseSource(R"cc(
+void Outer(mpi::World& world) {
+  auto t = world.RunSpmd([&](mpi::Comm& comm) {
+    comm.Barrier();
+  });
+}
+)cc");
+  ASSERT_EQ(unit.functions.size(), 2u);
+  const auto lambda =
+      std::find_if(unit.functions.begin(), unit.functions.end(),
+                   [](const Function& f) { return f.is_lambda; });
+  ASSERT_NE(lambda, unit.functions.end());
+  ASSERT_EQ(lambda->params.size(), 1u);
+  EXPECT_EQ(lambda->params[0].name, "comm");
+  ASSERT_EQ(lambda->body.size(), 1u);
+  ASSERT_EQ(lambda->body[0].calls.size(), 1u);
+  EXPECT_EQ(lambda->body[0].calls[0].method, "Barrier");
+}
+
+// ===========================================================================
+// Stage 3: dataflow
+// ===========================================================================
+
+const Function& OnlyFn(const Unit& unit) {
+  EXPECT_EQ(unit.functions.size(), 1u);
+  return unit.functions.front();
+}
+
+TEST(DataflowTest, RankTaintPropagatesThroughDerivedVars) {
+  const Unit unit = ParseSource(R"cc(
+void f(mpi::Comm& comm, int iters) {
+  const int right = (comm.rank() + 1) % comm.size();
+  const int partner = right ^ 1;
+  int plain = iters * 2;
+}
+)cc");
+  const FunctionFlow flow(OnlyFn(unit));
+  EXPECT_TRUE(flow.IsRankDerived("right"));
+  EXPECT_TRUE(flow.IsRankDerived("partner"));  // via right, one hop
+  EXPECT_FALSE(flow.IsRankDerived("plain"));
+  EXPECT_FALSE(flow.IsRankDerived("iters"));
+}
+
+TEST(DataflowTest, WideSizesAndIntMaxGuard) {
+  const Unit unit = ParseSource(R"cc(
+void g(mpi::File* file) {
+  const Bytes chunk = file->size() / 4;
+  auto len = chunk * 2;
+  int small = 3;
+}
+)cc");
+  const FunctionFlow flow(OnlyFn(unit));
+  EXPECT_TRUE(flow.Is64BitSized("chunk"));
+  EXPECT_TRUE(flow.Is64BitSized("len"));  // via chunk
+  EXPECT_FALSE(flow.Is64BitSized("small"));
+  EXPECT_FALSE(flow.HasIntMaxGuard());
+
+  const Unit guarded = ParseSource(R"cc(
+void g(Bytes len) {
+  if (len > static_cast<Bytes>(INT32_MAX)) return;
+}
+)cc");
+  EXPECT_TRUE(FunctionFlow(OnlyFn(guarded)).HasIntMaxGuard());
+}
+
+// ===========================================================================
+// Rules: seeded violation + false-positive guard per rule
+// ===========================================================================
+
+std::vector<LintFinding> Findings(const std::string& source) {
+  return LintSource("t.cc", source);
+}
+
+int CountRule(const std::vector<LintFinding>& findings, const char* rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const LintFinding& f) { return f.rule == rule; }));
+}
+
+TEST(LintRuleTest, StringsAndCommentsNeverTriggerRules) {
+  // Both lines defeated the old substring scanner: "Send(...rank+1...)"
+  // only ever appears inside a literal / a comment.
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  // comm.Send(buf, n, rank + 1, 0);
+  Log("calling Send(rank+1)");
+  comm.Recv(buf, n, src, 0);
+}
+)cc");
+  EXPECT_EQ(findings.size(), 0u) << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, CollectiveInDivergentBranchFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  }
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintRuleTest, DivergentEarlyReturnBeforeCollectiveFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int me = comm.rank();
+  if (me > 0) return;
+  comm.Barrier();
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 1)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, UniformBranchAndStatusGuardAreClean) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm, mpi::File* file, int iters) {
+  if (iters > 0) {
+    comm.Barrier();
+  }
+  const Bytes offset = static_cast<Bytes>(comm.rank()) * 64;
+  auto part = file->ReadAtAll(comm, offset, 64);
+  if (!part.ok()) return;  // rank-tainted value, uniform error outcome
+  comm.Barrier();
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, IntCountOverflowFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm, mpi::File* file) {
+  const Bytes len = file->size() / comm.size();
+  auto part = file->ReadLinesAtAll(comm, 0, static_cast<std::int32_t>(len));
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-int-count-overflow"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("len"), std::string::npos);
+}
+
+TEST(LintRuleTest, IntCountWithGuardOrNarrowSourceIsClean) {
+  const auto guarded = Findings(R"cc(
+void f(mpi::Comm& comm, mpi::File* file) {
+  const Bytes len = file->size() / comm.size();
+  if (len > static_cast<Bytes>(INT32_MAX)) return;
+  auto part = file->ReadLinesAtAll(comm, 0, static_cast<std::int32_t>(len));
+}
+)cc");
+  EXPECT_EQ(CountRule(guarded, "mpi-int-count-overflow"), 0)
+      << RenderLintReport(guarded);
+  // Narrowing an int-typed value is not the Fig. 4 failure.
+  const auto narrow = Findings(R"cc(
+void f(mpi::Comm& comm, int lines) {
+  comm.Send(buf, static_cast<std::int32_t>(lines), 1, 0);
+}
+)cc");
+  EXPECT_EQ(CountRule(narrow, "mpi-int-count-overflow"), 0)
+      << RenderLintReport(narrow);
+}
+
+TEST(LintRuleTest, TagMismatchFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  comm.Send(out, 64, dest, 7);
+  comm.Recv(in, 64, src, 9);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-tag-mismatch"), 1)
+      << RenderLintReport(findings);
+  EXPECT_NE(findings[0].message.find("7"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("9"), std::string::npos);
+}
+
+TEST(LintRuleTest, MatchingOrVariableTagsAreClean) {
+  const auto matching = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  comm.Send(out, 64, dest, 7);
+  comm.Recv(in, 64, src, 7);
+}
+)cc");
+  EXPECT_EQ(CountRule(matching, "mpi-tag-mismatch"), 0);
+  // One variable tag makes the sets unprovable: stay silent.
+  const auto variable = Findings(R"cc(
+void f(mpi::Comm& comm, int tag) {
+  comm.Send(out, 64, dest, tag);
+  comm.Recv(in, 64, src, 9);
+}
+)cc");
+  EXPECT_EQ(CountRule(variable, "mpi-tag-mismatch"), 0);
+}
+
+TEST(LintRuleTest, OmpMissingPrivateFlagged) {
+  const auto findings = Findings(R"cc(
+void f(int n) {
+  int tmp = 0;
+  #pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    tmp = i * 2;
+    Use(tmp);
+  }
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "omp-missing-private"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_NE(findings[0].message.find("tmp"), std::string::npos);
+}
+
+TEST(LintRuleTest, OmpPrivateClauseOrLocalDeclIsClean) {
+  const auto clause = Findings(R"cc(
+void f(int n) {
+  int tmp = 0;
+  #pragma omp parallel for private(tmp)
+  for (int i = 0; i < n; ++i) {
+    tmp = i * 2;
+    Use(tmp);
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(clause, "omp-missing-private"), 0)
+      << RenderLintReport(clause);
+  const auto local = Findings(R"cc(
+void f(int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    int tmp = i * 2;
+    Use(tmp);
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(local, "omp-missing-private"), 0)
+      << RenderLintReport(local);
+}
+
+TEST(LintRuleTest, ShmemPutWithoutQuietFlagged) {
+  const auto findings = Findings(R"cc(
+void f(shmem::Pe& pe) {
+  pe.PutValue(slots.at(0), 1, 2);
+  int v = pe.GetValue(slots.at(0), 2);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "shmem-put-without-quiet"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("slots"), std::string::npos);
+}
+
+TEST(LintRuleTest, ShmemQuietBetweenPutAndGetIsClean) {
+  const auto quiet = Findings(R"cc(
+void f(shmem::Pe& pe) {
+  pe.PutValue(slots.at(0), 1, 2);
+  pe.Quiet();
+  int v = pe.GetValue(slots.at(0), 2);
+}
+)cc");
+  EXPECT_EQ(CountRule(quiet, "shmem-put-without-quiet"), 0)
+      << RenderLintReport(quiet);
+  // Reading a different symmetric object needs no fence.
+  const auto other = Findings(R"cc(
+void f(shmem::Pe& pe) {
+  pe.PutValue(slots.at(0), 1, 2);
+  int v = pe.GetValue(flags.at(0), 2);
+}
+)cc");
+  EXPECT_EQ(CountRule(other, "shmem-put-without-quiet"), 0)
+      << RenderLintReport(other);
+}
+
+TEST(LintRuleTest, SymmetricSendViaDerivedPartnerFlagged) {
+  // The deadlock pair where the rank arithmetic hides in an initializer.
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  comm.Send(out, 64, partner, 0);
+  comm.Recv(in, 64, partner, 0);
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-blocking-symmetric-send"), 1)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, SparkMultipleActionsWithoutPersistFlagged) {
+  const auto findings = Findings(R"cc(
+void f(spark::SparkContext& sc) {
+  auto doubled = sc.Parallelize(data, 4).Map([](int x) { return 2 * x; });
+  auto first = doubled.Count();
+  auto second = doubled.Count();
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "spark-missing-persist"), 1)
+      << RenderLintReport(findings);
+  EXPECT_NE(findings[0].message.find("2 actions"), std::string::npos);
+}
+
+// ===========================================================================
+// Output formats + baseline
+// ===========================================================================
+
+LintFinding SampleFinding() {
+  LintFinding f;
+  f.rule = "mpi-tag-mismatch";
+  f.file = "examples/a.cc";
+  f.line = 12;
+  f.message = "tags 1 vs 2";
+  f.severity = Severity::kError;
+  return f;
+}
+
+TEST(LintOutputTest, SeverityNamesAndWorst) {
+  EXPECT_STREQ(SeverityName(Severity::kNote), "note");
+  EXPECT_STREQ(SeverityName(Severity::kWarning), "warning");
+  EXPECT_STREQ(SeverityName(Severity::kError), "error");
+  std::vector<LintFinding> fs{{"r", "f", 1, "m", Severity::kWarning, ""}};
+  EXPECT_EQ(WorstSeverity({}), Severity::kNote);
+  EXPECT_EQ(WorstSeverity(fs), Severity::kWarning);
+  fs.push_back(SampleFinding());
+  EXPECT_EQ(WorstSeverity(fs), Severity::kError);
+}
+
+TEST(LintOutputTest, JsonGolden) {
+  LintFinding f;
+  f.rule = "r";
+  f.file = "a.cc";
+  f.line = 3;
+  f.message = "say \"hi\"";
+  EXPECT_EQ(RenderJson({f}),
+            "[\n"
+            "  {\"rule\": \"r\", \"file\": \"a.cc\", \"line\": 3, "
+            "\"severity\": \"warning\", \"message\": \"say \\\"hi\\\"\", "
+            "\"fixit\": \"\"}\n"
+            "]\n");
+  EXPECT_EQ(RenderJson({}), "[\n]\n");
+}
+
+TEST(LintOutputTest, SarifGolden) {
+  const std::string sarif = RenderSarif({SampleFinding()});
+  // Required SARIF 2.1.0 envelope.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"pstk-lint\""), std::string::npos);
+  // Every registered rule is described in tool.driver.rules.
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + std::string(r.slug) + "\""),
+              std::string::npos)
+        << r.slug;
+  }
+  // The result object, golden: mpi-tag-mismatch is rule index 3.
+  EXPECT_NE(
+      sarif.find(
+          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 3, "
+          "\"level\": \"error\", \"message\": {\"text\": \"tags 1 vs 2\"}, "
+          "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \"examples/a.cc\"}, \"region\": {\"startLine\": 12}}}]}"),
+      std::string::npos)
+      << sarif;
+}
+
+TEST(LintBaselineTest, RoundTripSuppressesExactlyTheFindings) {
+  std::vector<LintFinding> findings{SampleFinding()};
+  LintFinding other;
+  other.rule = "spark-missing-persist";
+  other.file = "bench/b.cc";
+  other.line = 4;
+  other.message = "m";
+  findings.push_back(other);
+
+  const std::string text = FormatBaseline(findings);
+  const auto entries = ParseBaseline(text);
+  ASSERT_EQ(entries.size(), 2u);
+  int suppressed = 0;
+  const auto kept = ApplyBaseline(findings, entries, &suppressed);
+  EXPECT_EQ(kept.size(), 0u);
+  EXPECT_EQ(suppressed, 2);
+}
+
+TEST(LintBaselineTest, SuffixMatchRespectsPathComponents) {
+  const auto entries = ParseBaseline(
+      "# comment line\n"
+      "mpi-tag-mismatch fig4.cc  # trailing comment\n");
+  ASSERT_EQ(entries.size(), 1u);
+
+  LintFinding in_dir = SampleFinding();
+  in_dir.file = "/root/repo/bench/fig4.cc";
+  LintFinding lookalike = SampleFinding();
+  lookalike.file = "/root/repo/bench/notfig4.cc";
+  int suppressed = 0;
+  const auto kept = ApplyBaseline({in_dir, lookalike}, entries, &suppressed);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].file, "/root/repo/bench/notfig4.cc");
+  EXPECT_EQ(suppressed, 1);
+}
+
+TEST(LintBaselineTest, WrongRuleOrPathDoesNotSuppress) {
+  const auto entries =
+      ParseBaseline("spark-missing-persist examples/a.cc\n");
+  const auto kept = ApplyBaseline({SampleFinding()}, entries, nullptr);
+  EXPECT_EQ(kept.size(), 1u);  // rule differs, finding survives
 }
 
 }  // namespace
