@@ -4,6 +4,10 @@
 // measured. MPI has no recovery path and aborts.
 //
 //   ./build/bench/ablation_faults [nodes=8]
+//       [--faults=node:<id>@<t>[+<down>][,...]]
+//
+// The default plan fails the last node at t=10s; --faults overrides it
+// (same syntax everywhere, see bench_opts.h).
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -16,6 +20,7 @@
 #include "mpi/mpi.h"
 #include "mr/mr.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "spark/spark.h"
 #include "workloads/stackexchange.h"
 
@@ -33,10 +38,10 @@ std::string Dataset() {
   return workloads::GenerateStackExchange(params, nullptr);
 }
 
-/// Spark AnswersCount; optionally fail a node mid-run. Returns app time
+/// Spark AnswersCount; optionally run under a fault plan. Returns app time
 /// (or nullopt on job failure).
 std::optional<SimTime> SparkRun(int nodes, const std::string& data,
-                                bool inject) {
+                                const sim::FaultPlan* plan) {
   sim::Engine engine;
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes), kScale);
   dfs::MiniDfs dfs(cluster);
@@ -53,20 +58,19 @@ std::optional<SimTime> SparkRun(int nodes, const std::string& data,
       },
       [&](Result<spark::AppResult> r) { outcome = std::move(r); });
   bench::Observability::Instance().Attach(engine);
-  if (inject) {
-    cluster.FailNode(nodes - 1, 10.0);
-    dfs.OnNodeFailed(nodes - 1, 10.0);
-  }
+  // MiniDFS subscribes to cluster node failures itself, so applying the
+  // plan is all the fault wiring a bench needs.
+  if (plan != nullptr) cluster.ApplyFaultPlan(*plan);
   const bool run_ok = engine.Run().status.ok();
   bench::Observability::Instance().Collect(
-      engine, std::string("spark") + (inject ? " faulted" : " clean"));
+      engine, std::string("spark") + (plan != nullptr ? " faulted" : " clean"));
   if (!run_ok) return std::nullopt;
   if (!ok || !outcome.has_value() || !outcome->ok()) return std::nullopt;
   return (*outcome)->elapsed;
 }
 
 std::optional<SimTime> MrRun(int nodes, const std::string& data,
-                             bool inject) {
+                             const sim::FaultPlan* plan) {
   sim::Engine engine;
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes), kScale);
   dfs::MiniDfs dfs(cluster);
@@ -89,20 +93,18 @@ std::optional<SimTime> MrRun(int nodes, const std::string& data,
   mr_engine.Submit(conf, map, reduce, std::nullopt,
                    [&](Result<mr::JobResult> r) { outcome = std::move(r); });
   bench::Observability::Instance().Attach(engine);
-  if (inject) {
-    cluster.FailNode(nodes - 1, 10.0);
-    dfs.OnNodeFailed(nodes - 1, 10.0);
-  }
+  if (plan != nullptr) cluster.ApplyFaultPlan(*plan);
   const bool run_ok = engine.Run().status.ok();
   bench::Observability::Instance().Collect(
-      engine, std::string("hadoop") + (inject ? " faulted" : " clean"));
+      engine,
+      std::string("hadoop") + (plan != nullptr ? " faulted" : " clean"));
   if (!run_ok) return std::nullopt;
   if (!outcome.has_value() || !outcome->ok()) return std::nullopt;
   return (*outcome)->elapsed;
 }
 
 /// MPI iterative job; returns nullopt when the job aborts.
-std::optional<SimTime> MpiRun(int nodes, bool inject) {
+std::optional<SimTime> MpiRun(int nodes, const sim::FaultPlan* plan) {
   sim::Engine engine;
   cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(nodes));
   mpi::World world(cluster, nodes * 8, 8);
@@ -115,10 +117,10 @@ std::optional<SimTime> MpiRun(int nodes, bool inject) {
     }
   });
   bench::Observability::Instance().Attach(engine);
-  if (inject) cluster.FailNode(nodes - 1, 10.0);
+  if (plan != nullptr) cluster.ApplyFaultPlan(*plan);
   auto run = engine.Run();
   bench::Observability::Instance().Collect(
-      engine, std::string("mpi") + (inject ? " faulted" : " clean"));
+      engine, std::string("mpi") + (plan != nullptr ? " faulted" : " clean"));
   if (run.killed > 0 || !run.status.ok()) return std::nullopt;
   return run.end_time;
 }
@@ -148,14 +150,20 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(config->GetInt("nodes", 8));
   const std::string data = Dataset();
 
-  std::printf("Ablation C — recovery cost of a node failure at t=10s "
-              "(%d nodes)\n\n", nodes);
+  sim::FaultPlan plan = bench::Observability::Instance().fault_plan();
+  if (plan.empty()) {
+    plan = sim::FaultPlan::Parse("node:" + std::to_string(nodes - 1) + "@10")
+               .value();
+  }
+
+  std::printf("Ablation C — recovery cost of node failure(s) [%s] "
+              "(%d nodes)\n\n", plan.ToString().c_str(), nodes);
   Table table;
   table.SetHeader({"system", "no failure", "with failure", "overhead",
                    "mechanism"});
 
-  const auto spark_base = SparkRun(nodes, data, false);
-  const auto spark_fault = SparkRun(nodes, data, true);
+  const auto spark_base = SparkRun(nodes, data, nullptr);
+  const auto spark_fault = SparkRun(nodes, data, &plan);
   table.Row()
       .Cell("Spark")
       .Cell(Cell(spark_base))
@@ -163,8 +171,8 @@ int main(int argc, char** argv) {
       .Cell(Overhead(spark_base, spark_fault))
       .Cell("lineage recompute");
 
-  const auto mr_base = MrRun(nodes, data, false);
-  const auto mr_fault = MrRun(nodes, data, true);
+  const auto mr_base = MrRun(nodes, data, nullptr);
+  const auto mr_fault = MrRun(nodes, data, &plan);
   table.Row()
       .Cell("Hadoop MR")
       .Cell(Cell(mr_base))
@@ -172,8 +180,8 @@ int main(int argc, char** argv) {
       .Cell(Overhead(mr_base, mr_fault))
       .Cell("task re-execution");
 
-  const auto mpi_base = MpiRun(nodes, false);
-  const auto mpi_fault = MpiRun(nodes, true);
+  const auto mpi_base = MpiRun(nodes, nullptr);
+  const auto mpi_fault = MpiRun(nodes, &plan);
   table.Row()
       .Cell("MPI")
       .Cell(Cell(mpi_base))

@@ -1,6 +1,7 @@
 #include "bench_opts.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string_view>
 
@@ -24,6 +25,14 @@ void Observability::ParseFlags(int* argc, char** argv) {
       metrics_ = true;
     } else if (arg == "--verify") {
       verify_ = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      auto plan = sim::FaultPlan::Parse(arg.substr(std::strlen("--faults=")));
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bad --faults: %s\n",
+                     plan.status().ToString().c_str());
+        std::exit(2);
+      }
+      fault_plan_ = std::move(plan).value();
     } else {
       argv[out++] = argv[i];
     }

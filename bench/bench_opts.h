@@ -6,6 +6,11 @@
 //   --verify         install the runtime-verification checkers (MPI usage,
 //                    SHMEM synchronization, Spark/MR invariants) and print
 //                    a findings report per run
+//   --faults=node:<id>@<t>[+<down>][,...]
+//                    unified fault-injection plan: fail node <id> at
+//                    virtual time <t> (optionally restoring it <down>
+//                    seconds later); benches apply it with
+//                    cluster.ApplyFaultPlan(Instance().fault_plan())
 //
 // Usage pattern (see fig6_pagerank_bdb.cc):
 //   int main(int argc, char** argv) {
@@ -22,6 +27,7 @@
 #include <string>
 
 #include "sim/engine.h"
+#include "sim/fault.h"
 
 namespace pstk::bench {
 
@@ -38,6 +44,10 @@ class Observability {
   [[nodiscard]] bool active() const { return !trace_path_.empty(); }
   [[nodiscard]] bool metrics() const { return metrics_; }
   [[nodiscard]] bool verify() const { return verify_; }
+  /// The plan parsed from --faults= (empty when the flag was absent).
+  [[nodiscard]] const sim::FaultPlan& fault_plan() const {
+    return fault_plan_;
+  }
 
   /// Enable the engine's instrumentation bus when --trace/--metrics is on
   /// and install the verification checkers when --verify is on.
@@ -58,6 +68,7 @@ class Observability {
   std::string trace_path_;
   bool metrics_ = false;
   bool verify_ = false;
+  sim::FaultPlan fault_plan_;
   std::string events_json_;
   int runs_ = 0;
 };

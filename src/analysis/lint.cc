@@ -21,6 +21,13 @@ namespace {
 // ===========================================================================
 
 const RuleInfo kRules[] = {
+    {"ckpt-outside-collective", Severity::kError,
+     "CheckpointCoordinator::Checkpoint() under a rank-derived condition: "
+     "the first arrival decides whether the epoch is due, so ranks that "
+     "skip the call never write their fragment and the epoch never "
+     "commits — the snapshot can never be restored",
+     "call Checkpoint() on every rank at the same collective boundary "
+     "(hoist it out of the rank-derived branch)"},
     {"mpi-blocking-symmetric-send", Severity::kError,
      "blocking Send to a rank-relative peer with a matching Recv after it; "
      "the symmetric exchange deadlocks once messages cross the rendezvous "
@@ -197,6 +204,37 @@ void CheckCollectiveDivergence(const std::string& file,
                 "of the collective sequence"));
       }
     }
+  }
+}
+
+// ===========================================================================
+// ckpt-outside-collective
+// ===========================================================================
+//
+// CheckpointCoordinator::Checkpoint() uses first-arrival-decides epoch
+// accounting: the first rank to reach the boundary decides whether the
+// epoch is due, and the epoch commits only once every rank has written its
+// fragment. A Checkpoint() call under a rank-derived condition therefore
+// produces permanently-uncommittable epochs (the runtime twin is the
+// verify ckpt restart-consistency checker, which only fires when the
+// divergent branch actually executes).
+
+void CheckCkptOutsideCollective(const std::string& file,
+                                const FunctionFlow& flow,
+                                std::vector<LintFinding>& out) {
+  for (const FlowEvent& e : flow.events()) {
+    if (e.call == nullptr || e.call->method != "Checkpoint") continue;
+    if (!e.InRankDivergentBranch()) continue;
+    const BranchCtx* branch = nullptr;
+    for (const BranchCtx& b : e.branches) {
+      if (b.rank_divergent) branch = &b;
+    }
+    out.push_back(MakeFinding(
+        "ckpt-outside-collective", file, e.call->line,
+        "Checkpoint() under the rank-derived condition at line " +
+            std::to_string(branch->line) + " (`" + branch->cond +
+            "`): ranks that skip the call never write their fragment, so "
+            "the epoch can never commit"));
   }
 }
 
@@ -607,6 +645,7 @@ std::vector<LintFinding> LintSource(const std::string& file,
     const FunctionFlow flow(fn);
     CheckBlockingSymmetricSend(file, flow, out);
     CheckCollectiveDivergence(file, flow, out);
+    CheckCkptOutsideCollective(file, flow, out);
     CheckIntCountOverflow(file, flow, out);
     CheckTagMismatch(file, flow, out);
     CheckPutWithoutQuiet(file, flow, out);

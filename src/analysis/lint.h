@@ -9,6 +9,10 @@
 //             rank-derived / 64-bit-size value facts, branch context
 //
 // Rules (slug — severity — what it catches):
+//   ckpt-outside-collective — error — CheckpointCoordinator::Checkpoint()
+//       under a rank-derived condition: the first arrival decides whether
+//       the epoch is due, so skipping ranks never write their fragment and
+//       the epoch can never commit
 //   mpi-blocking-symmetric-send — error — blocking Send to a rank-derived
 //       peer with a matching Recv after it; deadlocks at the rendezvous
 //       threshold

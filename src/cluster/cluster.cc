@@ -78,7 +78,39 @@ void Cluster::FailNode(int node, SimTime t) {
     }
     PSTK_INFO("cluster") << spec_.name << ": node " << node << " failed at t="
                          << engine_.now();
+    for (const NodeEventCallback& callback : on_failure_) {
+      callback(node, engine_.now());
+    }
   });
+}
+
+void Cluster::RestoreNode(int node, SimTime t) {
+  PSTK_CHECK_MSG(node >= 0 && node < nodes(), "bad node " << node);
+  engine_.ScheduleEvent(t, [this, node] {
+    if (!failed_[node]) return;
+    failed_[node] = false;
+    disks_[node]->set_failed(false);
+    PSTK_INFO("cluster") << spec_.name << ": node " << node
+                         << " restored at t=" << engine_.now();
+    for (const NodeEventCallback& callback : on_restore_) {
+      callback(node, engine_.now());
+    }
+  });
+}
+
+void Cluster::ApplyFaultPlan(const sim::FaultPlan& plan) {
+  for (const sim::FaultEvent& event : plan.events) {
+    FailNode(event.node, event.time);
+    if (event.transient()) RestoreNode(event.node, event.time + event.down_for);
+  }
+}
+
+void Cluster::SubscribeNodeFailure(NodeEventCallback callback) {
+  on_failure_.push_back(std::move(callback));
+}
+
+void Cluster::SubscribeNodeRestore(NodeEventCallback callback) {
+  on_restore_.push_back(std::move(callback));
 }
 
 }  // namespace pstk::cluster

@@ -3,6 +3,7 @@
 // runtimes (MiniMPI, MiniSHMEM, MiniMR, MiniSpark) share.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,6 +12,7 @@
 #include "common/units.h"
 #include "net/fabric.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "storage/disk.h"
 #include "storage/localfs.h"
 
@@ -72,7 +74,23 @@ class Cluster {
   /// Fault injection: at virtual time `t`, fail the node's disk and kill
   /// every process placed on it.
   void FailNode(int node, SimTime t);
+  /// Repair: at virtual time `t`, the node (and its disk) comes back.
+  /// Processes killed by the failure are NOT respawned — that is runtime
+  /// policy (e.g. Spark's executor reacquisition, MPI's restart manager).
+  void RestoreNode(int node, SimTime t);
   [[nodiscard]] bool NodeFailed(int node) const { return failed_[node]; }
+
+  /// Schedule every event of a fault plan (failures and, for transient
+  /// events, the matching repairs).
+  void ApplyFaultPlan(const sim::FaultPlan& plan);
+
+  /// Subscribe to node state changes; callbacks fire inside the scheduled
+  /// fail/restore event, after the cluster state flipped. MiniDFS uses the
+  /// failure hook for re-replication; ckpt::RestartManager uses it to drop
+  /// snapshot copies hosted on the lost node.
+  using NodeEventCallback = std::function<void(int node, SimTime t)>;
+  void SubscribeNodeFailure(NodeEventCallback callback);
+  void SubscribeNodeRestore(NodeEventCallback callback);
 
  private:
   sim::Engine& engine_;
@@ -82,6 +100,8 @@ class Cluster {
   std::vector<std::shared_ptr<storage::Disk>> disks_;
   std::vector<std::unique_ptr<storage::LocalFs>> scratch_;
   std::vector<bool> failed_;
+  std::vector<NodeEventCallback> on_failure_;
+  std::vector<NodeEventCallback> on_restore_;
 };
 
 }  // namespace pstk::cluster

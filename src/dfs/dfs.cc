@@ -23,6 +23,10 @@ MiniDfs::MiniDfs(cluster::Cluster& cluster, DfsOptions options)
   tags_.rereplicated = reg.Intern("dfs.rereplicated_blocks");
   tags_.lost = reg.Intern("dfs.lost_blocks");
   tags_.read_latency = reg.Intern("dfs.read_latency");
+  // Cluster-level node failures (FailNode / ApplyFaultPlan) reach the
+  // namenode automatically; manual OnNodeFailed calls stay idempotent.
+  cluster_.SubscribeNodeFailure(
+      [this](int node, SimTime t) { OnNodeFailed(node, t); });
 }
 
 void MiniDfs::set_replication(int replication) {
@@ -267,6 +271,7 @@ std::vector<std::string> MiniDfs::List(const std::string& prefix) const {
 
 void MiniDfs::OnNodeFailed(int node, SimTime t) {
   PSTK_CHECK_MSG(node >= 0 && node < cluster_.nodes(), "bad node " << node);
+  if (datanode_dead_[node]) return;  // already handled (e.g. via subscription)
   datanode_dead_[node] = true;
   std::size_t lost = 0;
   std::size_t rereplicated = 0;

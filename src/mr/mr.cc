@@ -105,6 +105,10 @@ struct MrEngine::Job {
 
   // Split/block metadata.
   std::vector<std::vector<int>> split_locations;
+  // Per-split (path, block) source, populated when input_path names a
+  // directory (chained jobs read the previous job's part-r-* files).
+  // Empty means split m is block m of input_path itself.
+  std::vector<std::pair<std::string, std::size_t>> split_source;
 
   // Coordinator bookkeeping.
   std::deque<int> pending_maps;
@@ -155,6 +159,7 @@ MrEngine::MrEngine(cluster::Cluster& cluster, dfs::MiniDfs& dfs,
   tags_.map_tasks = reg.Intern("mr.map_tasks");
   tags_.reduce_tasks = reg.Intern("mr.reduce_tasks");
   tags_.task_retries = reg.Intern("mr.task_retries");
+  tags_.recovery_task_retries = reg.Intern("recovery.mr.task_retries");
   tags_.spilled_bytes = reg.Intern("mr.spilled_bytes");
   tags_.shuffled_bytes = reg.Intern("mr.shuffled_bytes");
 }
@@ -201,6 +206,9 @@ void MrEngine::Submit(JobConf conf, MapFn map, ReduceFn reduce,
       [self, job](sim::Context& ctx) { self->CoordinatorMain(ctx, *job); }, 0);
   for (int w = 0; w < job->num_workers; ++w) {
     const int node = job->worker_nodes[w];
+    // No NodeManager on a currently-failed node: its slots stay empty
+    // (worker_pids keeps kNoPid, which the sweep treats as dead).
+    if (cluster_.NodeFailed(node)) continue;
     job->worker_pids[w] = cluster_.engine().Spawn(
         job->conf.name + "-worker-" + std::to_string(w),
         [self, job, w](sim::Context& ctx) { self->WorkerMain(ctx, *job, w); },
@@ -217,14 +225,34 @@ void MrEngine::CoordinatorMain(sim::Context& ctx, Job& job) {
   job.submit_time = ctx.now();
   ctx.SleepFor(options_.job_setup);  // job client + AM launch
 
-  // Build splits from the input's DFS blocks.
+  // Build splits from the input's DFS blocks. A path that is not a file
+  // is treated as a directory: one split per block of each file under it
+  // (List is sorted, so split numbering is deterministic).
   auto locations = dfs_.BlockLocations(job.conf.input_path);
-  if (!locations.ok()) {
-    job.finished = true;
-    job.on_done(locations.status());
-    return;
+  if (locations.ok()) {
+    job.split_locations = std::move(locations).value();
+  } else {
+    std::string prefix = job.conf.input_path;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    const std::vector<std::string> files = dfs_.List(prefix);
+    if (files.empty()) {
+      job.finished = true;
+      job.on_done(locations.status());
+      return;
+    }
+    for (const std::string& file : files) {
+      auto file_locations = dfs_.BlockLocations(file);
+      if (!file_locations.ok()) {
+        job.finished = true;
+        job.on_done(file_locations.status());
+        return;
+      }
+      for (std::size_t b = 0; b < file_locations.value().size(); ++b) {
+        job.split_locations.push_back(file_locations.value()[b]);
+        job.split_source.emplace_back(file, b);
+      }
+    }
   }
-  job.split_locations = std::move(locations).value();
   for (int m = 0; m < static_cast<int>(job.split_locations.size()); ++m) {
     job.pending_maps.push_back(m);
   }
@@ -307,11 +335,13 @@ void MrEngine::CoordinatorMain(sim::Context& ctx, Job& job) {
             job.map_outputs.erase(map_id);
             job.pending_maps.push_back(map_id);
             ++job.counters.task_retries;
+            cluster_.engine().obs().Add(tags_.recovery_task_retries);
           }
         }
         job.running_reduces.erase(reduce_id);
         job.pending_reduces.push_back(reduce_id);
         ++job.counters.task_retries;
+        cluster_.engine().obs().Add(tags_.recovery_task_retries);
         // The map->reduce stage barrier broke (a reducer ran while map
         // outputs were missing); the coordinator recovers by re-running.
         cluster_.engine().verify().OnStageBarrier(
@@ -355,6 +385,7 @@ void MrEngine::SweepDeadWorkers(sim::Context& ctx, Job& job) {
       if (!cluster_.engine().IsAlive(job.worker_pids[it->second])) {
         pending.push_back(it->first);
         ++job.counters.task_retries;
+        cluster_.engine().obs().Add(tags_.recovery_task_retries);
         it = running.erase(it);
       } else {
         ++it;
@@ -375,6 +406,7 @@ void MrEngine::SweepDeadWorkers(sim::Context& ctx, Job& job) {
       job.map_outputs.erase(*it);
       job.pending_maps.push_back(*it);
       ++job.counters.task_retries;
+      cluster_.engine().obs().Add(tags_.recovery_task_retries);
       it = job.done_maps.erase(it);
     } else {
       ++it;
@@ -438,6 +470,11 @@ void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
 
   auto block = [&] {
     sim::Scope read_scope(ctx, tags_.map_read, tags_.time_map_read);
+    if (!job.split_source.empty()) {
+      const auto& [path, index] =
+          job.split_source[static_cast<std::size_t>(map_id)];
+      return dfs_.ReadBlock(ctx, node, path, index);
+    }
     return dfs_.ReadBlock(ctx, node, job.conf.input_path,
                           static_cast<std::size_t>(map_id));
   }();

@@ -50,7 +50,8 @@ using ReduceFn = std::function<void(
 
 struct JobConf {
   std::string name = "mr-job";
-  std::string input_path;      // MiniDFS file
+  std::string input_path;      // MiniDFS file, or a directory of files
+                               // (e.g. a previous job's output_path)
   std::string output_path;     // MiniDFS directory; part-r-<N> files
   int num_reducers = 1;
   int max_attempts = 4;        // per task
@@ -157,6 +158,7 @@ class MrEngine {
     obs::TagId map_tasks = obs::kNoTag;
     obs::TagId reduce_tasks = obs::kNoTag;
     obs::TagId task_retries = obs::kNoTag;
+    obs::TagId recovery_task_retries = obs::kNoTag;  // live (not job-end)
     obs::TagId spilled_bytes = obs::kNoTag;
     obs::TagId shuffled_bytes = obs::kNoTag;
   };

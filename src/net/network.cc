@@ -134,6 +134,15 @@ std::size_t Endpoint::FindMatch(int src, int tag) const {
   return best;
 }
 
+void Endpoint::Reap() {
+  if (waiter_ != sim::kNoPid && !network_.engine_.IsAlive(waiter_)) {
+    waiter_ = sim::kNoPid;
+  }
+  if (user_pid_ != sim::kNoPid && !network_.engine_.IsAlive(user_pid_)) {
+    user_pid_ = sim::kNoPid;
+  }
+}
+
 Message Endpoint::Recv(sim::Context& ctx, int src, int tag) {
   PSTK_CHECK_MSG(waiter_ == sim::kNoPid,
                  "endpoint " << id_ << " already has a receiver parked");

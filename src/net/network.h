@@ -91,6 +91,12 @@ class Endpoint {
   /// this at init so wait-for edges resolve even before any traffic).
   void Bind(sim::Context& ctx) { user_pid_ = ctx.pid(); }
 
+  /// Clear the parked-receiver marker a killed owner left behind
+  /// (ProcessKilled unwinds past Recv's reset). Runtimes that hand a dead
+  /// process's endpoint to a replacement (Spark executor reacquisition)
+  /// must call this before the replacement receives.
+  void Reap();
+
  private:
   friend class Network;
   Endpoint(Network& network, int id, int node)

@@ -159,6 +159,10 @@ class ShmemWorld {
   [[nodiscard]] int npes() const { return npes_; }
   [[nodiscard]] int NodeOfPe(int pe) const { return pe / pes_per_node_; }
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  /// Virtual time the last PE exited (valid after the engine ran); lets
+  /// callers that drive the engine directly (ckpt::RestartManager) read
+  /// the job makespan without RunSpmd.
+  [[nodiscard]] SimTime job_end_time() const { return job_end_; }
 
  private:
   friend class Pe;

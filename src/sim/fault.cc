@@ -1,0 +1,101 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace pstk::sim {
+
+namespace {
+
+Result<double> ParseNumber(std::string_view text, std::string_view what) {
+  if (text.empty()) return InvalidArgument(std::string(what) + " is empty");
+  char* end = nullptr;
+  const std::string owned(text);
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) {
+    return InvalidArgument("bad " + std::string(what) + " '" + owned + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string& entry : SplitNonEmpty(spec, ',')) {
+    constexpr std::string_view kPrefix = "node:";
+    if (entry.rfind(kPrefix, 0) != 0) {
+      return InvalidArgument("fault entry '" + entry +
+                             "' does not start with 'node:'");
+    }
+    const std::string_view rest =
+        std::string_view(entry).substr(kPrefix.size());
+    const auto at = rest.find('@');
+    if (at == std::string_view::npos) {
+      return InvalidArgument("fault entry '" + entry + "' is missing '@<t>'");
+    }
+    FaultEvent event;
+    auto node = ParseNumber(rest.substr(0, at), "node id");
+    if (!node.ok()) return node.status();
+    event.node = static_cast<int>(*node);
+    std::string_view when = rest.substr(at + 1);
+    const auto plus = when.find('+');
+    if (plus != std::string_view::npos) {
+      auto down = ParseNumber(when.substr(plus + 1), "repair delay");
+      if (!down.ok()) return down.status();
+      if (*down < 0) return InvalidArgument("repair delay must be >= 0");
+      event.down_for = *down;
+      when = when.substr(0, plus);
+    }
+    auto time = ParseNumber(when, "fault time");
+    if (!time.ok()) return time.status();
+    if (*time < 0) return InvalidArgument("fault time must be >= 0");
+    event.time = *time;
+    plan.events.push_back(event);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return plan;
+}
+
+FaultPlan FaultPlan::Exponential(SimTime mtbf, SimTime horizon, int nodes,
+                                 int first_node, SimTime down_for,
+                                 std::uint64_t seed) {
+  PSTK_CHECK_MSG(mtbf > 0, "MTBF must be positive");
+  PSTK_CHECK_MSG(first_node >= 0 && first_node < nodes,
+                 "bad first_node " << first_node << " for " << nodes
+                                   << " nodes");
+  FaultPlan plan;
+  Rng rng(seed);
+  int victim = first_node;
+  SimTime t = 0;
+  for (;;) {
+    // Inverse-CDF exponential; 1 - Uniform() is in (0, 1] so log is finite.
+    t += -mtbf * std::log(1.0 - rng.Uniform());
+    if (t >= horizon) break;
+    plan.events.push_back(FaultEvent{victim, t, down_for});
+    ++victim;
+    if (victim >= nodes) victim = first_node;
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) oss << ',';
+    oss << "node:" << events[i].node << '@' << events[i].time;
+    if (events[i].transient()) oss << '+' << events[i].down_for;
+  }
+  return oss.str();
+}
+
+}  // namespace pstk::sim

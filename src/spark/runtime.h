@@ -36,6 +36,10 @@ struct SparkOptions {
   /// Use the RDMA shuffle engine (Lu et al.) instead of Java sockets.
   /// Orchestration always stays on sockets, matching the plugin.
   bool rdma_shuffle = false;
+  /// Re-spawn executor processes on nodes that came back after a failure
+  /// (standalone-master worker re-registration). Off by default: the
+  /// paper's runs keep a fixed executor set for the app's lifetime.
+  bool reacquire_executors = false;
 
   /// Transport for driver<->executor control traffic (Java sockets).
   net::TransportParams control_transport = net::TransportParams::IPoIB();

@@ -212,6 +212,21 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
   }
   ctx_.Compute(cpu);
   ctx_.SleepUntil(last_arrival);
+  // While this task slept on the fetch, a node failure may have dropped an
+  // executor's map outputs (DropExecutor erases them; a re-run's
+  // PutMapOutput replaces them) — either way the pointers collected above
+  // dangle. Re-resolve every bucket now that virtual time has advanced, and
+  // treat any loss as a fetch failure so the driver reruns the map stage.
+  buffers.clear();
+  for (int m = 0; m < num_maps; ++m) {
+    const ShuffleStore::MapOutput* output =
+        app_.shuffle_store.GetMapOutput(shuffle_id, m);
+    if (output == nullptr || !app_.ExecutorAlive(output->executor)) {
+      throw FetchFailed{shuffle_id};
+    }
+    buffers.push_back(
+        &output->buckets[static_cast<std::size_t>(reduce_partition)]);
+  }
   if (app_.obs != nullptr) {
     app_.obs->Observe(app_.obs_tags.time_shuffle_net, ctx_.now() - t0);
   }
@@ -346,6 +361,19 @@ void SparkContext::SweepExecutors() {
       PSTK_INFO("spark") << "executor " << info.id << " on node " << info.node
                          << " lost";
     }
+    // Standalone-master reacquisition: a worker on a healed node
+    // re-registers and the master hands the app a fresh executor (its
+    // shuffle/cache state is gone — lineage recomputes what is needed).
+    if (!info.alive && app_.respawn_executor &&
+        !app_.cluster->NodeFailed(info.node)) {
+      app_.control->endpoint(info.id).Reap();
+      app_.respawn_executor(info);
+      info.alive = true;
+      info.busy = false;
+      app_.obs->Add(app_.obs_tags.recovery_executors_reacquired);
+      PSTK_INFO("spark") << "executor " << info.id << " reacquired on node "
+                         << info.node;
+    }
   }
 }
 
@@ -440,6 +468,7 @@ SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
         if (!app_.executors[it->second].alive) {
           pending.push_back(it->first);
           ++app_.stats.task_retries;
+          app_.obs->Add(app_.obs_tags.recovery_task_retries);
           it = running.erase(it);
           requeued = true;
         } else {
@@ -476,6 +505,7 @@ SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
       }
     } else if (msg->tag == kTagTaskFail) {
       ++app_.stats.fetch_failures;
+      app_.obs->Add(app_.obs_tags.recovery_fetch_failures);
       running.erase(header.partition);
       SweepExecutors();
       return finish(OkStatus(), /*fetch_failed=*/true);
@@ -582,6 +612,12 @@ MiniSpark::MiniSpark(cluster::Cluster& cluster, dfs::MiniDfs* dfs,
   app_->obs_tags.bytes_socket = app_->obs->Intern("spark.shuffle.bytes.socket");
   app_->obs_tags.bytes_rdma = app_->obs->Intern("spark.shuffle.bytes.rdma");
   app_->obs_tags.bytes_local = app_->obs->Intern("spark.shuffle.bytes.local");
+  app_->obs_tags.recovery_task_retries =
+      app_->obs->Intern("recovery.spark.task_retries");
+  app_->obs_tags.recovery_fetch_failures =
+      app_->obs->Intern("recovery.spark.fetch_failures");
+  app_->obs_tags.recovery_executors_reacquired =
+      app_->obs->Intern("recovery.spark.executors_reacquired");
   app_->control = std::make_unique<net::Network>(
       cluster.engine(), cluster.fabric(app_->options.control_transport));
   app_->shuffle_fabric =
@@ -614,6 +650,14 @@ void MiniSpark::Submit(DriverBody body,
         [this, id = info.id](sim::Context& ctx) { ExecutorMain(ctx, id); },
         info.node);
     info.alive = true;
+  }
+  if (app_->options.reacquire_executors) {
+    app_->respawn_executor = [this](ExecutorInfo& info) {
+      info.pid = cluster_.engine().Spawn(
+          "spark-exec-" + std::to_string(info.id),
+          [this, id = info.id](sim::Context& ctx) { ExecutorMain(ctx, id); },
+          info.node);
+    };
   }
   // Driver process (client mode, node 0).
   cluster_.engine().Spawn(

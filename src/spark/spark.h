@@ -70,6 +70,11 @@ struct SparkObsTags {
   obs::TagId bytes_socket = obs::kNoTag;
   obs::TagId bytes_rdma = obs::kNoTag;
   obs::TagId bytes_local = obs::kNoTag;
+  // Recovery work (cross-framework `recovery.*` namespace; the MPI/SHMEM
+  // side's counters come from ckpt::RestartManager).
+  obs::TagId recovery_task_retries = obs::kNoTag;
+  obs::TagId recovery_fetch_failures = obs::kNoTag;
+  obs::TagId recovery_executors_reacquired = obs::kNoTag;
 };
 
 /// Engine-global application state shared by driver and executors.
@@ -85,6 +90,9 @@ struct AppState {
   ShuffleStore shuffle_store;
   std::unique_ptr<BlockStore> block_store;
   std::vector<ExecutorInfo> executors;
+  /// Re-spawns one executor process on its (healed) node; installed by
+  /// MiniSpark::Submit when SparkOptions::reacquire_executors is set.
+  std::function<void(ExecutorInfo&)> respawn_executor;
   int driver_endpoint = 0;
   std::map<std::uint64_t, std::function<serde::Buffer(TaskRt&, int)>> closures;
   std::uint64_t next_task_set = 1;

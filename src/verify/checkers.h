@@ -8,6 +8,9 @@
 //  * SparkInvariantChecker — lineage acyclicity, stage-barrier violations,
 //    recompute-storm warnings for un-persisted iteratively reused RDDs
 //    (the Fig. 5/6 persist() lesson as a diagnostic).
+//  * CkptConsistencyChecker — checkpoint/restart consistency: monotone
+//    snapshot epochs, every-rank-writes-before-commit, and uniform restore
+//    epoch (no process resumes past a snapshot another process lost).
 //
 // The deadlock explainer (wait-for graph + cycle extraction) lives in
 // sim::Engine itself — it reports into the same Hub under checker
@@ -23,6 +26,7 @@ namespace pstk::verify {
 std::unique_ptr<Checker> MakeMpiUsageChecker();
 std::unique_ptr<Checker> MakeShmemSyncChecker();
 std::unique_ptr<Checker> MakeSparkInvariantChecker();
+std::unique_ptr<Checker> MakeCkptChecker();
 
 /// Install every checker on the hub (what `--verify` does).
 void InstallAll(Hub& hub);

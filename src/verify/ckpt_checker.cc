@@ -1,0 +1,88 @@
+// Checkpoint/restart consistency checker: snapshot epochs must commit in
+// strictly increasing order, an epoch may only commit once every rank's
+// fragment landed, and a restart must roll every rank back to the same
+// epoch — no process may resume past a snapshot another process lost.
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "verify/checkers.h"
+
+namespace pstk::verify {
+
+namespace {
+
+class CkptConsistencyChecker final : public Checker {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "ckpt-consistency";
+  }
+
+  void OnCkptWrite(int rank, int epoch, Bytes bytes, SimTime t) override {
+    (void)bytes;
+    if (!writes_[epoch].insert(rank).second) {
+      std::ostringstream msg;
+      msg << "rank " << rank << " wrote its fragment for snapshot epoch "
+          << epoch << " twice; each rank checkpoints an epoch exactly once "
+             "at the collective boundary";
+      Report(Finding{Severity::kWarning, "ckpt-consistency",
+                     "ckpt-duplicate-write", msg.str(),
+                     "rank " + std::to_string(rank), t});
+    }
+  }
+
+  void OnCkptCommit(int epoch, int ranks_written, int nranks,
+                    SimTime t) override {
+    const auto seen = static_cast<int>(writes_[epoch].size());
+    if (ranks_written != nranks || seen < nranks) {
+      std::ostringstream msg;
+      msg << "snapshot epoch " << epoch << " committed with only "
+          << (seen < ranks_written ? seen : ranks_written) << "/" << nranks
+          << " fragments written; restoring it would mix pre- and "
+             "post-snapshot state across ranks";
+      Report(Finding{Severity::kError, "ckpt-consistency",
+                     "ckpt-partial-commit", msg.str(), "coordinator", t});
+    }
+    if (last_committed_.has_value() && epoch <= *last_committed_) {
+      std::ostringstream msg;
+      msg << "snapshot epoch " << epoch << " committed after epoch "
+          << *last_committed_ << "; epochs must be strictly monotone or a "
+             "restart can resurrect overwritten state";
+      Report(Finding{Severity::kError, "ckpt-consistency",
+                     "ckpt-epoch-regression", msg.str(), "coordinator", t});
+    }
+    if (!last_committed_.has_value() || epoch > *last_committed_) {
+      last_committed_ = epoch;
+    }
+  }
+
+  void OnCkptRestore(int rank, int epoch, SimTime t) override {
+    if (!restore_epoch_.has_value()) {
+      restore_epoch_ = epoch;
+      return;
+    }
+    if (epoch != *restore_epoch_) {
+      std::ostringstream msg;
+      msg << "rank " << rank << " restored from snapshot epoch " << epoch
+          << " while another rank restored from epoch " << *restore_epoch_
+          << "; a rank resumed past a snapshot its peers lost";
+      Report(Finding{Severity::kError, "ckpt-consistency",
+                     "ckpt-restore-divergence", msg.str(),
+                     "rank " + std::to_string(rank), t});
+    }
+  }
+
+ private:
+  std::map<int, std::set<int>> writes_;  // epoch -> ranks written
+  std::optional<int> last_committed_;
+  std::optional<int> restore_epoch_;  // first restore pins the epoch
+};
+
+}  // namespace
+
+std::unique_ptr<Checker> MakeCkptChecker() {
+  return std::make_unique<CkptConsistencyChecker>();
+}
+
+}  // namespace pstk::verify

@@ -121,6 +121,7 @@ void InstallAll(Hub& hub) {
   hub.Install(MakeMpiUsageChecker());
   hub.Install(MakeShmemSyncChecker());
   hub.Install(MakeSparkInvariantChecker());
+  hub.Install(MakeCkptChecker());
 }
 
 }  // namespace pstk::verify

@@ -119,6 +119,22 @@ class Checker {
     (void)pe; (void)offset; (void)t;
   }
 
+  // --- Checkpoint/restart -------------------------------------------------
+  /// A rank/PE finished writing its snapshot fragment for `epoch`.
+  virtual void OnCkptWrite(int rank, int epoch, Bytes bytes, SimTime t) {
+    (void)rank; (void)epoch; (void)bytes; (void)t;
+  }
+  /// A snapshot epoch committed (became restorable): `ranks_written` of
+  /// `nranks` fragments landed. A commit with missing fragments is broken.
+  virtual void OnCkptCommit(int epoch, int ranks_written, int nranks,
+                            SimTime t) {
+    (void)epoch; (void)ranks_written; (void)nranks; (void)t;
+  }
+  /// A rank/PE restored its state from `epoch` during restart.
+  virtual void OnCkptRestore(int rank, int epoch, SimTime t) {
+    (void)rank; (void)epoch; (void)t;
+  }
+
   // --- Spark / MapReduce --------------------------------------------------
   /// The driver submitted a job over the given lineage graph.
   virtual void OnSparkLineage(const std::vector<LineageEdge>& edges) {
@@ -205,6 +221,15 @@ class Hub {
   }
   void OnShmemWaitSatisfied(int pe, Bytes offset, SimTime t) {
     for (auto& c : checkers_) c->OnShmemWaitSatisfied(pe, offset, t);
+  }
+  void OnCkptWrite(int rank, int epoch, Bytes bytes, SimTime t) {
+    for (auto& c : checkers_) c->OnCkptWrite(rank, epoch, bytes, t);
+  }
+  void OnCkptCommit(int epoch, int ranks_written, int nranks, SimTime t) {
+    for (auto& c : checkers_) c->OnCkptCommit(epoch, ranks_written, nranks, t);
+  }
+  void OnCkptRestore(int rank, int epoch, SimTime t) {
+    for (auto& c : checkers_) c->OnCkptRestore(rank, epoch, t);
   }
   void OnSparkLineage(const std::vector<LineageEdge>& edges) {
     for (auto& c : checkers_) c->OnSparkLineage(edges);

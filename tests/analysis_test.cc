@@ -501,6 +501,42 @@ void f(spark::SparkContext& sc) {
   EXPECT_NE(findings[0].message.find("2 actions"), std::string::npos);
 }
 
+TEST(LintRuleTest, CkptUnderRankDerivedConditionFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm, ckpt::CheckpointCoordinator& coord) {
+  const int rank = comm.rank();
+  comm.Barrier();
+  if (rank == 0) {
+    coord.Checkpoint(comm.ctx(), rank, rank / 4, 3, state);
+  }
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "ckpt-outside-collective"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("never commit"), std::string::npos);
+}
+
+TEST(LintRuleTest, CkptAtUniformBoundaryIsClean) {
+  // The correct pattern (every rank, right after the collective) and a
+  // uniform condition (iteration count) must both stay silent.
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm, ckpt::CheckpointCoordinator& coord, int iters) {
+  const int rank = comm.rank();
+  for (int i = 0; i < iters; ++i) {
+    comm.Allreduce<double>(contrib, ranks);
+    coord.Checkpoint(comm.ctx(), rank, rank / 4, i, state);
+  }
+  if (iters > 0) {
+    coord.Checkpoint(comm.ctx(), rank, rank / 4, iters, state);
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "ckpt-outside-collective"), 0)
+      << RenderLintReport(findings);
+}
+
 // ===========================================================================
 // Output formats + baseline
 // ===========================================================================
@@ -553,10 +589,10 @@ TEST(LintOutputTest, SarifGolden) {
               std::string::npos)
         << r.slug;
   }
-  // The result object, golden: mpi-tag-mismatch is rule index 3.
+  // The result object, golden: mpi-tag-mismatch is rule index 4.
   EXPECT_NE(
       sarif.find(
-          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 3, "
+          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 4, "
           "\"level\": \"error\", \"message\": {\"text\": \"tags 1 vs 2\"}, "
           "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
           "{\"uri\": \"examples/a.cc\"}, \"region\": {\"startLine\": 12}}}]}"),

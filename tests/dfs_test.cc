@@ -204,6 +204,41 @@ TEST(DfsTest, NodeFailureTransparentToReaders) {
   EXPECT_EQ(got, content);
 }
 
+TEST(DfsTest, TwoConcurrentFailuresReReplicateFromSurvivors) {
+  // Losing two of six datanodes at once must still restore the factor-3
+  // replica sets from the surviving copies — the scenario the recovery
+  // ablation's multi-fault plans exercise.
+  DfsOptions options;
+  options.block_size = 200;
+  options.replication = 3;
+  DfsFixture f(6, 1.0, options);
+  const std::string content = Lines(60);
+  ASSERT_TRUE(f.dfs->Install("/f", content).ok());
+
+  f.dfs->OnNodeFailed(1, 0.0);
+  f.dfs->OnNodeFailed(2, 0.0);
+  auto locations = f.dfs->BlockLocations("/f");
+  ASSERT_TRUE(locations.ok());
+  for (const auto& replicas : locations.value()) {
+    EXPECT_EQ(replicas.size(), 3u);  // factor restored after both losses
+    std::set<int> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);  // no node holds two copies
+    for (int node : replicas) {
+      EXPECT_NE(node, 1);
+      EXPECT_NE(node, 2);
+    }
+  }
+
+  std::string got;
+  f.engine.Spawn("reader", [&](sim::Context& ctx) {
+    auto r = f.dfs->ReadAll(ctx, 0, "/f");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    got = r.value();
+  });
+  ASSERT_TRUE(f.engine.Run().status.ok());
+  EXPECT_EQ(got, content);
+}
+
 TEST(DfsTest, AllReplicasLostIsDataLoss) {
   DfsOptions options;
   options.replication = 1;

@@ -95,6 +95,61 @@ TEST(SparkCheckerTest, StageBarrierSeverityDependsOnRecovery) {
 }
 
 // ===========================================================================
+// Checkpoint-consistency checker, driven directly through the hub
+// ===========================================================================
+
+TEST(CkptCheckerTest, PartialCommitReported) {
+  verify::Hub hub;
+  hub.Install(verify::MakeCkptChecker());
+  hub.OnCkptWrite(0, 0, 1024, 1.0);
+  hub.OnCkptCommit(0, /*ranks_written=*/1, /*nranks=*/2, 1.1);
+  ASSERT_EQ(hub.CountCode("ckpt-partial-commit"), 1u);
+  EXPECT_EQ(hub.findings().front().severity, verify::Severity::kError);
+  EXPECT_NE(hub.findings().front().message.find("1/2"), kNpos);
+}
+
+TEST(CkptCheckerTest, DuplicateWriteWarned) {
+  verify::Hub hub;
+  hub.Install(verify::MakeCkptChecker());
+  hub.OnCkptWrite(3, 0, 1024, 1.0);
+  hub.OnCkptWrite(3, 0, 1024, 1.2);
+  ASSERT_EQ(hub.CountCode("ckpt-duplicate-write"), 1u);
+  EXPECT_EQ(hub.findings().front().severity, verify::Severity::kWarning);
+}
+
+TEST(CkptCheckerTest, EpochRegressionReported) {
+  verify::Hub hub;
+  hub.Install(verify::MakeCkptChecker());
+  hub.OnCkptWrite(0, 1, 64, 1.0);
+  hub.OnCkptCommit(1, 1, 1, 1.1);
+  hub.OnCkptWrite(0, 0, 64, 2.0);
+  hub.OnCkptCommit(0, 1, 1, 2.1);  // commits behind epoch 1
+  ASSERT_EQ(hub.CountCode("ckpt-epoch-regression"), 1u);
+}
+
+TEST(CkptCheckerTest, RestoreDivergenceReported) {
+  verify::Hub hub;
+  hub.Install(verify::MakeCkptChecker());
+  hub.OnCkptRestore(0, 3, 5.0);
+  hub.OnCkptRestore(1, 2, 5.1);  // rank 1 resumed past a lost snapshot
+  ASSERT_EQ(hub.CountCode("ckpt-restore-divergence"), 1u);
+  EXPECT_EQ(hub.findings().front().severity, verify::Severity::kError);
+}
+
+TEST(CkptCheckerTest, CoordinatedSequenceIsClean) {
+  verify::Hub hub;
+  hub.Install(verify::MakeCkptChecker());
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    hub.OnCkptWrite(0, epoch, 64, epoch + 0.1);
+    hub.OnCkptWrite(1, epoch, 64, epoch + 0.2);
+    hub.OnCkptCommit(epoch, 2, 2, epoch + 0.3);
+  }
+  hub.OnCkptRestore(0, 1, 5.0);
+  hub.OnCkptRestore(1, 1, 5.1);
+  EXPECT_EQ(hub.findings().size(), 0u);
+}
+
+// ===========================================================================
 // MPI usage checker on live MiniMPI jobs
 // ===========================================================================
 
