@@ -25,6 +25,17 @@ void Observability::ParseFlags(int* argc, char** argv) {
       metrics_ = true;
     } else if (arg == "--verify") {
       verify_ = true;
+    } else if (arg.rfind("--sim-backend=", 0) == 0) {
+      const std::string_view name = arg.substr(std::strlen("--sim-backend="));
+      if (name == "fibers") {
+        sim::SetDefaultBackend(sim::Backend::kFibers);
+      } else if (name == "threads") {
+        sim::SetDefaultBackend(sim::Backend::kThreads);
+      } else {
+        std::fprintf(stderr, "bad --sim-backend: %.*s (want fibers|threads)\n",
+                     static_cast<int>(name.size()), name.data());
+        std::exit(2);
+      }
     } else if (arg.rfind("--faults=", 0) == 0) {
       auto plan = sim::FaultPlan::Parse(arg.substr(std::strlen("--faults=")));
       if (!plan.ok()) {

@@ -11,6 +11,12 @@
 //                    virtual time <t> (optionally restoring it <down>
 //                    seconds later); benches apply it with
 //                    cluster.ApplyFaultPlan(Instance().fault_plan())
+//   --sim-backend=fibers|threads
+//                    execution backend for every engine the bench builds
+//                    (sets sim::SetDefaultBackend; overrides the
+//                    PSTK_SIM_BACKEND env var). Traces and results are
+//                    byte-identical across backends; only wall-clock
+//                    differs.
 //
 // Usage pattern (see fig6_pagerank_bdb.cc):
 //   int main(int argc, char** argv) {

@@ -1,17 +1,160 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "sim/fiber.h"
 
 namespace pstk::sim {
 
 namespace {
 constexpr SimTime kInfinity = std::numeric_limits<SimTime>::infinity();
 }
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+std::string_view BackendName(Backend backend) {
+  return backend == Backend::kThreads ? "threads" : "fibers";
+}
+
+namespace {
+std::optional<Backend>& BackendOverride() {
+  static std::optional<Backend> override_backend;
+  return override_backend;
+}
+
+Backend EnvBackend() {
+  static const Backend from_env = [] {
+    const char* env = std::getenv("PSTK_SIM_BACKEND");
+    if (env == nullptr || *env == '\0') return Backend::kFibers;
+    const std::string_view name(env);
+    if (name == "threads") return Backend::kThreads;
+    if (name != "fibers") {
+      PSTK_WARN("sim") << "unknown PSTK_SIM_BACKEND '" << name
+                       << "', using fibers";
+    }
+    return Backend::kFibers;
+  }();
+  return from_env;
+}
+}  // namespace
+
+Backend DefaultBackend() {
+  const auto& override_backend = BackendOverride();
+  return override_backend.has_value() ? *override_backend : EnvBackend();
+}
+
+void SetDefaultBackend(Backend backend) { BackendOverride() = backend; }
+
+// ---------------------------------------------------------------------------
+// ThreadBackend — the legacy one-OS-thread-per-process execution mechanism.
+// Cooperative batons: `engine_turn_` gates the engine loop, each process
+// thread has its own `proc_turn` flag. Every dispatch is one condvar wake
+// plus one condvar wait on each side (two host context switches).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ThreadExec final : ProcExec {
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool proc_turn = false;  // true: process may run; false: engine's turn
+  bool started = false;
+};
+
+class ThreadBackend final : public ExecBackend {
+ public:
+  ~ThreadBackend() override = default;
+
+  void Resume(Engine& engine, Proc& p) override {
+    auto& x = Exec(p);
+    engine_turn_ = false;
+    if (!x.started) {
+      x.started = true;
+      x.thread = std::thread([this, &engine, &p] { ThreadMain(engine, p); });
+    }
+    {
+      std::lock_guard<std::mutex> lk(x.mu);
+      x.proc_turn = true;
+    }
+    x.cv.notify_one();
+    {
+      std::unique_lock<std::mutex> lk(engine_mu_);
+      engine_cv_.wait(lk, [&] { return engine_turn_; });
+    }
+  }
+
+  void Suspend(Proc& p) override {
+    auto& x = Exec(p);
+    {
+      std::lock_guard<std::mutex> lk(engine_mu_);
+      engine_turn_ = true;
+    }
+    engine_cv_.notify_one();
+    {
+      std::unique_lock<std::mutex> lk(x.mu);
+      x.cv.wait(lk, [&] { return x.proc_turn; });
+      x.proc_turn = false;
+    }
+  }
+
+  void Unwind(Engine& engine, Proc& p) override {
+    auto* x = static_cast<ThreadExec*>(p.exec.get());
+    if (x == nullptr || !x->started) {
+      // Never ran: nothing to join; mark the corpse.
+      if (p.state != ProcState::kDone) p.state = ProcState::kKilled;
+      return;
+    }
+    if (p.state == ProcState::kBlocked || p.state == ProcState::kReady) {
+      // Force the thread to unwind (kill_requested is set) so it can join.
+      Resume(engine, p);
+    }
+    if (x->thread.joinable()) x->thread.join();
+  }
+
+ private:
+  static ThreadExec& Exec(Proc& p) {
+    if (p.exec == nullptr) p.exec = std::make_unique<ThreadExec>();
+    return static_cast<ThreadExec&>(*p.exec);
+  }
+
+  void ThreadMain(Engine& engine, Proc& p) {
+    auto& x = static_cast<ThreadExec&>(*p.exec);
+    // Wait for the first dispatch.
+    {
+      std::unique_lock<std::mutex> lk(x.mu);
+      x.cv.wait(lk, [&] { return x.proc_turn; });
+      x.proc_turn = false;
+    }
+    engine.ExecuteBody(p);
+    // Hand the baton back to the engine for good.
+    {
+      std::lock_guard<std::mutex> lk(engine_mu_);
+      engine_turn_ = true;
+    }
+    engine_cv_.notify_one();
+  }
+
+  std::mutex engine_mu_;
+  std::condition_variable engine_cv_;
+  bool engine_turn_ = true;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Context
@@ -73,7 +216,13 @@ void Context::Trace(std::string_view tag, std::string_view detail) {
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine(std::uint64_t seed) : seed_(seed) {
+Engine::Engine(std::uint64_t seed, Backend backend)
+    : seed_(seed), backend_(backend) {
+  if (backend_ == Backend::kThreads) {
+    exec_ = std::make_unique<ThreadBackend>();
+  } else {
+    exec_ = std::make_unique<FiberBackend>(obs_);
+  }
   tags_.dispatches = obs_.Intern("sim.dispatches");
   tags_.events = obs_.Intern("sim.events");
   tags_.wakes = obs_.Intern("sim.wakes");
@@ -82,6 +231,10 @@ Engine::Engine(std::uint64_t seed) : seed_(seed) {
   tags_.run = obs_.Intern("run");
   tags_.kill = obs_.Intern("killed");
   tags_.block = obs_.Intern("block");
+  tags_.dispatch_ns = obs_.Intern("sim.dispatch.host_ns");
+  // Which scheduler backend ran shows up in every metrics table.
+  obs_.Add(obs_.Intern(backend_ == Backend::kThreads ? "sim.backend.threads"
+                                                     : "sim.backend.fibers"));
 }
 
 void Engine::EnableTrace(bool on) {
@@ -95,13 +248,20 @@ void Engine::EnableTrace(bool on) {
 }
 
 const std::vector<TraceEvent>& Engine::trace() const {
-  trace_compat_.clear();
-  for (const obs::Event& e : obs_.events()) {
+  const std::vector<obs::Event>& events = obs_.events();
+  if (events.size() < trace_seen_) {
+    // The registry shrank (e.g. re-enabled tracing): rebuild from scratch.
+    trace_compat_.clear();
+    trace_seen_ = 0;
+  }
+  for (std::size_t i = trace_seen_; i < events.size(); ++i) {
+    const obs::Event& e = events[i];
     if (!e.user) continue;
     trace_compat_.push_back(TraceEvent{
         e.time, e.track, obs_.Name(e.tag),
         e.detail == obs::kNoTag ? std::string() : obs_.Name(e.detail)});
   }
+  trace_seen_ = events.size();
   return trace_compat_;
 }
 
@@ -123,10 +283,8 @@ Pid Engine::SpawnAt(SimTime start, std::string name, ProcessBody body,
   proc->context = std::unique_ptr<Context>(new Context(*this, pid));
   proc->rng = Rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (pid + 1)));
   proc->clock = start;
-  proc->wake_at = start;
-  proc->state = State::kReady;
   procs_.push_back(std::move(proc));
-  ready_.emplace(start, pid);
+  MakeReady(pid, start);
   obs_.Add(tags_.spawns);
   if (obs_.enabled()) {
     obs_.SetTrackName(procs_[pid]->node, pid, procs_[pid]->name);
@@ -136,14 +294,24 @@ Pid Engine::SpawnAt(SimTime start, std::string name, ProcessBody body,
 
 void Engine::MakeReady(Pid pid, SimTime wake_at) {
   Proc& p = *procs_[pid];
-  p.state = State::kReady;
+  p.state = ProcState::kReady;
   p.wake_at = wake_at;
-  ready_.emplace(wake_at, pid);
+  ready_.Push(ReadyEntry{wake_at, pid, ++p.ready_stamp});
 }
 
 void Engine::RemoveReady(Pid pid) {
-  Proc& p = *procs_[pid];
-  ready_.erase({p.wake_at, pid});
+  // Lazy deletion: bump the stamp so any queued entry for this pid is
+  // stale; PruneReady discards it when it reaches the top.
+  ++procs_[pid]->ready_stamp;
+}
+
+void Engine::PruneReady() {
+  while (!ready_.empty()) {
+    const ReadyEntry& top = ready_.Top();
+    const Proc& p = *procs_[top.pid];
+    if (top.stamp == p.ready_stamp && p.state == ProcState::kReady) return;
+    ready_.PopTop();
+  }
 }
 
 void Engine::Wake(Pid pid, SimTime t) {
@@ -151,26 +319,27 @@ void Engine::Wake(Pid pid, SimTime t) {
   obs_.Add(tags_.wakes);
   Proc& p = *procs_[pid];
   switch (p.state) {
-    case State::kBlocked:
+    case ProcState::kBlocked:
       MakeReady(pid, std::max(t, p.clock));
       break;
-    case State::kReady: {
+    case ProcState::kReady: {
       const SimTime new_wake = std::max(t, p.clock);
       if (new_wake < p.wake_at) {
+        // Decrease-key: supersede the queued entry with a fresh stamp.
         RemoveReady(pid);
         MakeReady(pid, new_wake);
       }
       break;
     }
-    case State::kRunning:
-    case State::kDone:
-    case State::kKilled:
+    case ProcState::kRunning:
+    case ProcState::kDone:
+    case ProcState::kKilled:
       break;  // nothing to wake
   }
 }
 
 void Engine::ScheduleEvent(SimTime t, std::function<void()> fn) {
-  events_.emplace(std::make_pair(t, event_seq_++), std::move(fn));
+  events_.Push(EventEntry{t, event_seq_++, std::move(fn)});
 }
 
 void Engine::Kill(Pid pid, SimTime t) {
@@ -180,15 +349,15 @@ void Engine::Kill(Pid pid, SimTime t) {
 void Engine::KillNow(Pid pid) {
   PSTK_CHECK_MSG(pid < procs_.size(), "Kill: bad pid " << pid);
   Proc& p = *procs_[pid];
-  if (p.state == State::kDone || p.state == State::kKilled) return;
+  if (p.state == ProcState::kDone || p.state == ProcState::kKilled) return;
   p.kill_requested = true;
   obs_.Add(tags_.kills);
   if (obs_.enabled()) {
     obs_.Instant(p.node, pid, tags_.kill, std::max(frontier_, p.clock));
   }
-  if (p.state == State::kBlocked) {
+  if (p.state == ProcState::kBlocked) {
     MakeReady(pid, std::max(frontier_, p.clock));
-  } else if (p.state == State::kReady && p.wake_at > frontier_) {
+  } else if (p.state == ProcState::kReady && p.wake_at > frontier_) {
     // Die promptly rather than at the (possibly distant) scheduled wake.
     RemoveReady(pid);
     MakeReady(pid, std::max(frontier_, p.clock));
@@ -205,15 +374,15 @@ std::vector<Pid> Engine::AlivePidsOnNode(int node) const {
 
 bool Engine::IsAlive(Pid pid) const {
   if (pid >= procs_.size()) return false;
-  const State s = procs_[pid]->state;
-  return s != State::kDone && s != State::kKilled;
+  const ProcState s = procs_[pid]->state;
+  return s != ProcState::kDone && s != ProcState::kKilled;
 }
 
 std::string Engine::DescribeBlocked() const {
   std::ostringstream oss;
   for (Pid pid = 0; pid < procs_.size(); ++pid) {
     const Proc& p = *procs_[pid];
-    if (p.state == State::kBlocked) {
+    if (p.state == ProcState::kBlocked) {
       oss << "  " << p.name << " (pid " << pid << ", t=" << p.clock
           << "): " << p.wait_reason << "\n";
     }
@@ -235,7 +404,7 @@ std::string Engine::DeadlockReport() const {
   std::map<std::string, int> blame;
   for (Pid pid = 0; pid < procs_.size(); ++pid) {
     const Proc& p = *procs_[pid];
-    if (p.state != State::kBlocked) continue;
+    if (p.state != ProcState::kBlocked) continue;
     ++blame[FrameworkOf(p.name)];
     oss << "  " << p.name << " (pid " << pid << ", t=" << p.clock
         << ") waits [" << p.wait_reason << "]";
@@ -257,13 +426,15 @@ std::string Engine::DeadlockReport() const {
   std::vector<std::string> cycles;
   auto blocked_holder = [&](Pid pid) -> Pid {
     const Proc& p = *procs_[pid];
-    if (p.state != State::kBlocked) return kNoPid;
+    if (p.state != ProcState::kBlocked) return kNoPid;
     const Pid held_by = p.WaitHolder();
     if (held_by == kNoPid || held_by >= procs_.size()) return kNoPid;
-    return procs_[held_by]->state == State::kBlocked ? held_by : kNoPid;
+    return procs_[held_by]->state == ProcState::kBlocked ? held_by : kNoPid;
   };
   for (Pid start = 0; start < procs_.size(); ++start) {
-    if (color[start] != 0 || procs_[start]->state != State::kBlocked) continue;
+    if (color[start] != 0 || procs_[start]->state != ProcState::kBlocked) {
+      continue;
+    }
     std::vector<Pid> walk;
     Pid cur = start;
     while (cur != kNoPid && color[cur] == 0) {
@@ -301,78 +472,55 @@ std::string Engine::DeadlockReport() const {
   return oss.str();
 }
 
-void Engine::StartThread(Pid pid) {
-  Proc& p = *procs_[pid];
-  PSTK_CHECK(!p.thread_started);
-  p.thread_started = true;
-  p.thread = std::thread([this, pid] {
-    Proc& self = *procs_[pid];
-    // Wait for the first dispatch.
-    {
-      std::unique_lock<std::mutex> lk(self.mu);
-      self.cv.wait(lk, [&] { return self.proc_turn; });
-      self.proc_turn = false;
-    }
-    try {
-      CheckKilled(self);
-      self.body(*self.context);
-      self.state = State::kDone;
-      ++completed_;
-    } catch (const ProcessKilled&) {
-      self.state = State::kKilled;
-      ++killed_;
-    } catch (...) {
-      self.error = std::current_exception();
-      self.state = State::kDone;
-      ++completed_;
-    }
-    // Hand the baton back to the engine for good.
-    {
-      std::lock_guard<std::mutex> lk(engine_mu_);
-      engine_turn_ = true;
-    }
-    engine_cv_.notify_one();
-  });
+void Engine::ExecuteBody(Proc& p) {
+  try {
+    if (p.kill_requested) throw ProcessKilled{};
+    p.body(*p.context);
+    p.state = ProcState::kDone;
+    ++completed_;
+  } catch (const ProcessKilled&) {
+    p.state = ProcState::kKilled;
+    ++killed_;
+  } catch (...) {
+    p.error = std::current_exception();
+    p.state = ProcState::kDone;
+    ++completed_;
+  }
 }
 
 void Engine::DispatchProc(Pid pid) {
   Proc& p = *procs_[pid];
-  PSTK_CHECK(p.state == State::kReady);
+  PSTK_CHECK(p.state == ProcState::kReady);
   p.clock = std::max(p.clock, p.wake_at);
   frontier_ = std::max(frontier_, p.clock);
-  p.state = State::kRunning;
+  p.state = ProcState::kRunning;
   running_ = pid;
-  engine_turn_ = false;
 
   obs_.Add(tags_.dispatches);
   const bool traced = obs_.enabled();
-  if (traced) obs_.BeginSpan(p.node, pid, tags_.run, p.clock);
+  std::chrono::steady_clock::time_point host_start;
+  if (traced) {
+    obs_.BeginSpan(p.node, pid, tags_.run, p.clock);
+    host_start = std::chrono::steady_clock::now();
+  }
 
-  if (!p.thread_started) StartThread(pid);
-  {
-    std::lock_guard<std::mutex> lk(p.mu);
-    p.proc_turn = true;
-  }
-  p.cv.notify_one();
-  {
-    std::unique_lock<std::mutex> lk(engine_mu_);
-    engine_cv_.wait(lk, [&] { return engine_turn_; });
-  }
+  exec_->Resume(*this, p);
+
   running_ = kNoPid;
-  if (traced) obs_.EndSpan(p.node, pid, tags_.run, p.clock);
+  if (traced) {
+    // Host-clock dispatch latency (the one intentionally nondeterministic
+    // metric; it never enters the trace event stream).
+    obs_.Observe(tags_.dispatch_ns,
+                 static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - host_start)
+                         .count()));
+    obs_.EndSpan(p.node, pid, tags_.run, p.clock);
+  }
 }
 
 void Engine::ProcYieldToEngine(Proc& p) {
-  {
-    std::lock_guard<std::mutex> lk(engine_mu_);
-    engine_turn_ = true;
-  }
-  engine_cv_.notify_one();
-  {
-    std::unique_lock<std::mutex> lk(p.mu);
-    p.cv.wait(lk, [&] { return p.proc_turn; });
-    p.proc_turn = false;
-  }
+  exec_->Suspend(p);
   CheckKilled(p);
 }
 
@@ -383,8 +531,8 @@ void Engine::CheckKilled(Proc& p) {
 SimTime Engine::ProcBlock(Pid pid, std::string_view reason, Pid holder,
                           std::function<Pid()> holder_fn) {
   Proc& p = *procs_[pid];
-  PSTK_CHECK(p.state == State::kRunning);
-  p.state = State::kBlocked;
+  PSTK_CHECK(p.state == ProcState::kRunning);
+  p.state = ProcState::kBlocked;
   p.wait_reason = reason;
   p.wait_holder = holder;
   p.wait_holder_fn = std::move(holder_fn);
@@ -399,10 +547,9 @@ SimTime Engine::ProcBlock(Pid pid, std::string_view reason, Pid holder,
 
 SimTime Engine::ProcBlockUntil(Pid pid, SimTime t, std::string_view reason) {
   Proc& p = *procs_[pid];
-  PSTK_CHECK(p.state == State::kRunning);
+  PSTK_CHECK(p.state == ProcState::kRunning);
   p.wait_reason = reason;
   MakeReady(pid, std::max(t, p.clock));
-  p.state = State::kReady;  // MakeReady set it, keep explicit
   ProcYieldToEngine(p);
   return p.clock;
 }
@@ -414,21 +561,21 @@ RunResult Engine::Run() {
 
   std::exception_ptr fatal;
   while (fatal == nullptr) {
+    PruneReady();
     const bool has_event = !events_.empty();
     const bool has_proc = !ready_.empty();
     if (!has_event && !has_proc) break;
-    const SimTime te = has_event ? events_.begin()->first.first : kInfinity;
-    const SimTime tp = has_proc ? ready_.begin()->first : kInfinity;
+    const SimTime te = has_event ? events_.Top().t : kInfinity;
+    const SimTime tp = has_proc ? ready_.Top().t : kInfinity;
     if (te <= tp) {
-      auto it = events_.begin();
-      auto fn = std::move(it->second);
-      events_.erase(it);
+      auto fn = std::move(events_.MutableTop().fn);
+      events_.PopTop();
       frontier_ = std::max(frontier_, te);
       obs_.Add(tags_.events);
       fn();
     } else {
-      const Pid pid = ready_.begin()->second;
-      ready_.erase(ready_.begin());
+      const Pid pid = ready_.Top().pid;
+      ready_.PopTop();
       DispatchProc(pid);
       frontier_ = std::max(frontier_, procs_[pid]->clock);
       if (procs_[pid]->error != nullptr) fatal = procs_[pid]->error;
@@ -447,7 +594,7 @@ RunResult Engine::Run() {
 
   std::size_t blocked = 0;
   for (const auto& p : procs_) {
-    if (p->state == State::kBlocked) ++blocked;
+    if (p->state == ProcState::kBlocked) ++blocked;
   }
   if (blocked > 0) {
     const std::string report = DeadlockReport();
@@ -459,8 +606,9 @@ RunResult Engine::Run() {
           "deadlock", "sim-deadlock", report, "", frontier_});
     }
     result.status = Internal("simulation deadlock; " + report);
-    // JoinAll force-kills the blocked threads, but those deaths are cleanup,
-    // not simulated faults — result.killed keeps the pre-teardown count.
+    // JoinAll force-unwinds the blocked processes, but those deaths are
+    // cleanup, not simulated faults — result.killed keeps the pre-teardown
+    // count.
     JoinAll();
   } else {
     result.status = OkStatus();
@@ -471,25 +619,10 @@ RunResult Engine::Run() {
 void Engine::JoinAll() {
   for (auto& proc : procs_) {
     Proc& p = *proc;
-    if (!p.thread_started) {
-      p.state = State::kKilled;
-      continue;
-    }
-    if (p.state == State::kBlocked || p.state == State::kReady) {
-      // Force the thread to unwind so it can be joined.
+    if (p.state == ProcState::kBlocked || p.state == ProcState::kReady) {
       p.kill_requested = true;
-      engine_turn_ = false;
-      {
-        std::lock_guard<std::mutex> lk(p.mu);
-        p.proc_turn = true;
-      }
-      p.cv.notify_one();
-      {
-        std::unique_lock<std::mutex> lk(engine_mu_);
-        engine_cv_.wait(lk, [&] { return engine_turn_; });
-      }
     }
-    if (p.thread.joinable()) p.thread.join();
+    exec_->Unwind(*this, p);
   }
 }
 

@@ -1,11 +1,28 @@
 // Deterministic discrete-event simulation engine.
 //
-// Simulated processes are OS threads scheduled *cooperatively*: exactly one
-// process (or the engine) runs at any instant, and the engine always
-// dispatches the runnable process with the smallest virtual clock (ties
-// broken by pid). All cross-process interaction goes through engine
-// primitives, so a simulation is a deterministic function of its inputs —
-// identical runs replay bit-identically regardless of host scheduling.
+// Simulated processes are scheduled *cooperatively*: exactly one process
+// (or the engine) runs at any instant, and the engine always dispatches
+// the runnable process with the smallest virtual clock (ties broken by
+// pid). All cross-process interaction goes through engine primitives, so
+// a simulation is a deterministic function of its inputs — identical runs
+// replay bit-identically regardless of host scheduling.
+//
+// Execution backends: how control transfers between the engine loop and a
+// process body is a pluggable mechanism (`Backend`), chosen per engine:
+//
+//  * kFibers (default) — every process is a stackful ucontext coroutine;
+//    the engine loop swaps directly onto the next runnable process's
+//    stack and back (two user-space context switches per dispatch, no
+//    locks, pooled stacks). This is what lets sweeps drive 10^5 processes.
+//  * kThreads — the legacy one-OS-thread-per-process backend, kept as a
+//    fallback (and as a differential oracle): each dispatch is a
+//    mutex+condvar baton handoff costing two host scheduler round-trips.
+//
+// The two backends implement the *same* scheduling contract, so traces,
+// RunResults, deadlock reports, and kill/unwind behavior are byte-identical
+// across them — tests/sim_test.cc enforces this. Select with the
+// constructor argument, `PSTK_SIM_BACKEND=fibers|threads`, or the bench
+// flag `--sim-backend=`.
 //
 // Virtual-time rules:
 //  * Context::Compute(dt) advances only the caller's clock (no yield needed:
@@ -16,32 +33,34 @@
 //  * Because dispatch is min-clock-first, a process can never observe an
 //    interaction from its past (conservative causality).
 //
+// Scheduler structures: the ready queue and the event queue are 4-ary
+// min-heaps (sched_heap.h) with lazy deletion — decrease-key pushes a
+// fresh generation-stamped entry and stale ones are discarded when they
+// surface, keeping every mutation O(log n) with contiguous storage.
+//
 // Instrumentation goes through the engine's obs::Registry (`engine.obs()`):
 // dispatch/block/kill activity is published there, higher layers intern
 // their own tags against the same registry, and EnableTrace() switches the
 // whole bus on. The legacy TraceEvent vector survives as a compat shim that
-// re-materializes user Trace() calls from the typed event stream.
+// re-materializes user Trace() calls from the typed event stream (cached;
+// rebuilt incrementally as new events arrive).
 #pragma once
 
-#include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <set>
 #include <string>
 #include <string_view>
-#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "obs/obs.h"
+#include "sim/sched_heap.h"
 #include "verify/verify.h"
 
 namespace pstk::sim {
@@ -52,11 +71,29 @@ inline constexpr Pid kNoPid = static_cast<Pid>(-1);
 class Engine;
 class Context;
 
+/// How simulated processes execute (see the file comment).
+enum class Backend : std::uint8_t {
+  kFibers,   // stackful coroutines on the engine's own thread (default)
+  kThreads,  // one OS thread per process (legacy fallback)
+};
+
+/// "fibers" / "threads" — the spelling PSTK_SIM_BACKEND and --sim-backend
+/// accept.
+[[nodiscard]] std::string_view BackendName(Backend backend);
+
+/// Backend for engines constructed without an explicit choice: the
+/// SetDefaultBackend() override if set, else $PSTK_SIM_BACKEND, else
+/// kFibers.
+[[nodiscard]] Backend DefaultBackend();
+
+/// Process-wide override of DefaultBackend (bench --sim-backend=...).
+void SetDefaultBackend(Backend backend);
+
 /// Body of a simulated process.
 using ProcessBody = std::function<void(Context&)>;
 
-/// Thrown inside a process thread when the process is killed by fault
-/// injection; unwinds the stack so RAII cleanup runs. Do not catch it.
+/// Thrown inside a simulated process when it is killed by fault injection;
+/// unwinds the stack so RAII cleanup runs. Do not catch it.
 class ProcessKilled {};
 
 /// Why Engine::Run returned.
@@ -133,16 +170,84 @@ class Context {
   Pid pid_;
 };
 
+/// Internal: lifecycle of one simulated process.
+enum class ProcState : std::uint8_t {
+  kReady,     // scheduled: in the ready heap with a wake time
+  kRunning,   // currently executing
+  kBlocked,   // parked, waiting for Wake
+  kDone,      // body returned
+  kKilled,    // unwound via ProcessKilled
+};
+
+/// Internal: backend-specific per-process execution state (an OS thread
+/// handle or a fiber context + stack). Concrete type lives with the
+/// backend; the engine only owns and destroys it.
+struct ProcExec {
+  virtual ~ProcExec() = default;
+};
+
+/// Internal: bookkeeping for one simulated process. At namespace scope
+/// only so the exec backends (engine.cc, fiber.cc) can reach it — not
+/// part of the public API.
+struct Proc {
+  std::string name;
+  int node = 0;
+  ProcessBody body;
+  std::unique_ptr<Context> context;
+  Rng rng;
+  std::unique_ptr<ProcExec> exec;
+
+  ProcState state = ProcState::kReady;
+  SimTime clock = 0;             // local virtual time
+  SimTime wake_at = 0;           // valid when kReady
+  std::uint64_t ready_stamp = 0; // generation for lazy heap deletion
+  bool kill_requested = false;
+  std::string wait_reason;
+  Pid wait_holder = kNoPid;  // who is expected to wake us (BlockOn)
+  std::function<Pid()> wait_holder_fn;  // lazy holder, wins over the pid
+  std::exception_ptr error;
+
+  /// The wait-for edge as of now: lazy resolvers see owners registered
+  /// after this process parked.
+  [[nodiscard]] Pid WaitHolder() const {
+    return wait_holder_fn ? wait_holder_fn() : wait_holder;
+  }
+};
+
+/// Internal: the mechanism that transfers control between the engine loop
+/// and process bodies. Exactly one process (or the engine) runs at any
+/// instant on either implementation; the backends differ only in *how*
+/// the baton moves, never in what order processes run.
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  /// Engine side: transfer control into `p` (starting its body on the
+  /// first call); returns when the process parks, finishes, or unwinds.
+  virtual void Resume(Engine& engine, Proc& p) = 0;
+
+  /// Process side (runs on p's stack): park and hand control back to the
+  /// engine loop; returns when Resume picks this process again.
+  virtual void Suspend(Proc& p) = 0;
+
+  /// Teardown: force a parked process (kill_requested already set by the
+  /// caller) to unwind, and reclaim its execution resources. Must be
+  /// idempotent and must handle processes that never started.
+  virtual void Unwind(Engine& engine, Proc& p) = 0;
+};
+
 /// The simulation engine. Not thread-safe in the conventional sense: its
 /// methods must only be called from the engine's own control flow — i.e.
 /// before Run(), from inside process bodies, or from scheduled events —
 /// which by construction is single-threaded.
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed = 1);
+  explicit Engine(std::uint64_t seed = 1, Backend backend = DefaultBackend());
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Backend backend() const { return backend_; }
 
   /// Create a process; it becomes runnable at `start` (default: spawner's
   /// clock, or 0 when spawned before Run()).
@@ -160,7 +265,7 @@ class Engine {
   /// Execute `fn` in the engine's control flow at virtual time `t`.
   void ScheduleEvent(SimTime t, std::function<void()> fn);
 
-  /// Kill a process at time `t` (fault injection): its thread unwinds via
+  /// Kill a process at time `t` (fault injection): it unwinds via
   /// ProcessKilled next time it would run.
   void Kill(Pid pid, SimTime t);
   /// Immediate kill, usable from events.
@@ -183,7 +288,8 @@ class Engine {
 
   /// Turn the instrumentation bus on (spans, histograms, user traces).
   void EnableTrace(bool on);
-  /// Compat shim: user Trace() calls as the legacy string records.
+  /// Compat shim: user Trace() calls as the legacy string records. Cached;
+  /// only events recorded since the previous call are converted.
   [[nodiscard]] const std::vector<TraceEvent>& trace() const;
 
   /// Blocked-process snapshot, for deadlock diagnostics.
@@ -200,74 +306,59 @@ class Engine {
   [[nodiscard]] verify::Hub& verify() { return verify_; }
   [[nodiscard]] const verify::Hub& verify() const { return verify_; }
 
+  /// Internal (exec backends only): run p's body under the kill/exception
+  /// protocol. Executes on p's own stack; updates p.state and the
+  /// completed/killed tallies.
+  void ExecuteBody(Proc& p);
+
  private:
   friend class Context;
 
-  enum class State : std::uint8_t {
-    kReady,     // scheduled: in ready_ with a wake time
-    kRunning,   // currently executing
-    kBlocked,   // parked, waiting for Wake
-    kDone,      // body returned
-    kKilled,    // unwound via ProcessKilled
+  /// Ready-heap entry: (wake time, pid) with a generation stamp for lazy
+  /// deletion — an entry is live only while its stamp matches the
+  /// process's current ready_stamp.
+  struct ReadyEntry {
+    SimTime t;
+    Pid pid;
+    std::uint64_t stamp;
+    [[nodiscard]] bool Before(const ReadyEntry& o) const {
+      return t != o.t ? t < o.t : pid < o.pid;
+    }
   };
-
-  struct Proc {
-    std::string name;
-    int node = 0;
-    ProcessBody body;
-    std::unique_ptr<Context> context;
-    Rng rng;
-
-    std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool proc_turn = false;   // true: process may run; false: engine's turn
-
-    State state = State::kReady;
-    SimTime clock = 0;        // local virtual time
-    SimTime wake_at = 0;      // valid when kReady
-    bool kill_requested = false;
-    bool thread_started = false;
-    std::string wait_reason;
-    Pid wait_holder = kNoPid;  // who is expected to wake us (BlockOn)
-    std::function<Pid()> wait_holder_fn;  // lazy holder, wins over the pid
-    std::exception_ptr error;
-
-    /// The wait-for edge as of now: lazy resolvers see owners registered
-    /// after this process parked.
-    [[nodiscard]] Pid WaitHolder() const {
-      return wait_holder_fn ? wait_holder_fn() : wait_holder;
+  /// Event-heap entry: time with a FIFO sequence tie-break.
+  struct EventEntry {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    [[nodiscard]] bool Before(const EventEntry& o) const {
+      return t != o.t ? t < o.t : seq < o.seq;
     }
   };
 
-  // -- called from process threads --------------------------------------
+  // -- called from process stacks ----------------------------------------
   SimTime ProcBlock(Pid pid, std::string_view reason,
                     Pid holder = kNoPid,
                     std::function<Pid()> holder_fn = nullptr);  // indefinite
   SimTime ProcBlockUntil(Pid pid, SimTime t, std::string_view reason);
-  void ProcYieldToEngine(Proc& p);  // park thread, hand control back
+  void ProcYieldToEngine(Proc& p);  // park, hand control back, re-check kill
   void CheckKilled(Proc& p);
 
   // -- engine loop -------------------------------------------------------
   void DispatchProc(Pid pid);
-  void StartThread(Pid pid);
   void MakeReady(Pid pid, SimTime wake_at);
   void RemoveReady(Pid pid);
+  void PruneReady();  // discard stale lazy-deleted entries at the top
   void JoinAll();
 
   std::uint64_t seed_;
+  Backend backend_;
+  std::unique_ptr<ExecBackend> exec_;  // before procs_: destroyed after them
   std::vector<std::unique_ptr<Proc>> procs_;
-  // Ready queue ordered by (wake time, pid) — supports decrease-key.
-  std::set<std::pair<SimTime, Pid>> ready_;
-  // Engine events ordered by time; sequence breaks ties FIFO.
-  std::map<std::pair<SimTime, std::uint64_t>, std::function<void()>> events_;
+  DaryHeap<ReadyEntry> ready_;
+  DaryHeap<EventEntry> events_;
   std::uint64_t event_seq_ = 0;
 
-  std::mutex engine_mu_;
-  std::condition_variable engine_cv_;
-  bool engine_turn_ = true;
   Pid running_ = kNoPid;
-
   SimTime frontier_ = 0;
   bool running_loop_ = false;
 
@@ -282,9 +373,11 @@ class Engine {
     obs::TagId run = obs::kNoTag;         // span: process occupies the core
     obs::TagId kill = obs::kNoTag;        // instant: kill delivered
     obs::TagId block = obs::kNoTag;       // instant: process parks
+    obs::TagId dispatch_ns = obs::kNoTag; // histogram: host ns per dispatch
   };
   SimTags tags_;
   mutable std::vector<TraceEvent> trace_compat_;
+  mutable std::size_t trace_seen_ = 0;  // obs events already converted
   std::size_t completed_ = 0;
   std::size_t killed_ = 0;
 };
@@ -292,45 +385,69 @@ class Engine {
 /// Condition-variable analogue in virtual time: processes Wait; another
 /// process Notifies with a timestamp; each waiter resumes at
 /// max(own clock, timestamp).
+///
+/// Waiter bookkeeping is a generation-stamped slot scheme: every Wait
+/// enqueues a (pid, ticket) slot with a fresh monotonically increasing
+/// ticket. A waiter killed mid-wait discards its slot in O(1) amortized —
+/// the ticket goes into a cancelled set and the slot itself is dropped
+/// lazily when a notify surfaces it — replacing the old O(n) erase on the
+/// kill-unwind path and the O(dead) rescan in NotifyOne.
 class Condition {
  public:
   /// Park the caller until notified. If the caller is killed mid-wait the
-  /// unwind removes it from the waiter list, so a later notify cannot
-  /// burn its wake-up on a dead process.
+  /// unwind cancels its slot, so a later notify cannot burn its wake-up
+  /// on a dead process.
   void Wait(Context& ctx, std::string_view reason = "condition") {
-    waiters_.push_back(ctx.pid());
+    const std::uint64_t ticket = next_ticket_++;
+    waiters_.push_back(Slot{ctx.pid(), ticket});
+    ++live_;
     try {
       ctx.Block(reason);
     } catch (...) {
-      auto it = std::find(waiters_.begin(), waiters_.end(), ctx.pid());
-      if (it != waiters_.end()) waiters_.erase(it);
+      cancelled_.insert(ticket);
+      --live_;
       throw;
     }
   }
 
-  /// Wake all waiters at time `t`.
+  /// Wake all live waiters at time `t`.
   void NotifyAll(Engine& engine, SimTime t) {
-    for (Pid pid : waiters_) engine.Wake(pid, t);
+    for (const Slot& slot : waiters_) {
+      if (cancelled_.erase(slot.ticket) > 0) continue;
+      engine.Wake(slot.pid, t);
+    }
     waiters_.clear();
+    live_ = 0;
   }
 
   /// Wake the longest-waiting *live* process at time `t`; returns false if
-  /// none. Dead waiters (killed outside Wait's unwind path) are discarded.
+  /// none. Cancelled slots (killed waiters) are discarded as they surface.
   bool NotifyOne(Engine& engine, SimTime t) {
     while (!waiters_.empty()) {
-      const Pid pid = waiters_.front();
+      const Slot slot = waiters_.front();
       waiters_.pop_front();
-      if (!engine.IsAlive(pid)) continue;
-      engine.Wake(pid, t);
+      if (cancelled_.erase(slot.ticket) > 0) continue;
+      --live_;
+      if (!engine.IsAlive(slot.pid)) continue;
+      engine.Wake(slot.pid, t);
       return true;
     }
     return false;
   }
 
-  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+  /// Waiters currently parked and not cancelled.
+  [[nodiscard]] std::size_t waiter_count() const { return live_; }
 
  private:
-  std::deque<Pid> waiters_;
+  struct Slot {
+    Pid pid;
+    std::uint64_t ticket;
+  };
+
+  std::deque<Slot> waiters_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_ticket_ = 0;
+  std::size_t live_ = 0;
 };
 
 /// RAII span on the calling process's (node, pid) track, with an optional

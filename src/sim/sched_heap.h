@@ -1,0 +1,80 @@
+// 4-ary min-heap used for the engine's ready and event queues.
+//
+// Replaces std::set / std::map in the scheduler hot path: entries are
+// small, stored contiguously, and sift through at most log_4(n) levels,
+// each probing up to four children that share one or two cache lines.
+// Deletion and decrease-key are done *lazily* by the caller: a superseded
+// entry stays in the heap carrying a stale generation stamp and is
+// discarded when it surfaces at the top (Engine::PruneReady), so every
+// scheduler mutation is a plain O(log n) push with no tree search.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pstk::sim {
+
+/// Min-heap of T ordered by `bool T::Before(const T&) const` (a strict
+/// weak order). Deterministic: an identical push/pop sequence yields an
+/// identical layout and pop order, which the engine's cross-backend
+/// replay contract relies on.
+template <typename T, int Arity = 4>
+class DaryHeap {
+  static_assert(Arity >= 2, "a heap needs at least two children per node");
+
+ public:
+  [[nodiscard]] bool empty() const { return h_.empty(); }
+  [[nodiscard]] std::size_t size() const { return h_.size(); }
+  [[nodiscard]] const T& Top() const { return h_.front(); }
+  /// Mutable top, for moving a payload out right before PopTop.
+  [[nodiscard]] T& MutableTop() { return h_.front(); }
+
+  void Push(T value) {
+    h_.push_back(std::move(value));
+    SiftUp(h_.size() - 1);
+  }
+
+  void PopTop() {
+    if (h_.size() > 1) {
+      h_.front() = std::move(h_.back());
+      h_.pop_back();
+      SiftDown(0);
+    } else {
+      h_.pop_back();
+    }
+  }
+
+  void Reserve(std::size_t n) { h_.reserve(n); }
+  void Clear() { h_.clear(); }
+
+ private:
+  void SiftUp(std::size_t i) {
+    while (i != 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!h_[i].Before(h_[parent])) break;
+      std::swap(h_[i], h_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= h_.size()) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + Arity, h_.size());
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (h_[c].Before(h_[best])) best = c;
+      }
+      if (!h_[best].Before(h_[i])) break;
+      std::swap(h_[i], h_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<T> h_;
+};
+
+}  // namespace pstk::sim
