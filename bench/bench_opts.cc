@@ -27,15 +27,16 @@ void Observability::ParseFlags(int* argc, char** argv) {
       verify_ = true;
     } else if (arg.rfind("--sim-backend=", 0) == 0) {
       const std::string_view name = arg.substr(std::strlen("--sim-backend="));
-      if (name == "fibers") {
-        sim::SetDefaultBackend(sim::Backend::kFibers);
-      } else if (name == "threads") {
-        sim::SetDefaultBackend(sim::Backend::kThreads);
-      } else {
-        std::fprintf(stderr, "bad --sim-backend: %.*s (want fibers|threads)\n",
-                     static_cast<int>(name.size()), name.data());
+      const auto backend = sim::ParseBackendName(name);
+      if (!backend.has_value()) {
+        std::fprintf(stderr,
+                     "unknown --sim-backend '%.*s' (valid backends: %.*s)\n",
+                     static_cast<int>(name.size()), name.data(),
+                     static_cast<int>(sim::ValidBackendNames().size()),
+                     sim::ValidBackendNames().data());
         std::exit(2);
       }
+      sim::SetDefaultBackend(*backend);
     } else if (arg.rfind("--faults=", 0) == 0) {
       auto plan = sim::FaultPlan::Parse(arg.substr(std::strlen("--faults=")));
       if (!plan.ok()) {

@@ -2,14 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <limits>
 #include <map>
-#include <mutex>
-#include <optional>
 #include <sstream>
-#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -20,7 +16,10 @@ namespace pstk::sim {
 
 namespace {
 constexpr SimTime kInfinity = std::numeric_limits<SimTime>::infinity();
-}
+// Events scheduled from inside a parallel round get per-shard FIFO seqs
+// above every pre-run seq; coordinator-routed deliveries sit above both.
+constexpr std::uint64_t kMidRunSeqBase = std::uint64_t{1} << 40;
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Backend selection
@@ -30,25 +29,32 @@ std::string_view BackendName(Backend backend) {
   return backend == Backend::kThreads ? "threads" : "fibers";
 }
 
+std::optional<Backend> ParseBackendName(std::string_view name) {
+  if (name == "fibers") return Backend::kFibers;
+  if (name == "threads") return Backend::kThreads;
+  return std::nullopt;
+}
+
+std::string_view ValidBackendNames() { return "fibers, threads"; }
+
 namespace {
 std::optional<Backend>& BackendOverride() {
   static std::optional<Backend> override_backend;
   return override_backend;
 }
 
+// Re-parsed on every call (it's one getenv + two string compares): a
+// cached static would freeze the first observation, and a bad value must
+// fail loudly no matter when the first Engine is constructed.
 Backend EnvBackend() {
-  static const Backend from_env = [] {
-    const char* env = std::getenv("PSTK_SIM_BACKEND");
-    if (env == nullptr || *env == '\0') return Backend::kFibers;
-    const std::string_view name(env);
-    if (name == "threads") return Backend::kThreads;
-    if (name != "fibers") {
-      PSTK_WARN("sim") << "unknown PSTK_SIM_BACKEND '" << name
-                       << "', using fibers";
-    }
-    return Backend::kFibers;
-  }();
-  return from_env;
+  const char* env = std::getenv("PSTK_SIM_BACKEND");
+  if (env == nullptr || *env == '\0') return Backend::kFibers;
+  const std::optional<Backend> parsed = ParseBackendName(env);
+  PSTK_CHECK_MSG(parsed.has_value(),
+                 "unknown PSTK_SIM_BACKEND '"
+                     << env << "' (valid backends: " << ValidBackendNames()
+                     << ")");
+  return *parsed;
 }
 }  // namespace
 
@@ -133,6 +139,10 @@ class ThreadBackend final : public ExecBackend {
   }
 
   void ThreadMain(Engine& engine, Proc& p) {
+    // The process thread acts on behalf of its owning shard: bind the
+    // thread-local shard slot so obs recording and cross-shard routing
+    // see the right shard (shard 0 on an unsharded engine).
+    engine.BindExecThread(p.shard);
     auto& x = static_cast<ThreadExec&>(*p.exec);
     // Wait for the first dispatch.
     {
@@ -216,12 +226,32 @@ void Context::Trace(std::string_view tag, std::string_view detail) {
 // Engine
 // ---------------------------------------------------------------------------
 
+thread_local const Engine* Engine::tls_engine_ = nullptr;
+thread_local int Engine::tls_shard_ = -1;
+
 Engine::Engine(std::uint64_t seed, Backend backend)
-    : seed_(seed), backend_(backend) {
-  if (backend_ == Backend::kThreads) {
-    exec_ = std::make_unique<ThreadBackend>();
-  } else {
-    exec_ = std::make_unique<FiberBackend>(obs_);
+    : Engine(seed, backend, ShardOptions{}) {}
+
+Engine::Engine(std::uint64_t seed, Backend backend, ShardOptions shard_options)
+    : seed_(seed), backend_(backend),
+      shard_options_(std::move(shard_options)) {
+  PSTK_CHECK_MSG(shard_options_.shards >= 1,
+                 "ShardOptions.shards must be >= 1, got "
+                     << shard_options_.shards);
+  shards_.reserve(static_cast<std::size_t>(shard_options_.shards));
+  for (int s = 0; s < shard_options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    if (backend_ == Backend::kThreads) {
+      shard->exec = std::make_unique<ThreadBackend>();
+    } else {
+      shard->exec = std::make_unique<FiberBackend>(obs_);
+    }
+    shard->bound = kInfinity;
+    if (shard_options_.shards > 1) {
+      shard->outbox =
+          std::make_unique<SpscRing<ShardMsg>>(shard_options_.channel_capacity);
+    }
+    shards_.push_back(std::move(shard));
   }
   tags_.dispatches = obs_.Intern("sim.dispatches");
   tags_.events = obs_.Intern("sim.events");
@@ -232,9 +262,48 @@ Engine::Engine(std::uint64_t seed, Backend backend)
   tags_.kill = obs_.Intern("killed");
   tags_.block = obs_.Intern("block");
   tags_.dispatch_ns = obs_.Intern("sim.dispatch.host_ns");
+  shard_tags_.rounds = obs_.Intern("sim.shard.rounds");
+  shard_tags_.msgs = obs_.Intern("sim.shard.msgs");
+  shard_tags_.spills = obs_.Intern("sim.shard.channel_spills");
   // Which scheduler backend ran shows up in every metrics table.
   obs_.Add(obs_.Intern(backend_ == Backend::kThreads ? "sim.backend.threads"
                                                      : "sim.backend.fibers"));
+}
+
+int Engine::ShardOfNode(int node) const {
+  const int count = shard_count();
+  if (count <= 1) return 0;
+  if (!shard_options_.shard_of_node) {
+    return ((node % count) + count) % count;
+  }
+  const int s = shard_options_.shard_of_node(node);
+  PSTK_CHECK_MSG(s >= 0 && s < count,
+                 "shard_of_node(" << node << ") = " << s
+                                  << " out of range [0, " << count << ")");
+  return s;
+}
+
+int Engine::CurrentShardIndex() const {
+  return tls_engine_ == this ? tls_shard_ : -1;
+}
+
+Engine::Shard& Engine::CurrentShard() {
+  const int s = CurrentShardIndex();
+  return *shards_[static_cast<std::size_t>(s >= 0 ? s : 0)];
+}
+
+void Engine::BindExecThread(int shard) {
+  tls_engine_ = this;
+  tls_shard_ = shard;
+  obs::Registry::SetCurrentShard(shard);
+}
+
+SimTime Engine::now() const {
+  const int cur = CurrentShardIndex();
+  if (cur >= 0) return shards_[static_cast<std::size_t>(cur)]->frontier;
+  SimTime frontier = 0;
+  for (const auto& s : shards_) frontier = std::max(frontier, s->frontier);
+  return frontier;
 }
 
 void Engine::EnableTrace(bool on) {
@@ -269,16 +338,31 @@ Engine::~Engine() { JoinAll(); }
 
 Pid Engine::Spawn(std::string name, ProcessBody body, int node) {
   SimTime start = 0;
-  if (running_ != kNoPid) start = procs_[running_]->clock;
+  const Shard& s = *shards_[static_cast<std::size_t>(
+      std::max(CurrentShardIndex(), 0))];
+  if (s.running != kNoPid) start = procs_[s.running]->clock;
   return SpawnAt(start, std::move(name), std::move(body), node);
 }
 
 Pid Engine::SpawnAt(SimTime start, std::string name, ProcessBody body,
                     int node) {
+  const int shard = ShardOfNode(node);
+  if (in_parallel_) {
+    // procs_ may be read concurrently by other shard workers; growing it
+    // is only safe while one shard is doing all the work.
+    PSTK_CHECK_MSG(
+        populated_shards_ <= 1,
+        "mid-run Spawn on a multi-shard engine: spawn every process "
+        "before Run(), or confine the job to a single shard");
+    PSTK_CHECK_MSG(shard == CurrentShardIndex(),
+                   "mid-run Spawn targets shard "
+                       << shard << " from shard " << CurrentShardIndex());
+  }
   const Pid pid = static_cast<Pid>(procs_.size());
   auto proc = std::make_unique<Proc>();
   proc->name = std::move(name);
   proc->node = node;
+  proc->shard = shard;
   proc->body = std::move(body);
   proc->context = std::unique_ptr<Context>(new Context(*this, pid));
   proc->rng = Rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (pid + 1)));
@@ -296,7 +380,8 @@ void Engine::MakeReady(Pid pid, SimTime wake_at) {
   Proc& p = *procs_[pid];
   p.state = ProcState::kReady;
   p.wake_at = wake_at;
-  ready_.Push(ReadyEntry{wake_at, pid, ++p.ready_stamp});
+  shards_[static_cast<std::size_t>(p.shard)]->ready.Push(
+      ReadyEntry{wake_at, pid, ++p.ready_stamp});
 }
 
 void Engine::RemoveReady(Pid pid) {
@@ -305,18 +390,16 @@ void Engine::RemoveReady(Pid pid) {
   ++procs_[pid]->ready_stamp;
 }
 
-void Engine::PruneReady() {
-  while (!ready_.empty()) {
-    const ReadyEntry& top = ready_.Top();
+void Engine::PruneReady(Shard& s) {
+  while (!s.ready.empty()) {
+    const ReadyEntry& top = s.ready.Top();
     const Proc& p = *procs_[top.pid];
     if (top.stamp == p.ready_stamp && p.state == ProcState::kReady) return;
-    ready_.PopTop();
+    s.ready.PopTop();
   }
 }
 
-void Engine::Wake(Pid pid, SimTime t) {
-  PSTK_CHECK_MSG(pid < procs_.size(), "Wake: bad pid " << pid);
-  obs_.Add(tags_.wakes);
+void Engine::ApplyWake(Pid pid, SimTime t) {
   Proc& p = *procs_[pid];
   switch (p.state) {
     case ProcState::kBlocked:
@@ -338,29 +421,111 @@ void Engine::Wake(Pid pid, SimTime t) {
   }
 }
 
+void Engine::Wake(Pid pid, SimTime t) {
+  PSTK_CHECK_MSG(pid < procs_.size(), "Wake: bad pid " << pid);
+  obs_.Add(tags_.wakes);
+  const int target = procs_[pid]->shard;
+  const int cur = CurrentShardIndex();
+  if (!in_parallel_ || cur < 0 || target == cur) {
+    ApplyWake(pid, t);
+    return;
+  }
+  // Cross-shard: deliver as an event at exactly t on the target shard, so
+  // the target observes it at the same virtual point the single-threaded
+  // engine would (the send-side lookahead check guarantees t is beyond
+  // everything the target may concurrently process this window).
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kWake;
+  msg.dst_shard = target;
+  msg.pid = pid;
+  msg.t = t;
+  SendCrossShard(*shards_[static_cast<std::size_t>(cur)], std::move(msg));
+}
+
 void Engine::ScheduleEvent(SimTime t, std::function<void()> fn) {
-  events_.Push(EventEntry{t, event_seq_++, std::move(fn)});
+  if (!in_parallel_) {
+    shards_[0]->events.Push(EventEntry{t, event_seq_++, std::move(fn)});
+    return;
+  }
+  Shard& s = CurrentShard();
+  s.events.Push(EventEntry{t, kMidRunSeqBase + s.mid_seq++, std::move(fn)});
+}
+
+void Engine::ScheduleEventFor(int node, SimTime t, std::function<void()> fn) {
+  const int dst = ShardOfNode(node);
+  if (!in_parallel_) {
+    shards_[static_cast<std::size_t>(dst)]->events.Push(
+        EventEntry{t, event_seq_++, std::move(fn)});
+    return;
+  }
+  const int cur = CurrentShardIndex();
+  if (dst == cur) {
+    Shard& s = CurrentShard();
+    s.events.Push(EventEntry{t, kMidRunSeqBase + s.mid_seq++, std::move(fn)});
+    return;
+  }
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kEvent;
+  msg.dst_shard = dst;
+  msg.t = t;
+  msg.fn = std::move(fn);
+  SendCrossShard(*shards_[static_cast<std::size_t>(std::max(cur, 0))],
+                 std::move(msg));
 }
 
 void Engine::Kill(Pid pid, SimTime t) {
-  ScheduleEvent(t, [this, pid] { KillNow(pid); });
+  PSTK_CHECK_MSG(pid < procs_.size(), "Kill: bad pid " << pid);
+  const int dst = procs_[pid]->shard;
+  auto fn = [this, pid] { KillNow(pid); };
+  if (!in_parallel_) {
+    // Fault plans route to the victim's shard with the pre-run FIFO seq,
+    // so --faults= injection replays identically at any shard count.
+    shards_[static_cast<std::size_t>(dst)]->events.Push(
+        EventEntry{t, event_seq_++, std::move(fn)});
+    return;
+  }
+  const int cur = CurrentShardIndex();
+  if (dst == cur) {
+    Shard& s = CurrentShard();
+    s.events.Push(EventEntry{t, kMidRunSeqBase + s.mid_seq++, std::move(fn)});
+    return;
+  }
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kKill;
+  msg.dst_shard = dst;
+  msg.pid = pid;
+  msg.t = t;
+  SendCrossShard(*shards_[static_cast<std::size_t>(std::max(cur, 0))],
+                 std::move(msg));
 }
 
 void Engine::KillNow(Pid pid) {
   PSTK_CHECK_MSG(pid < procs_.size(), "Kill: bad pid " << pid);
   Proc& p = *procs_[pid];
   if (p.state == ProcState::kDone || p.state == ProcState::kKilled) return;
+  if (in_parallel_) {
+    PSTK_CHECK_MSG(p.shard == CurrentShardIndex(),
+                   "KillNow(" << pid << ") from shard " << CurrentShardIndex()
+                              << " targets shard " << p.shard
+                              << "; use Kill(pid, t) with a timestamp "
+                                 "respecting the shard lookahead");
+  }
+  Shard& s = *shards_[static_cast<std::size_t>(p.shard)];
   p.kill_requested = true;
   obs_.Add(tags_.kills);
+  // The kill lands at the initiating action's virtual time (clamped to the
+  // victim's own clock): a locally computable instant, identical whether
+  // the surrounding run is sharded or not.
+  const SimTime t = std::max(s.activation, p.clock);
   if (obs_.enabled()) {
-    obs_.Instant(p.node, pid, tags_.kill, std::max(frontier_, p.clock));
+    obs_.Instant(p.node, pid, tags_.kill, t);
   }
   if (p.state == ProcState::kBlocked) {
-    MakeReady(pid, std::max(frontier_, p.clock));
-  } else if (p.state == ProcState::kReady && p.wake_at > frontier_) {
+    MakeReady(pid, t);
+  } else if (p.state == ProcState::kReady && p.wake_at > t) {
     // Die promptly rather than at the (possibly distant) scheduled wake.
     RemoveReady(pid);
-    MakeReady(pid, std::max(frontier_, p.clock));
+    MakeReady(pid, t);
   }
 }
 
@@ -473,28 +638,30 @@ std::string Engine::DeadlockReport() const {
 }
 
 void Engine::ExecuteBody(Proc& p) {
+  Shard& s = *shards_[static_cast<std::size_t>(p.shard)];
   try {
     if (p.kill_requested) throw ProcessKilled{};
     p.body(*p.context);
     p.state = ProcState::kDone;
-    ++completed_;
+    ++s.completed;
   } catch (const ProcessKilled&) {
     p.state = ProcState::kKilled;
-    ++killed_;
+    ++s.killed;
   } catch (...) {
     p.error = std::current_exception();
     p.state = ProcState::kDone;
-    ++completed_;
+    ++s.completed;
   }
 }
 
-void Engine::DispatchProc(Pid pid) {
+void Engine::DispatchProc(Shard& s, Pid pid) {
   Proc& p = *procs_[pid];
   PSTK_CHECK(p.state == ProcState::kReady);
   p.clock = std::max(p.clock, p.wake_at);
-  frontier_ = std::max(frontier_, p.clock);
+  s.frontier = std::max(s.frontier, p.clock);
+  s.activation = p.clock;
   p.state = ProcState::kRunning;
-  running_ = pid;
+  s.running = pid;
 
   obs_.Add(tags_.dispatches);
   const bool traced = obs_.enabled();
@@ -504,9 +671,9 @@ void Engine::DispatchProc(Pid pid) {
     host_start = std::chrono::steady_clock::now();
   }
 
-  exec_->Resume(*this, p);
+  s.exec->Resume(*this, p);
 
-  running_ = kNoPid;
+  s.running = kNoPid;
   if (traced) {
     // Host-clock dispatch latency (the one intentionally nondeterministic
     // metric; it never enters the trace event stream).
@@ -520,7 +687,7 @@ void Engine::DispatchProc(Pid pid) {
 }
 
 void Engine::ProcYieldToEngine(Proc& p) {
-  exec_->Suspend(p);
+  shards_[static_cast<std::size_t>(p.shard)]->exec->Suspend(p);
   CheckKilled(p);
 }
 
@@ -554,38 +721,62 @@ SimTime Engine::ProcBlockUntil(Pid pid, SimTime t, std::string_view reason) {
   return p.clock;
 }
 
+bool Engine::StepShard(Shard& s) {
+  if (s.fatal.has_value()) return false;
+  PruneReady(s);
+  const bool has_event = !s.events.empty();
+  const bool has_proc = !s.ready.empty();
+  if (!has_event && !has_proc) return false;
+  const SimTime te = has_event ? s.events.Top().t : kInfinity;
+  const SimTime tp = has_proc ? s.ready.Top().t : kInfinity;
+  if (std::min(te, tp) >= s.bound) return false;  // conservative horizon
+  if (te <= tp) {
+    const std::uint64_t seq = s.events.Top().seq;
+    const bool wake_delivery = s.events.Top().wake_delivery;
+    auto fn = std::move(s.events.MutableTop().fn);
+    s.events.PopTop();
+    s.frontier = std::max(s.frontier, te);
+    s.activation = te;
+    if (!wake_delivery) obs_.Add(tags_.events);
+    obs_.MarkBlock(te, /*kind=*/0, seq);
+    fn();
+  } else {
+    const Pid pid = s.ready.Top().pid;
+    s.ready.PopTop();
+    obs_.MarkBlock(tp, /*kind=*/1, pid);
+    DispatchProc(s, pid);
+    s.frontier = std::max(s.frontier, procs_[pid]->clock);
+    if (procs_[pid]->error != nullptr) {
+      s.fatal = Shard::Fatal{procs_[pid]->clock, pid, procs_[pid]->error};
+      return false;
+    }
+  }
+  return true;
+}
+
 RunResult Engine::Run() {
   PSTK_CHECK_MSG(!running_loop_, "Engine::Run is not reentrant");
   running_loop_ = true;
-  RunResult result;
-
-  std::exception_ptr fatal;
-  while (fatal == nullptr) {
-    PruneReady();
-    const bool has_event = !events_.empty();
-    const bool has_proc = !ready_.empty();
-    if (!has_event && !has_proc) break;
-    const SimTime te = has_event ? events_.Top().t : kInfinity;
-    const SimTime tp = has_proc ? ready_.Top().t : kInfinity;
-    if (te <= tp) {
-      auto fn = std::move(events_.MutableTop().fn);
-      events_.PopTop();
-      frontier_ = std::max(frontier_, te);
-      obs_.Add(tags_.events);
-      fn();
-    } else {
-      const Pid pid = ready_.Top().pid;
-      ready_.PopTop();
-      DispatchProc(pid);
-      frontier_ = std::max(frontier_, procs_[pid]->clock);
-      if (procs_[pid]->error != nullptr) fatal = procs_[pid]->error;
-    }
+  if (shard_count() > 1) {
+    RunResult result = RunSharded();
+    running_loop_ = false;
+    return result;
+  }
+  Shard& s = *shards_[0];
+  s.bound = kInfinity;
+  while (StepShard(s)) {
   }
   running_loop_ = false;
+  return RunEpilogue(s.fatal.has_value() ? s.fatal->error : nullptr);
+}
 
-  result.end_time = frontier_;
-  result.completed = completed_;
-  result.killed = killed_;
+RunResult Engine::RunEpilogue(std::exception_ptr fatal) {
+  RunResult result;
+  result.end_time = now();
+  for (const auto& s : shards_) {
+    result.completed += s->completed;
+    result.killed += s->killed;
+  }
 
   if (fatal != nullptr) {
     JoinAll();
@@ -602,8 +793,9 @@ RunResult Engine::Run() {
       // A deadlock after fault injection is the expected teardown of a
       // non-fault-tolerant job, not a usage bug — downgrade to a warning.
       verify_.Report(verify::Finding{
-          killed_ > 0 ? verify::Severity::kWarning : verify::Severity::kError,
-          "deadlock", "sim-deadlock", report, "", frontier_});
+          result.killed > 0 ? verify::Severity::kWarning
+                            : verify::Severity::kError,
+          "deadlock", "sim-deadlock", report, "", result.end_time});
     }
     result.status = Internal("simulation deadlock; " + report);
     // JoinAll force-unwinds the blocked processes, but those deaths are
@@ -622,7 +814,7 @@ void Engine::JoinAll() {
     if (p.state == ProcState::kBlocked || p.state == ProcState::kReady) {
       p.kill_requested = true;
     }
-    exec_->Unwind(*this, p);
+    shards_[static_cast<std::size_t>(p.shard)]->exec->Unwind(*this, p);
   }
 }
 

@@ -25,6 +25,25 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// TSan likewise models each fiber as its own synchronization entity:
+// every swapcontext is announced with __tsan_switch_to_fiber so the race
+// detector attributes memory accesses to the fiber (not the host thread's
+// original stack), which is what lets the sharded engine's TSan CI leg
+// run fiber workloads without false positives on stack reuse.
+#if defined(PSTK_HAVE_TSAN_FIBER)
+#if defined(__SANITIZE_THREAD__)
+#define PSTK_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PSTK_FIBER_TSAN 1
+#endif
+#endif
+#endif
+
+#if defined(PSTK_FIBER_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace pstk::sim {
 
 namespace {
@@ -84,6 +103,7 @@ struct FiberBackend::FiberExec final : ProcExec {
   ucontext_t ctx{};
   FiberStack stack;
   void* fake_stack = nullptr;  // ASan fake-stack handle while parked
+  void* tsan_fiber = nullptr;  // TSan fiber entity (owned until death)
   bool started = false;
 };
 
@@ -145,6 +165,9 @@ void FiberBackend::FiberMain(FiberExec& x) {
   __sanitizer_start_switch_fiber(nullptr, engine_stack_bottom_,
                                  engine_stack_size_);
 #endif
+#if defined(PSTK_FIBER_TSAN)
+  __tsan_switch_to_fiber(tsan_engine_fiber_, 0);
+#endif
   swapcontext(&x.ctx, &engine_ctx_);
   PSTK_CHECK_MSG(false, "resumed a finished fiber");
 }
@@ -167,16 +190,32 @@ void FiberBackend::Resume(Engine& engine, Proc& p) {
     x.ctx.uc_link = nullptr;  // fibers exit via the explicit dying switch
     makecontext(&x.ctx, &Trampoline, 0);
     pending_start_ = &x;
+#if defined(PSTK_FIBER_TSAN)
+    x.tsan_fiber = __tsan_create_fiber(0);
+#endif
   }
 #if defined(PSTK_FIBER_ASAN)
   __sanitizer_start_switch_fiber(&engine_fake_stack_, x.stack.base,
                                  x.stack.size);
+#endif
+#if defined(PSTK_FIBER_TSAN)
+  // The engine side of the switch may be a different host thread than the
+  // one that ran this backend last (sharded teardown unwinds on the main
+  // thread), so re-capture the engine fiber every Resume.
+  tsan_engine_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(x.tsan_fiber, 0);
 #endif
   swapcontext(&engine_ctx_, &x.ctx);
   ReturnToEngineAnnotations();
   if (p.state == ProcState::kDone || p.state == ProcState::kKilled) {
     pool_.Release(x.stack);
     x.stack = FiberStack{};
+#if defined(PSTK_FIBER_TSAN)
+    if (x.tsan_fiber != nullptr) {
+      __tsan_destroy_fiber(x.tsan_fiber);
+      x.tsan_fiber = nullptr;
+    }
+#endif
   }
 }
 
@@ -185,6 +224,9 @@ void FiberBackend::Suspend(Proc& p) {
 #if defined(PSTK_FIBER_ASAN)
   __sanitizer_start_switch_fiber(&x.fake_stack, engine_stack_bottom_,
                                  engine_stack_size_);
+#endif
+#if defined(PSTK_FIBER_TSAN)
+  __tsan_switch_to_fiber(x.backend->tsan_engine_fiber_, 0);
 #endif
   swapcontext(&x.ctx, &engine_ctx_);
   EnterFiberAnnotations(x.fake_stack);

@@ -20,7 +20,10 @@
 // Sanitizer support: under ASan every switch is bracketed with
 // __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber so the
 // fake-stack machinery tracks which stack is live (CMake detects the
-// header and defines PSTK_HAVE_SANITIZER_FIBER). UBSan needs no
+// header and defines PSTK_HAVE_SANITIZER_FIBER). Under TSan every fiber
+// is registered as its own synchronization entity and each swapcontext is
+// announced via __tsan_switch_to_fiber (PSTK_HAVE_TSAN_FIBER), which is
+// what the sharded engine's TSan CI leg relies on. UBSan needs no
 // annotations.
 #pragma once
 
@@ -112,6 +115,9 @@ class FiberBackend final : public ExecBackend {
   const void* engine_stack_bottom_ = nullptr;
   std::size_t engine_stack_size_ = 0;
   void* engine_fake_stack_ = nullptr;
+  // TSan fiber entity of the engine-side thread, re-captured every Resume
+  // (teardown may unwind from a different host thread than the run).
+  void* tsan_engine_fiber_ = nullptr;
 };
 
 }  // namespace pstk::sim

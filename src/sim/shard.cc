@@ -1,0 +1,266 @@
+// Sharded (conservative PDES) run mode of sim::Engine — the coordinator
+// and shard-worker machinery. See engine.h's file comment and DESIGN.md
+// §execution backends for the protocol; the single-shard fast path lives
+// entirely in engine.cc and never touches anything here.
+//
+// Round structure (coordinator thread):
+//   1. DrainChannels   — pop every shard's SPSC ring (plus spill vector),
+//                        sort per producer by src_seq, apply to the target
+//                        shards' event heaps with coordinator FIFO seqs;
+//   2. ComputeBounds   — next-action time per shard, then
+//                        bound(s) = min over s' != s of next(s') + L(s', s);
+//   3. release workers — every shard processes actions with t < bound(s)
+//                        in parallel (StepShard, shared with the oracle);
+//   4. barrier         — wait for all workers to park, collect fatals.
+// Progress: the globally minimal shard's bound strictly exceeds its next
+// action time (all lookaheads are positive), so every round retires at
+// least one action; termination when every heap is empty.
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/engine.h"
+
+namespace pstk::sim {
+
+namespace {
+constexpr SimTime kInfinity = std::numeric_limits<SimTime>::infinity();
+// Coordinator-applied (routed) deliveries order after every pre-run seq
+// and every mid-round local seq at the same timestamp.
+constexpr std::uint64_t kRoutedSeqBase = std::uint64_t{1} << 48;
+}  // namespace
+
+void Engine::BuildLookaheadMatrix() {
+  const int count = shard_count();
+  lookahead_.assign(static_cast<std::size_t>(count) * count, kInfinity);
+  std::vector<char> populated(static_cast<std::size_t>(count), 0);
+  for (const auto& p : procs_) {
+    populated[static_cast<std::size_t>(p->shard)] = 1;
+  }
+  for (int s = 0; s < count; ++s) {
+    if (!shards_[static_cast<std::size_t>(s)]->events.empty()) {
+      populated[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+  populated_shards_ = 0;
+  for (char p : populated) populated_shards_ += p;
+
+  if (populated_shards_ > 1) {
+    PSTK_CHECK_MSG(static_cast<bool>(shard_options_.lookahead),
+                   "sharded run with " << populated_shards_
+                                       << " populated shards requires "
+                                          "ShardOptions.lookahead (derive it "
+                                          "from the interconnect with "
+                                          "net::ShardLookahead)");
+  }
+  if (!shard_options_.lookahead) return;
+  for (int src = 0; src < count; ++src) {
+    for (int dst = 0; dst < count; ++dst) {
+      if (src == dst) continue;
+      const SimTime l = shard_options_.lookahead(src, dst);
+      if (populated[static_cast<std::size_t>(src)] &&
+          populated[static_cast<std::size_t>(dst)]) {
+        PSTK_CHECK_MSG(l > 0, "lookahead(" << src << ", " << dst << ") = " << l
+                                           << " — must be > 0 between "
+                                              "populated shards");
+      }
+      lookahead_[static_cast<std::size_t>(src) * count + dst] = l;
+    }
+  }
+}
+
+SimTime Engine::LookaheadOrDie(int src, int dst) const {
+  const SimTime l =
+      lookahead_[static_cast<std::size_t>(src) * shard_count() + dst];
+  PSTK_CHECK_MSG(l > 0 && l < kInfinity,
+                 "no positive lookahead configured between shards "
+                     << src << " and " << dst
+                     << "; provide ShardOptions.lookahead");
+  return l;
+}
+
+void Engine::SendCrossShard(Shard& from, ShardMsg msg) {
+  const int src = CurrentShardIndex();
+  // The sender's current virtual time: its running process's clock, or
+  // the activating event's time when sent from an engine event.
+  const SimTime sender_now =
+      from.running != kNoPid ? procs_[from.running]->clock : from.activation;
+  const SimTime min_t = sender_now + LookaheadOrDie(src, msg.dst_shard);
+  PSTK_CHECK_MSG(
+      msg.t >= min_t,
+      "cross-shard interaction at t=" << msg.t << " violates lookahead: shard "
+                                      << src << " -> shard " << msg.dst_shard
+                                      << " requires t >= " << min_t
+                                      << " (sender time " << sender_now
+                                      << " + lookahead)");
+  msg.src_seq = from.msg_seq++;
+  obs_.Add(shard_tags_.msgs);
+  if (!from.outbox->Push(msg)) {
+    obs_.Add(shard_tags_.spills);
+    from.spill.push_back(std::move(msg));
+  }
+}
+
+void Engine::DrainChannels() {
+  std::vector<ShardMsg> staged;
+  for (auto& shard : shards_) {
+    const std::size_t start = staged.size();
+    ShardMsg msg;
+    while (shard->outbox->Pop(&msg)) staged.push_back(std::move(msg));
+    for (ShardMsg& spilled : shard->spill) staged.push_back(std::move(spilled));
+    shard->spill.clear();
+    // Within one producer, apply in send order (ring entries always
+    // precede spills, but sort anyway — determinism is load-bearing).
+    std::sort(staged.begin() + static_cast<std::ptrdiff_t>(start),
+              staged.end(), [](const ShardMsg& a, const ShardMsg& b) {
+                return a.src_seq < b.src_seq;
+              });
+  }
+  for (ShardMsg& msg : staged) {
+    Shard& dst = *shards_[static_cast<std::size_t>(msg.dst_shard)];
+    switch (msg.kind) {
+      case ShardMsg::Kind::kWake: {
+        const Pid pid = msg.pid;
+        const SimTime t = msg.t;
+        // Delivered as a wake event at exactly t: the target observes the
+        // wake at the same virtual point the single-threaded engine would.
+        dst.events.Push(EventEntry{t, routed_seq_++,
+                                   [this, pid, t] { ApplyWake(pid, t); },
+                                   /*wake_delivery=*/true});
+        break;
+      }
+      case ShardMsg::Kind::kKill: {
+        const Pid pid = msg.pid;
+        dst.events.Push(
+            EventEntry{msg.t, routed_seq_++, [this, pid] { KillNow(pid); }});
+        break;
+      }
+      case ShardMsg::Kind::kEvent:
+        dst.events.Push(EventEntry{msg.t, routed_seq_++, std::move(msg.fn)});
+        break;
+    }
+  }
+}
+
+bool Engine::ComputeBounds() {
+  const int count = shard_count();
+  std::vector<SimTime> next(static_cast<std::size_t>(count), kInfinity);
+  bool any = false;
+  for (int s = 0; s < count; ++s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    PruneReady(shard);
+    SimTime t = kInfinity;
+    if (!shard.events.empty()) t = shard.events.Top().t;
+    if (!shard.ready.empty()) t = std::min(t, shard.ready.Top().t);
+    next[static_cast<std::size_t>(s)] = t;
+    if (t < kInfinity) any = true;
+  }
+  if (!any) return false;
+  for (int s = 0; s < count; ++s) {
+    SimTime bound = kInfinity;
+    for (int o = 0; o < count; ++o) {
+      if (o == s || next[static_cast<std::size_t>(o)] == kInfinity) continue;
+      bound = std::min(bound,
+                       next[static_cast<std::size_t>(o)] +
+                           lookahead_[static_cast<std::size_t>(o) * count + s]);
+    }
+    shards_[static_cast<std::size_t>(s)]->bound = bound;
+  }
+  return true;
+}
+
+void Engine::RunShardRound(Shard& s) {
+  try {
+    while (StepShard(s)) {
+    }
+  } catch (...) {
+    // An exception escaping an engine *event* (process-body exceptions are
+    // captured in ExecuteBody): surface it like a process fatal so the
+    // coordinator stops the run and rethrows deterministically.
+    if (!s.fatal.has_value()) {
+      s.fatal = Shard::Fatal{s.activation, kNoPid, std::current_exception()};
+    }
+  }
+}
+
+void Engine::ShardWorkerMain(int shard) {
+  BindExecThread(shard);
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(round_mu_);
+      round_start_cv_.wait(
+          lk, [&] { return shutdown_workers_ || round_ > seen_round; });
+      if (shutdown_workers_) return;
+      seen_round = round_;
+    }
+    RunShardRound(s);
+    {
+      std::lock_guard<std::mutex> lk(round_mu_);
+      if (--round_running_ == 0) round_done_cv_.notify_all();
+    }
+  }
+}
+
+RunResult Engine::RunSharded() {
+  BuildLookaheadMatrix();
+  routed_seq_ = kRoutedSeqBase;
+  obs_.ConfigureShards(shard_count());
+
+  shutdown_workers_ = false;
+  round_ = 0;
+  workers_.reserve(static_cast<std::size_t>(shard_count()));
+  for (int s = 0; s < shard_count(); ++s) {
+    workers_.emplace_back([this, s] { ShardWorkerMain(s); });
+  }
+
+  std::exception_ptr fatal;
+  for (;;) {
+    DrainChannels();
+    if (!ComputeBounds()) break;
+    obs_.Add(shard_tags_.rounds);
+    {
+      std::unique_lock<std::mutex> lk(round_mu_);
+      in_parallel_ = true;
+      round_running_ = static_cast<std::size_t>(shard_count());
+      ++round_;
+      round_start_cv_.notify_all();
+      round_done_cv_.wait(lk, [&] { return round_running_ == 0; });
+      in_parallel_ = false;
+    }
+    // Deterministic fatal selection: the (t, pid)-smallest across shards,
+    // independent of which worker hit its exception first on the host.
+    const Shard::Fatal* first = nullptr;
+    for (const auto& shard : shards_) {
+      if (!shard->fatal.has_value()) continue;
+      const Shard::Fatal& f = *shard->fatal;
+      if (first == nullptr || f.t < first->t ||
+          (f.t == first->t && f.pid < first->pid)) {
+        first = &f;
+      }
+    }
+    if (first != nullptr) {
+      fatal = first->error;
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(round_mu_);
+    shutdown_workers_ = true;
+  }
+  round_start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  // Merge per-shard obs logs before JoinAll so teardown unwind events
+  // append to the merged stream in the main thread's (deterministic)
+  // order, after every in-run event.
+  obs_.MergeShards();
+  return RunEpilogue(fatal);
+}
+
+}  // namespace pstk::sim

@@ -1,0 +1,61 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// Carries cross-shard scheduler messages in the sharded engine: the
+// producer is one shard worker thread, the consumer is the coordinator
+// draining between synchronization windows. Lock-free with only
+// acquire/release pairs on the two indices — a push is one store, a pop
+// one load-compare-store — so the cross-shard send path adds no mutex to
+// the dispatch hot loop. Capacity is rounded up to a power of two; a full
+// ring rejects the push (the caller spills to a local overflow vector, so
+// bounded capacity is backpressure accounting, never deadlock).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pstk::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false when the ring is full.
+  bool Push(T value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool Pop(T* out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Indices are free-running; (head - tail) is the fill level.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace pstk::sim

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -61,7 +62,9 @@ class Hub;
 
 /// Base class for runtime checkers. Every hook has a no-op default, so a
 /// checker overrides only the events it cares about. Hooks fire inline
-/// from the (single-threaded) simulation, in deterministic order.
+/// from the simulation in deterministic order; on a sharded engine a
+/// framework's hooks all fire from the one shard that hosts the job, and
+/// Hub::Report serializes findings across shards.
 class Checker {
  public:
   virtual ~Checker() = default;
@@ -248,7 +251,13 @@ class Hub {
   }
 
   // --- findings -----------------------------------------------------------
+  /// Serialized: with a sharded engine, checker hooks fire concurrently
+  /// from shard worker threads (each shard's hooks stay in its own
+  /// deterministic order; cross-shard finding interleaving is host-timing
+  /// dependent, which is why assertions should count/filter findings, not
+  /// compare their global order).
   void Report(Finding finding) {
+    std::lock_guard<std::mutex> lk(mu_);
     if (finding.severity == Severity::kError) ++errors_;
     findings_.push_back(std::move(finding));
   }
@@ -292,6 +301,7 @@ class Hub {
 
  private:
   std::vector<std::unique_ptr<Checker>> checkers_;
+  std::mutex mu_;  // guards findings_/errors_ against concurrent shards
   std::vector<Finding> findings_;
   std::size_t errors_ = 0;
 };
