@@ -86,6 +86,35 @@ int main(int argc, char** argv) {
         .Cell(static_cast<std::int64_t>(findings->size()));
   }
   table.Print();
+
+  // The same lint lens over the framework *implementations*: how many
+  // statically detectable misuse patterns live in each paradigm runtime
+  // itself (whole-subtree interprocedural scan; warnings included).
+  std::printf("\nFramework runtimes (src/) under the same lint rules:\n\n");
+  Table fw;
+  fw.SetHeader({"framework runtime", "lint findings"});
+  const struct {
+    const char* label;
+    const char* dir;
+  } runtimes[] = {
+      {"src/omp (OpenMP-like)", "src/omp"},
+      {"src/mpi (MPI-like)", "src/mpi"},
+      {"src/mr (Hadoop MR-like)", "src/mr"},
+      {"src/spark (Spark-like)", "src/spark"},
+  };
+  for (const auto& rt : runtimes) {
+    auto findings = analysis::LintTree({root + "/" + rt.dir});
+    if (!findings.ok()) {
+      std::fprintf(stderr, "%s: %s\n", rt.label,
+                   findings.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    fw.Row().Cell(rt.label).Cell(
+        static_cast<std::int64_t>(findings->size()));
+  }
+  fw.Print();
+
   std::printf(
       "\nExpected shape (paper): the OpenMP version is smallest (pragma-style\n"
       "parallelism over a serial kernel); MPI carries the most explicit\n"

@@ -54,6 +54,20 @@ bool AnyVarWord(const std::string& text,
   });
 }
 
+/// `text` invokes one of `fns` as a call (name word followed by '(').
+bool CallsAnyFn(const std::string& text, const std::vector<std::string>& fns) {
+  for (const std::string& f : fns) {
+    std::size_t pos = 0;
+    while ((pos = text.find(f, pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+      const std::size_t end = pos + f.size();
+      if (left_ok && end < text.size() && text[end] == '(') return true;
+      pos = end;
+    }
+  }
+  return false;
+}
+
 const char* const kGuardSentinels[] = {"INT_MAX", "INT32_MAX", "2147483647"};
 
 bool IsIntMaxGuard(const std::string& cond) {
@@ -78,7 +92,8 @@ bool ContainsWord(const std::string& text, const std::string& word) {
   return false;
 }
 
-FunctionFlow::FunctionFlow(const Function& fn) : fn_(&fn) {
+FunctionFlow::FunctionFlow(const Function& fn, const TaintKnowledge* knowledge)
+    : fn_(&fn), know_(knowledge) {
   for (const Param& p : fn.params) {
     if (p.name.empty()) continue;
     VarInfo v;
@@ -203,12 +218,12 @@ void FunctionFlow::ComputeDerived() {
     for (const VarInfo& v : vars_) {
       const bool already_rank = AnyVarWord(v.name, rank_vars_);
       if (!already_rank) {
-        bool rank = MentionsRankDirectly(v.name);
-        if (!rank && MentionsRankDirectly(v.init)) rank = true;
+        bool rank = MentionsRank(v.name);
+        if (!rank && MentionsRank(v.init)) rank = true;
         if (!rank && AnyVarWord(v.init, rank_vars_)) rank = true;
         for (const VarWrite& w : v.writes) {
           if (rank) break;
-          if (MentionsRankDirectly(w.rhs) || AnyVarWord(w.rhs, rank_vars_)) {
+          if (MentionsRank(w.rhs) || AnyVarWord(w.rhs, rank_vars_)) {
             rank = true;
           }
         }
@@ -220,11 +235,11 @@ void FunctionFlow::ComputeDerived() {
       const bool already_wide = AnyVarWord(v.name, wide_vars_);
       if (!already_wide) {
         bool wide = TypeIsWide(v.type);
-        if (!wide && MentionsWideDirectly(v.init)) wide = true;
+        if (!wide && MentionsWide(v.init)) wide = true;
         if (!wide && AnyVarWord(v.init, wide_vars_)) wide = true;
         for (const VarWrite& w : v.writes) {
           if (wide) break;
-          if (MentionsWideDirectly(w.rhs) || AnyVarWord(w.rhs, wide_vars_)) {
+          if (MentionsWide(w.rhs) || AnyVarWord(w.rhs, wide_vars_)) {
             wide = true;
           }
         }
@@ -244,12 +259,45 @@ const VarInfo* FunctionFlow::Lookup(const std::string& name) const {
   return nullptr;
 }
 
+bool FunctionFlow::MentionsRank(const std::string& text) const {
+  if (MentionsRankDirectly(text)) return true;
+  return know_ != nullptr && CallsAnyFn(text, know_->rank_fns);
+}
+
+bool FunctionFlow::MentionsWide(const std::string& text) const {
+  if (MentionsWideDirectly(text)) return true;
+  return know_ != nullptr && CallsAnyFn(text, know_->wide_fns);
+}
+
 bool FunctionFlow::IsRankDerived(const std::string& expr) const {
-  return MentionsRankDirectly(expr) || AnyVarWord(expr, rank_vars_);
+  return MentionsRank(expr) || AnyVarWord(expr, rank_vars_);
 }
 
 bool FunctionFlow::Is64BitSized(const std::string& expr) const {
-  return MentionsWideDirectly(expr) || AnyVarWord(expr, wide_vars_);
+  return MentionsWide(expr) || AnyVarWord(expr, wide_vars_);
+}
+
+bool FunctionFlow::DependsOn(const std::string& expr,
+                             const std::string& seed) const {
+  std::vector<std::string> derived{seed};
+  bool changed = true;
+  std::size_t guard = vars_.size() + 2;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (const VarInfo& v : vars_) {
+      if (AnyVarWord(v.name, derived)) continue;
+      bool dep = AnyVarWord(v.init, derived);
+      for (const VarWrite& w : v.writes) {
+        if (dep) break;
+        dep = AnyVarWord(w.rhs, derived);
+      }
+      if (dep) {
+        derived.push_back(v.name);
+        changed = true;
+      }
+    }
+  }
+  return AnyVarWord(expr, derived);
 }
 
 bool FunctionFlow::HasIntMaxGuard() const {

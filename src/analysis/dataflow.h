@@ -25,6 +25,17 @@ namespace pstk::analysis {
 /// True when `text` contains `word` bounded by non-identifier characters.
 bool ContainsWord(const std::string& text, const std::string& word);
 
+/// Cross-function facts fed back into per-function taint seeding by the
+/// interprocedural layer (callgraph.cc): a call to a function listed in
+/// `rank_fns` produces a rank-derived value, one in `wide_fns` a
+/// 64-bit-sized value. Built by a program-level fixpoint; a plain
+/// FunctionFlow without knowledge degrades to the PR-3 intra-procedural
+/// behavior.
+struct TaintKnowledge {
+  std::vector<std::string> rank_fns;
+  std::vector<std::string> wide_fns;
+};
+
 struct VarWrite {
   int line = 0;
   std::string rhs;     // compact right-hand-side text
@@ -66,7 +77,10 @@ struct FlowEvent {
 
 class FunctionFlow {
  public:
-  explicit FunctionFlow(const Function& fn);
+  /// `knowledge`, when given, must outlive the flow; it widens the taint
+  /// seeds with rank-/wide-returning function names.
+  explicit FunctionFlow(const Function& fn,
+                        const TaintKnowledge* knowledge = nullptr);
 
   [[nodiscard]] const Function& fn() const { return *fn_; }
 
@@ -91,6 +105,13 @@ class FunctionFlow {
   /// Expression carries a 64-bit size: references a 64-bit-typed variable,
   /// a `size()` call, or `sizeof`.
   [[nodiscard]] bool Is64BitSized(const std::string& expr) const;
+
+  /// Expression depends on `seed` (a parameter or variable name): mentions
+  /// it directly or through a chain of local derivations (`n2 = n * 2;
+  /// Send(buf, static_cast<int>(n2), ...)` depends on `n`). Used by the
+  /// summary layer to map call arguments back onto parameters.
+  [[nodiscard]] bool DependsOn(const std::string& expr,
+                               const std::string& seed) const;
 
   /// Some branch condition compares against the `int` ceiling (INT_MAX,
   /// INT32_MAX, numeric_limits<int32>::max(), 2147483647) — the idiomatic
@@ -119,8 +140,11 @@ class FunctionFlow {
   void Walk(const std::vector<Stmt>& body, int loop_depth,
             std::vector<BranchCtx>* branches);
   void ComputeDerived();
+  [[nodiscard]] bool MentionsRank(const std::string& text) const;
+  [[nodiscard]] bool MentionsWide(const std::string& text) const;
 
   const Function* fn_;
+  const TaintKnowledge* know_ = nullptr;
   std::vector<VarInfo> vars_;
   std::vector<FlowEvent> events_;
   std::vector<BranchCtx> branch_conds_;

@@ -7,7 +7,9 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "analysis/callgraph.h"
 #include "analysis/dataflow.h"
 #include "analysis/parse.h"
 #include "common/strings.h"
@@ -39,6 +41,18 @@ const RuleInfo kRules[] = {
      "ranks disagree on the collective call sequence and the job hangs",
      "hoist the collective out of the branch, or make the condition "
      "uniform across ranks"},
+    {"mpi-collective-in-loop-divergent-bound", Severity::kError,
+     "collective inside a loop whose bound is rank-derived: ranks "
+     "disagree on the trip count and execute different numbers of "
+     "collectives — the job hangs at the first extra iteration",
+     "make the loop bound uniform across ranks (broadcast it first), or "
+     "hoist the collective out of the loop"},
+    {"mpi-collective-mismatch", Severity::kError,
+     "the two arms of a rank-divergent branch execute provably different "
+     "collective sequences (MUST-style call-order matching): ranks meet "
+     "in different collectives and deadlock",
+     "make both arms execute the same collective sequence, or hoist the "
+     "collectives out of the branch"},
     {"mpi-int-count-overflow", Severity::kError,
      "64-bit size expression narrowed into an int count parameter with no "
      "INT_MAX guard: counts above 2^31-1 wrap (the paper's Fig. 4 "
@@ -66,6 +80,18 @@ const RuleInfo kRules[] = {
      "no Quiet()/Fence()/BarrierAll() between: the put may not be "
      "remotely complete",
      "call Quiet() (or a barrier) between the put and the read-back"},
+    {"sim-blocking-in-drain", Severity::kError,
+     "blocking call reachable from a Drain* function: the sharded "
+     "engine's cross-shard message drain runs between rounds on the "
+     "coordinator and must never block, or every shard stalls",
+     "keep the drain path non-blocking (defer the work onto the target "
+     "shard's event heap instead)"},
+    {"sim-spsc-multi-producer", Severity::kError,
+     "more than one function pushes into the same SpscRing channel: the "
+     "ring is single-producer by contract, a second producer races the "
+     "tail index",
+     "route every send through the one owning function, or give each "
+     "producer its own ring"},
     {"spark-missing-persist", Severity::kWarning,
      "RDD reused (inside a loop, or by multiple actions) without "
      "Persist()/Cache(): every reuse recomputes the whole lineage (the "
@@ -158,51 +184,194 @@ void CheckBlockingSymmetricSend(const std::string& file,
   }
 }
 
-const char* const kCollectives[] = {
-    "Reduce",     "Allreduce",      "AllReduce", "Allgather", "AllGather",
-    "Gather",     "Scatter",        "Alltoall",  "AllToAll",  "Barrier",
-    "BarrierAll", "Broadcast",      "BroadcastAll", "Bcast",  "OpenAll",
-    "ReadAtAll",  "ReadLinesAtAll", "WriteAtAll", "Scan",     "ReduceAll",
-};
-
 bool IsCollective(const CallExpr& call) {
-  return std::any_of(std::begin(kCollectives), std::end(kCollectives),
-                     [&](const char* n) { return call.method == n; });
+  return IsCollectiveMethod(call.method);
 }
 
-void CheckCollectiveDivergence(const std::string& file,
-                               const FunctionFlow& flow,
+/// A call that is a collective itself or resolves to a summary that
+/// transitively reaches one.
+bool CallReachesCollective(const Program& prog, const CallExpr& call) {
+  if (IsCollective(call)) return true;
+  for (int idx : prog.Resolve(call)) {
+    if (prog.fns()[static_cast<std::size_t>(idx)].summary.calls_collective) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string JoinSeq(const std::vector<std::string>& seq) {
+  std::string out;
+  for (const std::string& s : seq) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+/// Statement-tree walker behind the collective-divergence rules. At each
+/// rank-divergent branch it first tries MUST-style sequence matching via
+/// the summaries: provably equal arm sequences are *safe* (no finding —
+/// `if (rank==0) Barrier(); else Barrier();` is symmetric), provably
+/// different nonempty sequences are one mpi-collective-mismatch, and
+/// anything else falls back to per-site reporting (the PR-3 behavior,
+/// extended through wrappers with related locations). Rank-divergent
+/// loop bounds over collective-reaching bodies get their own rule.
+class DivergenceWalker {
+ public:
+  DivergenceWalker(const Program& prog, const Program::FnEntry& entry,
+                   std::vector<LintFinding>& out)
+      : prog_(prog), entry_(entry), out_(out) {}
+
+  void Run() { Walk(entry_.fn->body); }
+
+ private:
+  [[nodiscard]] bool Divergent(const Stmt& s) const {
+    // `.ok()` status guards are exempt — see FunctionFlow's ctor note.
+    return s.text.find(".ok()") == std::string::npos &&
+           entry_.flow.IsRankDerived(s.text);
+  }
+
+  void Walk(const std::vector<Stmt>& body) {
+    for (const Stmt& s : body) {
+      if (s.kind == StmtKind::kBranch && Divergent(s)) {
+        const auto then_seq = prog_.CollectiveSeqOf(s.children);
+        const auto else_seq = prog_.CollectiveSeqOf(s.else_children);
+        if (then_seq.has_value() && else_seq.has_value()) {
+          if (*then_seq == *else_seq) continue;  // provably symmetric
+          if (!then_seq->empty() && !else_seq->empty()) {
+            out_.push_back(MakeFinding(
+                "mpi-collective-mismatch", entry_.file, s.line,
+                "rank-divergent branch (`" + s.text +
+                    "`) executes different collective sequences: [" +
+                    JoinSeq(*then_seq) + "] on the then-arm vs [" +
+                    JoinSeq(*else_seq) +
+                    "] on the else-arm: ranks meet in different "
+                    "collectives and deadlock"));
+            continue;
+          }
+        }
+        ReportSites(s.children, s);
+        ReportSites(s.else_children, s);
+        continue;
+      }
+      if (s.kind == StmtKind::kLoop && Divergent(s)) {
+        const auto site = prog_.FirstCollectiveSite(s.children);
+        if (site.has_value()) {
+          out_.push_back(MakeFinding(
+              "mpi-collective-in-loop-divergent-bound", entry_.file, s.line,
+              "loop with the rank-derived bound `" + s.text +
+                  "` reaches collective " + site->name + "() (line " +
+                  std::to_string(site->line) +
+                  "): ranks disagree on the trip count and execute "
+                  "different numbers of collectives"));
+        }
+        Walk(s.children);
+        continue;
+      }
+      Walk(s.children);
+      Walk(s.else_children);
+    }
+  }
+
+  /// Per-site reporting inside one divergent arm: direct collectives
+  /// (the PR-3 message, byte-compatible), wrapper calls that reach a
+  /// collective, and wrapper calls that reach Checkpoint().
+  void ReportSites(const std::vector<Stmt>& arm, const Stmt& branch) {
+    ForEachStmt(arm, [&](const Stmt& s) {
+      for (const CallExpr& c : s.calls) {
+        if (IsCollective(c)) {
+          out_.push_back(MakeFinding(
+              "mpi-collective-in-divergent-branch", entry_.file, c.line,
+              "collective " + c.method + "() under the rank-derived "
+              "condition at line " + std::to_string(branch.line) +
+              " (`" + branch.text + "`): ranks that skip the branch never "
+              "reach the collective"));
+          continue;
+        }
+        const Program::FnEntry* coll_callee = nullptr;
+        const Program::FnEntry* ckpt_callee = nullptr;
+        for (int idx : prog_.Resolve(c)) {
+          const Program::FnEntry& cand =
+              prog_.fns()[static_cast<std::size_t>(idx)];
+          if (cand.summary.calls_collective && coll_callee == nullptr) {
+            coll_callee = &cand;
+          }
+          if (cand.summary.calls_checkpoint && ckpt_callee == nullptr) {
+            ckpt_callee = &cand;
+          }
+        }
+        if (coll_callee != nullptr) {
+          LintFinding f = MakeFinding(
+              "mpi-collective-in-divergent-branch", entry_.file, c.line,
+              "call to " + c.method + "() under the rank-derived "
+              "condition at line " + std::to_string(branch.line) + " (`" +
+                  branch.text + "`): " + c.method +
+                  "() reaches collective " +
+                  coll_callee->summary.collective_name +
+                  "() — ranks that skip the branch never reach it");
+          f.related.push_back(RelatedLocation{
+              coll_callee->file, coll_callee->summary.collective_line,
+              "collective " + coll_callee->summary.collective_name +
+                  "() reached through " + c.method + "()"});
+          out_.push_back(std::move(f));
+          continue;
+        }
+        if (ckpt_callee != nullptr) {
+          LintFinding f = MakeFinding(
+              "ckpt-outside-collective", entry_.file, c.line,
+              "call to " + c.method + "() under the rank-derived "
+              "condition at line " + std::to_string(branch.line) + " (`" +
+                  branch.text + "`): " + c.method +
+                  "() reaches Checkpoint() — ranks that skip the call "
+                  "never write their fragment, so the epoch can never "
+                  "commit");
+          f.related.push_back(RelatedLocation{
+              ckpt_callee->file, ckpt_callee->summary.checkpoint_line,
+              "Checkpoint() reached through " + c.method + "()"});
+          out_.push_back(std::move(f));
+        }
+      }
+    });
+  }
+
+  const Program& prog_;
+  const Program::FnEntry& entry_;
+  std::vector<LintFinding>& out_;
+};
+
+void CheckCollectiveDivergence(const Program& prog,
+                               const Program::FnEntry& entry,
                                std::vector<LintFinding>& out) {
+  DivergenceWalker(prog, entry, out).Run();
+}
+
+/// Divergent early return while collectives (possibly wrapper-hidden)
+/// follow — kept event-based, exactly the PR-3 shape.
+void CheckEarlyReturnDivergence(const Program& prog,
+                                const Program::FnEntry& entry,
+                                std::vector<LintFinding>& out) {
+  const FunctionFlow& flow = entry.flow;
   for (const FlowEvent& e : flow.events()) {
+    if (e.call != nullptr || e.stmt->kind != StmtKind::kReturn) continue;
     if (!e.InRankDivergentBranch()) continue;
     const BranchCtx* branch = nullptr;
     for (const BranchCtx& b : e.branches) {
       if (b.rank_divergent) branch = &b;
     }
-    if (e.call != nullptr && IsCollective(*e.call)) {
+    const bool collective_later = std::any_of(
+        flow.events().begin(), flow.events().end(),
+        [&](const FlowEvent& later) {
+          return later.call != nullptr && later.order > e.order &&
+                 CallReachesCollective(prog, *later.call);
+        });
+    if (collective_later) {
       out.push_back(MakeFinding(
-          "mpi-collective-in-divergent-branch", file, e.call->line,
-          "collective " + e.call->method + "() under the rank-derived "
-          "condition at line " + std::to_string(branch->line) +
-          " (`" + branch->cond + "`): ranks that skip the branch never "
-          "reach the collective"));
-      continue;
-    }
-    if (e.call == nullptr && e.stmt->kind == StmtKind::kReturn) {
-      const bool collective_later = std::any_of(
-          flow.events().begin(), flow.events().end(),
-          [&](const FlowEvent& later) {
-            return later.call != nullptr && IsCollective(*later.call) &&
-                   later.order > e.order;
-          });
-      if (collective_later) {
-        out.push_back(MakeFinding(
-            "mpi-collective-in-divergent-branch", file, e.stmt->line,
-            "early return under the rank-derived condition at line " +
-                std::to_string(branch->line) + " (`" + branch->cond +
-                "`) while collectives follow: returning ranks drop out "
-                "of the collective sequence"));
-      }
+          "mpi-collective-in-divergent-branch", entry.file, e.stmt->line,
+          "early return under the rank-derived condition at line " +
+              std::to_string(branch->line) + " (`" + branch->cond +
+              "`) while collectives follow: returning ranks drop out "
+              "of the collective sequence"));
     }
   }
 }
@@ -238,50 +407,123 @@ void CheckCkptOutsideCollective(const std::string& file,
   }
 }
 
-const char* const kNarrowCasts[] = {
-    "static_cast<int>(",           "static_cast<std::int32_t>(",
-    "static_cast<int32_t>(",       "static_cast<std::uint32_t>(",
-    "static_cast<uint32_t>(",      "static_cast<unsigned>(",
-    "static_cast<unsigned int>(",
-};
+/// True when `expr` depends on a 64-bit-sized parameter of `entry`'s
+/// function — the signal that the overflow hazard belongs to the callers
+/// (it is recorded in the summary and reported at call sites), not to
+/// this function. A non-wide parameter the expression merely mentions
+/// (a Comm&, a file handle) does not make this a wrapper.
+bool DependsOnWideParam(const Program::FnEntry& entry,
+                        const std::string& expr) {
+  return std::any_of(
+      entry.fn->params.begin(), entry.fn->params.end(), [&](const Param& p) {
+        return !p.name.empty() && entry.flow.Is64BitSized(p.name) &&
+               entry.flow.DependsOn(expr, p.name);
+      });
+}
 
-/// Operand text of the first narrowing cast in `arg` ("" when none).
-std::string NarrowCastOperand(const std::string& arg) {
-  for (const char* cast : kNarrowCasts) {
-    const std::size_t at = arg.find(cast);
-    if (at == std::string::npos) continue;
-    const std::size_t open = at + std::char_traits<char>::length(cast) - 1;
-    int depth = 0;
-    for (std::size_t j = open; j < arg.size(); ++j) {
-      if (arg[j] == '(') ++depth;
-      if (arg[j] == ')' && --depth == 0) {
-        return arg.substr(open + 1, j - open - 1);
+void CheckIntCountOverflow(const Program& prog,
+                           const Program::FnEntry& entry,
+                           std::vector<LintFinding>& out) {
+  const FunctionFlow& flow = entry.flow;
+  for (const FlowEvent& e : flow.events()) {
+    if (e.call == nullptr) continue;
+    // Direct transfer call with a narrowing cast on the count (the PR-3
+    // rule). A parameter-sourced operand defers to the call sites.
+    const int direct = TransferCountArg(e.call->method);
+    if (direct >= 0 &&
+        static_cast<std::size_t>(direct) < e.call->args.size()) {
+      const std::string operand =
+          NarrowCastOperand(e.call->args[static_cast<std::size_t>(direct)]);
+      if (!operand.empty() && flow.Is64BitSized(operand) &&
+          !flow.HasIntMaxGuard() && !DependsOnWideParam(entry, operand)) {
+        out.push_back(MakeFinding(
+            "mpi-int-count-overflow", entry.file, e.call->line,
+            "64-bit size `" + operand + "` narrowed to an int count of " +
+                e.call->method + "() with no INT_MAX guard in the "
+                "function: counts above 2 GB wrap (the Fig. 4 failure — "
+                "MPI_File_read_at_all takes an `int` count)"));
+        continue;
+      }
+    }
+    // A call whose argument lands in a wrapper's int-narrowed count
+    // parameter (the summary records the flow, transitively).
+    bool fired = false;
+    for (int idx : prog.Resolve(*e.call)) {
+      if (fired) break;
+      const Program::FnEntry& callee =
+          prog.fns()[static_cast<std::size_t>(idx)];
+      for (int pos : callee.summary.count_params) {
+        if (pos < 0 ||
+            static_cast<std::size_t>(pos) >= e.call->args.size()) {
+          continue;
+        }
+        const std::string& arg =
+            e.call->args[static_cast<std::size_t>(pos)];
+        std::string expr = NarrowCastOperand(arg);
+        if (expr.empty()) expr = arg;
+        if (!flow.Is64BitSized(expr)) continue;
+        if (flow.HasIntMaxGuard()) continue;
+        if (DependsOnWideParam(entry, expr)) continue;  // defer further up
+        LintFinding f = MakeFinding(
+            "mpi-int-count-overflow", entry.file, e.call->line,
+            "64-bit size `" + expr + "` flows into the int-narrowed "
+            "count parameter `" +
+                callee.fn->params[static_cast<std::size_t>(pos)].name +
+                "` of " + e.call->method + "() with no INT_MAX guard: "
+                "counts above 2 GB wrap (the Fig. 4 failure, one call "
+                "deep)");
+        f.related.push_back(RelatedLocation{
+            callee.file, callee.summary.narrow_line,
+            "the count is narrowed to int inside " + e.call->method +
+                "()"});
+        out.push_back(std::move(f));
+        fired = true;
+        break;
       }
     }
   }
-  return "";
 }
 
-void CheckIntCountOverflow(const std::string& file, const FunctionFlow& flow,
-                           std::vector<LintFinding>& out) {
+/// Caller side of mpi-blocking-symmetric-send: a rank-relative peer
+/// expression passed into a wrapper whose summary says the parameter
+/// reaches a blocking Send with a matching Recv.
+void CheckSymmetricSendWrapper(const Program& prog,
+                               const Program::FnEntry& entry,
+                               std::vector<LintFinding>& out) {
+  const FunctionFlow& flow = entry.flow;
   for (const FlowEvent& e : flow.events()) {
-    if (e.call == nullptr) continue;
-    if (!MethodIn(*e.call, {"Send", "Isend", "Recv", "Irecv", "ReadAtAll",
-                            "ReadLinesAtAll", "WriteAtAll", "ReadAt",
-                            "WriteAt"})) {
-      continue;
-    }
-    for (const std::string& arg : e.call->args) {
-      const std::string operand = NarrowCastOperand(arg);
-      if (operand.empty() || !flow.Is64BitSized(operand)) continue;
-      if (flow.HasIntMaxGuard()) continue;
-      out.push_back(MakeFinding(
-          "mpi-int-count-overflow", file, e.call->line,
-          "64-bit size `" + operand + "` narrowed to an int count of " +
-              e.call->method + "() with no INT_MAX guard in the "
-              "function: counts above 2 GB wrap (the Fig. 4 failure — "
-              "MPI_File_read_at_all takes an `int` count)"));
-      break;
+    if (e.call == nullptr || e.call->method == "Send") continue;
+    bool fired = false;
+    for (int idx : prog.Resolve(*e.call)) {
+      if (fired) break;
+      const Program::FnEntry& callee =
+          prog.fns()[static_cast<std::size_t>(idx)];
+      for (int pos : callee.summary.peer_params) {
+        if (pos < 0 ||
+            static_cast<std::size_t>(pos) >= e.call->args.size()) {
+          continue;
+        }
+        const std::string& a = e.call->args[static_cast<std::size_t>(pos)];
+        if (!flow.IsRankDerived(a)) continue;
+        bool arith = HasArithmetic(a);
+        if (!arith) {
+          const VarInfo* var = flow.Lookup(a);
+          arith = var != nullptr && HasArithmetic(var->init);
+        }
+        if (!arith) continue;
+        LintFinding f = MakeFinding(
+            "mpi-blocking-symmetric-send", entry.file, e.call->line,
+            "rank-relative peer `" + a + "` passed to " + e.call->method +
+                "(), which performs a blocking Send with a matching Recv "
+                "on it; the symmetric exchange deadlocks once messages "
+                "cross the rendezvous threshold");
+        f.related.push_back(RelatedLocation{
+            callee.file, callee.summary.send_line,
+            "the blocking Send inside " + e.call->method + "()"});
+        out.push_back(std::move(f));
+        fired = true;
+        break;
+      }
     }
   }
 }
@@ -594,6 +836,111 @@ void CheckMissingPersist(const std::string& file, const FunctionFlow& flow,
 }
 
 // ===========================================================================
+// Sim rules (whole-program: SPSC producers, drain-path blocking)
+// ===========================================================================
+
+/// Last identifier of a receiver chain: "from.outbox" -> "outbox",
+/// "shards_[i]->inbox" -> "inbox". Trailing call/index syntax stripped.
+std::string LastReceiverComponent(const std::string& receiver) {
+  std::size_t end = receiver.size();
+  while (end > 0 && (receiver[end - 1] == '(' || receiver[end - 1] == '[' ||
+                     receiver[end - 1] == ']' || receiver[end - 1] == ')')) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0) {
+    const char c = receiver[begin - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      --begin;
+    } else {
+      break;
+    }
+  }
+  return receiver.substr(begin, end - begin);
+}
+
+/// Host-function name of a lifted lambda ("Foo::lambda#1" -> "Foo"); a
+/// lambda pushing to a ring counts as its host producing.
+std::string ProducerName(const std::string& fn_name) {
+  const std::size_t at = fn_name.find("::lambda#");
+  return at == std::string::npos ? fn_name : fn_name.substr(0, at);
+}
+
+void CheckSpscMultiProducer(const Program& prog,
+                            std::vector<LintFinding>& out) {
+  struct Producer {
+    std::string fn;
+    std::string file;
+    int line = 0;
+  };
+  for (const Program::SpscField& ch : prog.spsc_fields()) {
+    std::vector<Producer> producers;
+    for (const Program::FnEntry& entry : prog.fns()) {
+      for (const FlowEvent& e : entry.flow.events()) {
+        if (e.call == nullptr || e.call->method != "Push") continue;
+        if (LastReceiverComponent(e.call->receiver) != ch.name) continue;
+        const std::string who = ProducerName(entry.fn->name);
+        const bool known = std::any_of(
+            producers.begin(), producers.end(),
+            [&](const Producer& p) { return p.fn == who; });
+        if (!known) {
+          producers.push_back(Producer{who, entry.file, e.call->line});
+        }
+      }
+    }
+    if (producers.size() < 2) continue;
+    LintFinding f = MakeFinding(
+        "sim-spsc-multi-producer", producers[1].file, producers[1].line,
+        "SpscRing channel `" + ch.name + "` (declared at " + ch.file + ":" +
+            std::to_string(ch.line) + ") is pushed to by " +
+            std::to_string(producers.size()) + " functions (" +
+            producers[0].fn + ", " + producers[1].fn +
+            (producers.size() > 2 ? ", ..." : "") +
+            "): single-producer is the ring's entire correctness "
+            "argument — a second producer races the tail index");
+    f.related.push_back(RelatedLocation{
+        ch.file, ch.line, "channel `" + ch.name + "` declared here"});
+    f.related.push_back(RelatedLocation{
+        producers[0].file, producers[0].line,
+        "first producer " + producers[0].fn + "()"});
+    out.push_back(std::move(f));
+  }
+}
+
+void CheckBlockingInDrain(const Program& prog,
+                          std::vector<LintFinding>& out) {
+  std::set<std::pair<std::string, int>> seen;
+  for (std::size_t i = 0; i < prog.fns().size(); ++i) {
+    const Program::FnEntry& root = prog.fns()[i];
+    const std::string& name = root.fn->name;
+    if (name.compare(0, 5, "Drain") != 0 ||
+        name.find("::lambda#") != std::string::npos) {
+      continue;
+    }
+    std::vector<int> scope = prog.ReachableFrom(static_cast<int>(i));
+    scope.push_back(static_cast<int>(i));
+    for (int idx : scope) {
+      const Program::FnEntry& entry =
+          prog.fns()[static_cast<std::size_t>(idx)];
+      for (const FlowEvent& e : entry.flow.events()) {
+        if (e.call == nullptr || !IsBlockingMethod(e.call->method)) continue;
+        if (!seen.insert({entry.file, e.call->line}).second) continue;
+        LintFinding f = MakeFinding(
+            "sim-blocking-in-drain", entry.file, e.call->line,
+            "blocking call " + e.call->method + "() is reachable from " +
+                name + "() — the drain path runs on the coordinator "
+                "between simulation rounds and must never block, or "
+                "every shard stalls behind it");
+        f.related.push_back(RelatedLocation{
+            root.file, root.fn->line,
+            "drain root " + name + "() defined here"});
+        out.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+// ===========================================================================
 // JSON helpers
 // ===========================================================================
 
@@ -637,34 +984,60 @@ const std::vector<RuleInfo>& Rules() {
   return rules;
 }
 
-std::vector<LintFinding> LintSource(const std::string& file,
-                                    const std::string& source) {
-  const Unit unit = ParseSource(source);
+std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources) {
+  const Program prog = Program::Analyze(std::move(sources));
   std::vector<LintFinding> out;
-  for (const Function& fn : unit.functions) {
-    const FunctionFlow flow(fn);
-    CheckBlockingSymmetricSend(file, flow, out);
-    CheckCollectiveDivergence(file, flow, out);
-    CheckCkptOutsideCollective(file, flow, out);
-    CheckIntCountOverflow(file, flow, out);
-    CheckTagMismatch(file, flow, out);
-    CheckPutWithoutQuiet(file, flow, out);
-    CheckOmpRules(file, fn.body, flow, out);
-    CheckMissingPersist(file, flow, out);
+  for (const Program::FnEntry& entry : prog.fns()) {
+    const FunctionFlow& flow = entry.flow;
+    CheckBlockingSymmetricSend(entry.file, flow, out);
+    CheckSymmetricSendWrapper(prog, entry, out);
+    CheckCollectiveDivergence(prog, entry, out);
+    CheckEarlyReturnDivergence(prog, entry, out);
+    CheckCkptOutsideCollective(entry.file, flow, out);
+    CheckIntCountOverflow(prog, entry, out);
+    CheckTagMismatch(entry.file, flow, out);
+    CheckPutWithoutQuiet(entry.file, flow, out);
+    CheckOmpRules(entry.file, entry.fn->body, flow, out);
+    CheckMissingPersist(entry.file, flow, out);
   }
+  CheckSpscMultiProducer(prog, out);
+  CheckBlockingInDrain(prog, out);
   std::sort(out.begin(), out.end(),
             [](const LintFinding& a, const LintFinding& b) {
-              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
             });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const LintFinding& a, const LintFinding& b) {
+                          return a.rule == b.rule && a.file == b.file &&
+                                 a.line == b.line && a.message == b.message;
+                        }),
+            out.end());
   return out;
 }
 
-Result<std::vector<LintFinding>> LintFile(const std::string& path) {
+std::vector<LintFinding> LintSource(const std::string& file,
+                                    const std::string& source) {
+  return LintProgram({ProgramSource{file, source}});
+}
+
+namespace {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return NotFound("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return LintSource(path, buffer.str());
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<std::vector<LintFinding>> LintFile(const std::string& path) {
+  auto text = ReadWholeFile(path);
+  if (!text.ok()) return text.status();
+  return LintSource(path, text.value());
 }
 
 Result<std::vector<LintFinding>> LintTree(
@@ -689,14 +1062,18 @@ Result<std::vector<LintFinding>> LintTree(
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<LintFinding> all;
+  // One Program across every file, so wrapper calls resolve across
+  // translation-unit boundaries.
+  std::vector<ProgramSource> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
-    auto findings = LintFile(file);
-    if (!findings.ok()) return findings.status();
-    for (auto& f : findings.value()) all.push_back(std::move(f));
+    auto text = ReadWholeFile(file);
+    if (!text.ok()) return text.status();
+    sources.push_back(ProgramSource{file, std::move(text.value())});
   }
-  return all;
+  return LintProgram(std::move(sources));
 }
 
 Severity WorstSeverity(const std::vector<LintFinding>& findings) {
@@ -721,6 +1098,10 @@ std::string RenderLintReport(const std::vector<LintFinding>& findings) {
     oss << "  " << f.file << ":" << f.line << ": " << SeverityName(f.severity)
         << ": [" << f.rule << "] " << f.message << "\n";
     if (!f.fixit.empty()) oss << "      fix: " << f.fixit << "\n";
+    for (const RelatedLocation& r : f.related) {
+      oss << "      see: " << r.file << ":" << r.line << ": " << r.note
+          << "\n";
+    }
     ++by_rule[f.rule];
   }
   oss << "by rule:\n";
@@ -739,8 +1120,18 @@ std::string RenderJson(const std::vector<LintFinding>& findings) {
         << EscapeJson(f.file) << "\", \"line\": " << f.line
         << ", \"severity\": \"" << SeverityName(f.severity)
         << "\", \"message\": \"" << EscapeJson(f.message)
-        << "\", \"fixit\": \"" << EscapeJson(f.fixit) << "\"}"
-        << (i + 1 < findings.size() ? "," : "") << "\n";
+        << "\", \"fixit\": \"" << EscapeJson(f.fixit) << "\"";
+    if (!f.related.empty()) {
+      oss << ", \"related\": [";
+      for (std::size_t r = 0; r < f.related.size(); ++r) {
+        const RelatedLocation& rel = f.related[r];
+        oss << (r > 0 ? ", " : "") << "{\"file\": \"" << EscapeJson(rel.file)
+            << "\", \"line\": " << rel.line << ", \"note\": \""
+            << EscapeJson(rel.note) << "\"}";
+      }
+      oss << "]";
+    }
+    oss << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
   }
   oss << "]\n";
   return oss.str();
@@ -757,7 +1148,7 @@ std::string RenderSarif(const std::vector<LintFinding>& findings) {
       << "          \"name\": \"pstk-lint\",\n"
       << "          \"informationUri\": "
          "\"https://github.com/pstk/parastack\",\n"
-      << "          \"version\": \"0.3.0\",\n"
+      << "          \"version\": \"0.4.0\",\n"
       << "          \"rules\": [\n";
   const std::vector<RuleInfo>& rules = Rules();
   for (std::size_t i = 0; i < rules.size(); ++i) {
@@ -786,8 +1177,21 @@ std::string RenderSarif(const std::vector<LintFinding>& findings) {
         << "\"}, \"locations\": [{\"physicalLocation\": "
            "{\"artifactLocation\": {\"uri\": \""
         << EscapeJson(f.file) << "\"}, \"region\": {\"startLine\": "
-        << (f.line > 0 ? f.line : 1) << "}}}]}"
-        << (i + 1 < findings.size() ? "," : "") << "\n";
+        << (f.line > 0 ? f.line : 1) << "}}}]";
+    if (!f.related.empty()) {
+      oss << ", \"relatedLocations\": [";
+      for (std::size_t r = 0; r < f.related.size(); ++r) {
+        const RelatedLocation& rel = f.related[r];
+        oss << (r > 0 ? ", " : "")
+            << "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+            << EscapeJson(rel.file) << "\"}, \"region\": {\"startLine\": "
+            << (rel.line > 0 ? rel.line : 1)
+            << "}}, \"message\": {\"text\": \"" << EscapeJson(rel.note)
+            << "\"}}";
+      }
+      oss << "]";
+    }
+    oss << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
   }
   oss << "      ]\n    }\n  ]\n}\n";
   return oss.str();
@@ -818,14 +1222,21 @@ Result<std::vector<BaselineEntry>> LoadBaseline(const std::string& path) {
   return ParseBaseline(buffer.str());
 }
 
-std::string FormatBaseline(const std::vector<LintFinding>& findings) {
+std::string FormatBaseline(const std::vector<LintFinding>& findings,
+                           const std::string& header) {
   std::set<std::string> lines;
   for (const LintFinding& f : findings) {
     lines.insert(f.rule + " " + f.file);
   }
   std::string out =
-      "# pstk-lint baseline: `rule path` per line suppresses matching\n"
-      "# findings (path matched by suffix). '#' starts a comment.\n";
+      header.empty()
+          ? std::string(
+                "# pstk-lint baseline: `rule path` per line suppresses "
+                "matching\n"
+                "# findings (path matched by suffix). '#' starts a "
+                "comment.\n")
+          : header;
+  if (!out.empty() && out.back() != '\n') out += '\n';
   for (const std::string& line : lines) {
     out += line;
     out += "\n";

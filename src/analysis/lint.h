@@ -2,11 +2,20 @@
 // for cross-paradigm misuse — the static twin of the runtime verifier
 // (src/verify). Sources run through a three-stage pipeline:
 //
-//   token.h   C++-subset tokenizer (comment/string-literal aware)
-//   parse.h   structural parser: functions, loops, branches, pragmas,
-//             calls with argument text, lambdas lifted as functions
+//   token.h    C++-subset tokenizer (comment/string-literal aware)
+//   parse.h    structural parser: functions, loops, branches, pragmas,
+//              calls with argument text, lambdas lifted as functions
 //   dataflow.h per-function def-use: variable table, reaching writes,
-//             rank-derived / 64-bit-size value facts, branch context
+//              rank-derived / 64-bit-size value facts, branch context
+//   callgraph.h whole-program layer: call graph, taint-knowledge
+//              fixpoint, bottom-up function summaries (transitive
+//              collective/blocking/checkpoint facts, count/peer params,
+//              provable collective sequences)
+//
+// All sources of one invocation are analyzed together (LintTree /
+// LintProgram), so the MPI rules see through wrapper functions — a
+// helper that hides a Barrier or an int-narrowed Send count is reported
+// at the call site with a related location inside the wrapper.
 //
 // Rules (slug — severity — what it catches):
 //   ckpt-outside-collective — error — CheckpointCoordinator::Checkpoint()
@@ -38,12 +47,26 @@
 //   spark-missing-persist — warning — RDD reused inside a loop, or hit by
 //       two actions, without Persist()/Cache(): every reuse recomputes
 //       the whole lineage (the paper's Fig. 6 persist() omission)
+//   mpi-collective-mismatch — error — both arms of a rank-divergent
+//       branch execute collectives but provably *different* sequences
+//       (MUST/MPI-Checker-style matching): the mismatched collectives
+//       deadlock
+//   mpi-collective-in-loop-divergent-bound — error — collective inside a
+//       loop whose bound is rank-derived: ranks disagree on the trip
+//       count and execute different numbers of collectives
+//   sim-blocking-in-drain — error — blocking call reachable from a
+//       Drain* function: the sharded engine's coordinator drain path
+//       must never block (a blocked coordinator stalls every shard)
+//   sim-spsc-multi-producer — error — more than one function pushes to
+//       the same SpscRing channel: single-producer is the ring's entire
+//       correctness argument
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "analysis/callgraph.h"
 #include "common/status.h"
 
 namespace pstk::analysis {
@@ -53,6 +76,14 @@ enum class Severity : std::uint8_t { kNote, kWarning, kError };
 /// SARIF-style level name: "note" / "warning" / "error".
 const char* SeverityName(Severity severity);
 
+/// Secondary location attached to an interprocedural finding — e.g. the
+/// collective inside the wrapper a divergent call site reaches.
+struct RelatedLocation {
+  std::string file;
+  int line = 0;
+  std::string note;
+};
+
 struct LintFinding {
   std::string rule;     // stable slug, e.g. "spark-missing-persist"
   std::string file;     // label or path of the offending source
@@ -60,6 +91,7 @@ struct LintFinding {
   std::string message;  // human diagnostic
   Severity severity = Severity::kWarning;
   std::string fixit;    // short remediation hint ("" when obvious)
+  std::vector<RelatedLocation> related;  // cross-function evidence chain
 };
 
 /// Static metadata for one rule (drives --format=sarif and the report).
@@ -76,6 +108,11 @@ const std::vector<RuleInfo>& Rules();
 /// Scan one source text. `file` is only used to label findings.
 std::vector<LintFinding> LintSource(const std::string& file,
                                     const std::string& source);
+
+/// Scan a set of sources as one program: call edges cross file
+/// boundaries, so wrapper-hidden misuse in one file is reported at call
+/// sites in another. LintSource and LintTree are wrappers over this.
+std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources);
 
 /// Read and scan one file from the host filesystem.
 Result<std::vector<LintFinding>> LintFile(const std::string& path);
@@ -117,8 +154,11 @@ std::vector<BaselineEntry> ParseBaseline(const std::string& text);
 Result<std::vector<BaselineEntry>> LoadBaseline(const std::string& path);
 
 /// Render findings as baseline text that suppresses exactly them
-/// (deduplicated, with a header comment).
-std::string FormatBaseline(const std::vector<LintFinding>& findings);
+/// (entries deduplicated and sorted). `header` replaces the default
+/// comment block when nonempty — pass the previous baseline's leading
+/// comments through so regeneration produces reviewable diffs.
+std::string FormatBaseline(const std::vector<LintFinding>& findings,
+                           const std::string& header = "");
 
 /// Remove suppressed findings; `suppressed` (optional) receives the count.
 std::vector<LintFinding> ApplyBaseline(

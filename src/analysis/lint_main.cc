@@ -11,14 +11,21 @@
 //                              exit 1 when a finding at or above this
 //                              severity survives the baseline
 //                              (default: none — findings never fail)
-//   --write-baseline           print the current findings in baseline
-//                              format (for regenerating the file)
+//   --write-baseline           print ALL current findings in baseline
+//                              format (suppressions are NOT applied —
+//                              the output replaces the baseline). When
+//                              --baseline=<file> is also given, that
+//                              file's leading comment block is carried
+//                              over so regeneration diffs cleanly
+//   --explain=<rule>           print the rule's severity, summary, and
+//                              fix hint, then exit
 //
-// With no paths, scans the repo's examples/ and bench/ trees. Exit codes:
-// 0 clean or below threshold, 1 findings at/above --fail-on, 2 usage or
-// I/O error.
+// With no paths, scans the repo's examples/, bench/, and src/ trees.
+// Exit codes: 0 clean or below threshold, 1 findings at/above --fail-on,
+// 2 usage or I/O error.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -35,21 +42,57 @@ using pstk::analysis::Severity;
 void MakeRepoRelative(std::vector<LintFinding>& findings) {
 #ifdef PSTK_REPO_ROOT
   const std::string prefix = std::string(PSTK_REPO_ROOT) + "/";
+  const auto strip = [&](std::string& path) {
+    if (pstk::StartsWith(path, prefix)) path = path.substr(prefix.size());
+  };
   for (LintFinding& f : findings) {
-    if (pstk::StartsWith(f.file, prefix)) {
-      f.file = f.file.substr(prefix.size());
-    }
+    strip(f.file);
+    for (pstk::analysis::RelatedLocation& r : f.related) strip(r.file);
   }
 #else
   (void)findings;
 #endif
 }
 
+/// Leading comment block ('#' lines and blanks before the first entry) of
+/// an existing baseline file; "" when the file is absent or starts with
+/// an entry.
+std::string BaselineHeader(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string header;
+  std::string line;
+  while (std::getline(in, line)) {
+    const bool comment_or_blank =
+        line.empty() || line[0] == '#' ||
+        line.find_first_not_of(" \t") == std::string::npos;
+    if (!comment_or_blank) break;
+    header += line;
+    header += '\n';
+  }
+  return header;
+}
+
+int Explain(const std::string& slug) {
+  for (const pstk::analysis::RuleInfo& r : pstk::analysis::Rules()) {
+    if (slug != r.slug) continue;
+    std::printf("%s (%s)\n  %s\n  fix: %s\n", r.slug,
+                pstk::analysis::SeverityName(r.severity), r.summary, r.fix);
+    return 0;
+  }
+  std::fprintf(stderr, "pstk-lint: unknown rule '%s'; known rules:\n",
+               slug.c_str());
+  for (const pstk::analysis::RuleInfo& r : pstk::analysis::Rules()) {
+    std::fprintf(stderr, "  %s\n", r.slug);
+  }
+  return 2;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: pstk-lint [--format=text|json|sarif] "
                "[--baseline=<file>] [--fail-on=error|warning|none] "
-               "[--write-baseline] [path...]\n");
+               "[--write-baseline] [--explain=<rule>] [path...]\n");
   return 2;
 }
 
@@ -77,6 +120,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--write-baseline") {
       write_baseline = true;
+    } else if (pstk::StartsWith(arg, "--explain=")) {
+      return Explain(arg.substr(std::strlen("--explain=")));
     } else if (pstk::StartsWith(arg, "--")) {
       return Usage();
     } else {
@@ -86,7 +131,8 @@ int main(int argc, char** argv) {
   if (roots.empty()) {
 #ifdef PSTK_REPO_ROOT
     roots = {std::string(PSTK_REPO_ROOT) + "/examples",
-             std::string(PSTK_REPO_ROOT) + "/bench"};
+             std::string(PSTK_REPO_ROOT) + "/bench",
+             std::string(PSTK_REPO_ROOT) + "/src"};
 #else
     return Usage();
 #endif
@@ -101,6 +147,17 @@ int main(int argc, char** argv) {
   std::vector<LintFinding> findings = std::move(scanned.value());
   MakeRepoRelative(findings);
 
+  if (write_baseline) {
+    // The output *replaces* the baseline, so suppressions must not be
+    // applied first (that would drop every already-suppressed finding
+    // from the regenerated file). Carry the old header through.
+    const std::string header =
+        baseline_path.empty() ? "" : BaselineHeader(baseline_path);
+    std::fputs(pstk::analysis::FormatBaseline(findings, header).c_str(),
+               stdout);
+    return 0;
+  }
+
   int suppressed = 0;
   if (!baseline_path.empty()) {
     auto baseline = pstk::analysis::LoadBaseline(baseline_path);
@@ -111,11 +168,6 @@ int main(int argc, char** argv) {
     }
     findings = pstk::analysis::ApplyBaseline(std::move(findings),
                                              baseline.value(), &suppressed);
-  }
-
-  if (write_baseline) {
-    std::fputs(pstk::analysis::FormatBaseline(findings).c_str(), stdout);
-    return 0;
   }
 
   if (format == "json") {

@@ -52,8 +52,9 @@ class Lexer {
         continue;
       }
       at_line_start_ = false;
-      if (c == 'R' && Peek(1) == '"') {
-        LexRawString();
+      const std::size_t raw_prefix = RawStringPrefixAt();
+      if (raw_prefix > 0) {
+        LexRawString(raw_prefix);
         continue;
       }
       if (c == '"') {
@@ -139,10 +140,28 @@ class Lexer {
          std::move(text), start_line);
   }
 
-  void LexRawString() {
+  /// Number of characters in the raw-string encoding prefix (`R`, `LR`,
+  /// `uR`, `UR`, `u8R`) starting at pos_ and immediately followed by `"`;
+  /// 0 when no raw string starts here. Run() consumes whole identifiers in
+  /// one step, so pos_ is never inside an identifier like `myR"x"` when
+  /// this is consulted.
+  [[nodiscard]] std::size_t RawStringPrefixAt() const {
+    const char c = src_[pos_];
+    if (c == 'R' && Peek(1) == '"') return 1;
+    if ((c == 'L' || c == 'u' || c == 'U') && Peek(1) == 'R' &&
+        Peek(2) == '"') {
+      return 2;
+    }
+    if (c == 'u' && Peek(1) == '8' && Peek(2) == 'R' && Peek(3) == '"') {
+      return 3;
+    }
+    return 0;
+  }
+
+  void LexRawString(std::size_t prefix_len) {
     const int start_line = line_;
-    std::string text = "R\"";
-    pos_ += 2;
+    std::string text = src_.substr(pos_, prefix_len) + "\"";
+    pos_ += prefix_len + 1;
     std::string delim;
     while (pos_ < src_.size() && src_[pos_] != '(') {
       delim += src_[pos_];

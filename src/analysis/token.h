@@ -8,7 +8,8 @@
 //
 // The subset understood:
 //   * identifiers and numeric literals (with digit separators/suffixes)
-//   * "..." / '...' literals with escapes, and raw strings R"delim(...)delim"
+//   * "..." / '...' literals with escapes, and raw strings
+//     R"delim(...)delim" including encoding prefixes (LR, uR, UR, u8R)
 //   * line and block comments (skipped, but line accounting is exact)
 //   * preprocessor directives: `#pragma ...` survives as one kPragma token
 //     carrying the whole directive text (backslash continuations folded);

@@ -126,6 +126,36 @@ TEST(TokenTest, RawStringsAndPragmasAreSingleTokens) {
   EXPECT_EQ(after->line, 5);
 }
 
+TEST(TokenTest, PrefixedRawStringsAreOpaque) {
+  // u8R"/LR"/uR"/UR" literals used to lex as an identifier followed by an
+  // unterminated plain string, leaking the literal contents as code.
+  const std::string source =
+      "auto a = u8R\"x(comm.Send(buf, n, rank + 1, 0))x\";\n"
+      "auto b = LR\"(Recv( more)\";\n"
+      "auto c = uR\"y(Barrier())y\";\n"
+      "auto d = UR\"(wait())\";\n"
+      "int after = 1;\n";
+  const auto tokens = Tokenize(source);
+  for (const Token& t : tokens) {
+    EXPECT_FALSE(t.IsIdent("Send")) << t.text;
+    EXPECT_FALSE(t.IsIdent("Recv")) << t.text;
+    EXPECT_FALSE(t.IsIdent("Barrier")) << t.text;
+    EXPECT_FALSE(t.IsIdent("rank")) << t.text;
+  }
+  // Each literal is one opaque kString token, prefix included.
+  const auto strings = static_cast<std::size_t>(
+      std::count_if(tokens.begin(), tokens.end(), [](const Token& t) {
+        return t.kind == TokKind::kString;
+      }));
+  EXPECT_EQ(strings, 4u);
+  const auto after = std::find_if(tokens.begin(), tokens.end(),
+                                  [](const Token& t) {
+                                    return t.IsIdent("after");
+                                  });
+  ASSERT_NE(after, tokens.end());
+  EXPECT_EQ(after->line, 5);
+}
+
 TEST(TokenTest, OperatorsNumbersAndJoin) {
   const auto tokens = Tokenize("x <<= y->z; n += 2'000; p = 0x10;");
   auto has_punct = [&](const char* p) {
@@ -538,6 +568,337 @@ void f(mpi::Comm& comm, ckpt::CheckpointCoordinator& coord, int iters) {
 }
 
 // ===========================================================================
+// Stage 4: call graph + function summaries
+// ===========================================================================
+
+TEST(CallGraphTest, SummariesCyclesLambdasAndOverloads) {
+  Program prog = Program::Analyze({ProgramSource{"a.cc", R"cc(
+void Ping(int depth) {
+  if (depth > 0) {
+    Pong(depth - 1);
+  }
+  g.Barrier();
+}
+void Pong(int depth) { Ping(depth); }
+void Host(Pool& pool) {
+  pool.Submit([&] { q.Allreduce(a, b); });
+}
+void Narrow(int n) {}
+void Narrow(int n, int m) { g.Bcast(buf, n); }
+void CallsTwoArg() { Narrow(1, 2); }
+void CallsOneArg() { Narrow(1); }
+)cc"}});
+  // Cycle: both members transitively reach the collective; the sequence
+  // is not provable through recursion.
+  const int ping = prog.Find("Ping");
+  const int pong = prog.Find("Pong");
+  ASSERT_GE(ping, 0);
+  ASSERT_GE(pong, 0);
+  EXPECT_TRUE(prog.fns()[ping].summary.calls_collective);
+  EXPECT_TRUE(prog.fns()[pong].summary.calls_collective);
+  EXPECT_FALSE(prog.fns()[pong].summary.sequence_known);
+  const auto reach = prog.ReachableFrom(ping);
+  EXPECT_NE(std::find(reach.begin(), reach.end(), pong), reach.end());
+  // On a cycle the root reaches itself.
+  EXPECT_NE(std::find(reach.begin(), reach.end(), ping), reach.end());
+
+  // Lambda containment: the deferred lambda's collective counts as the
+  // host's (conservative — deferred means "may run").
+  const int host = prog.Find("Host");
+  ASSERT_GE(host, 0);
+  EXPECT_TRUE(prog.fns()[host].summary.calls_collective);
+  EXPECT_EQ(prog.fns()[host].summary.collective_name, "Allreduce");
+
+  // Overload resolution prefers matching arity: only the 2-arg Narrow
+  // hides a collective.
+  const int two = prog.Find("CallsTwoArg");
+  const int one = prog.Find("CallsOneArg");
+  ASSERT_GE(two, 0);
+  ASSERT_GE(one, 0);
+  EXPECT_TRUE(prog.fns()[two].summary.calls_collective);
+  EXPECT_FALSE(prog.fns()[one].summary.calls_collective);
+}
+
+// ===========================================================================
+// Interprocedural rules: the PR-3 seeds, pushed through a wrapper
+// ===========================================================================
+
+TEST(LintRuleTest, WrapperHiddenCollectiveInDivergentBranchFlagged) {
+  // Same seed as CollectiveInDivergentBranchFlagged, with the Barrier
+  // hidden one call deep: identical rule and severity, plus a related
+  // location pointing into the wrapper.
+  const auto findings = Findings(R"cc(
+void SyncAll(mpi::Comm& comm) {
+  comm.Barrier();
+}
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    SyncAll(comm);
+  }
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 7);  // the call site, not the wrapper
+  EXPECT_NE(findings[0].message.find("Barrier"), std::string::npos);
+  ASSERT_EQ(findings[0].related.size(), 1u);
+  EXPECT_EQ(findings[0].related[0].line, 3);  // the Barrier inside SyncAll
+}
+
+TEST(LintRuleTest, WrapperCalledUniformlyIsClean) {
+  const auto findings = Findings(R"cc(
+void SyncAll(mpi::Comm& comm) {
+  comm.Barrier();
+}
+void f(mpi::Comm& comm, int iters) {
+  if (iters > 0) {
+    SyncAll(comm);
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, WrapperHiddenIntCountOverflowFlaggedAcrossFiles) {
+  // The Fig. 4 narrowing hides inside a helper in another file; the
+  // caller passes a 64-bit size. One finding, at the caller.
+  const auto findings = LintProgram({
+      ProgramSource{"io_util.cc", R"cc(
+void ReadChunk(mpi::Comm& comm, mpi::File* file, Bytes n) {
+  auto part = file->ReadAtAll(comm, 0, static_cast<std::int32_t>(n));
+}
+)cc"},
+      ProgramSource{"caller.cc", R"cc(
+void f(mpi::Comm& comm, mpi::File* file) {
+  const Bytes len = file->size() / comm.size();
+  ReadChunk(comm, file, len);
+}
+)cc"},
+  });
+  ASSERT_EQ(CountRule(findings, "mpi-int-count-overflow"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].file, "caller.cc");
+  EXPECT_EQ(findings[0].line, 4);
+  ASSERT_EQ(findings[0].related.size(), 1u);
+  EXPECT_EQ(findings[0].related[0].file, "io_util.cc");
+  EXPECT_EQ(findings[0].related[0].line, 3);  // the cast site
+}
+
+TEST(LintRuleTest, WrapperCountWithCallerGuardIsClean) {
+  const auto findings = Findings(R"cc(
+void ReadChunk(mpi::Comm& comm, mpi::File* file, Bytes n) {
+  auto part = file->ReadAtAll(comm, 0, static_cast<std::int32_t>(n));
+}
+void f(mpi::Comm& comm, mpi::File* file) {
+  const Bytes len = file->size() / comm.size();
+  if (len > static_cast<Bytes>(INT32_MAX)) return;
+  ReadChunk(comm, file, len);
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-int-count-overflow"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, WrapperHiddenSymmetricSendFlagged) {
+  // The deadlocking exchange from SymmetricSendViaDerivedPartnerFlagged,
+  // with the Send/Recv pair hidden in a helper and the rank arithmetic
+  // at the call site.
+  const auto findings = Findings(R"cc(
+void Exchange(mpi::Comm& comm, int peer) {
+  comm.Send(out, 64, peer, 0);
+  comm.Recv(in, 64, peer, 0);
+}
+void f(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  Exchange(comm, partner);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-blocking-symmetric-send"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 8);  // the Exchange() call site
+  ASSERT_EQ(findings[0].related.size(), 1u);
+  EXPECT_EQ(findings[0].related[0].line, 3);  // the Send inside Exchange
+}
+
+TEST(LintRuleTest, WrapperSendWithUniformPeerIsClean) {
+  const auto findings = Findings(R"cc(
+void Exchange(mpi::Comm& comm, int peer) {
+  comm.Send(out, 64, peer, 0);
+  comm.Recv(in, 64, peer, 0);
+}
+void f(mpi::Comm& comm, int root) {
+  Exchange(comm, root);
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-blocking-symmetric-send"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, RankReturningHelperTaintsCallers) {
+  // The taint-knowledge fixpoint: Partner() returns a rank-derived
+  // value, so the branch in f is divergent even though the word "rank"
+  // never appears there.
+  const auto findings = Findings(R"cc(
+int Partner(mpi::Comm& comm) {
+  return comm.rank() ^ 1;
+}
+void f(mpi::Comm& comm) {
+  if (Partner(comm) == 0) {
+    comm.Barrier();
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 1)
+      << RenderLintReport(findings);
+}
+
+// ===========================================================================
+// New rules: seeded violation + false-positive guard per rule
+// ===========================================================================
+
+TEST(LintRuleTest, CollectiveMismatchFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  } else {
+    comm.Allreduce(a, b);
+  }
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-collective-mismatch"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 3);  // the branch, not either collective
+  EXPECT_NE(findings[0].message.find("Barrier"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Allreduce"), std::string::npos);
+  // The sequence mismatch subsumes the per-site divergence reports.
+  EXPECT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, EquallySequencedArmsAreClean) {
+  // PR-3 flagged both arms here; provably equal sequences are symmetric
+  // and must stay silent now.
+  const auto findings = Findings(R"cc(
+void DoSync(mpi::Comm& comm) {
+  comm.Barrier();
+}
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  } else {
+    DoSync(comm);
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-collective-mismatch"), 0)
+      << RenderLintReport(findings);
+  EXPECT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, CollectiveInLoopWithDivergentBoundFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  for (int i = 0; i < comm.rank(); ++i) {
+    comm.Barrier();
+  }
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-collective-in-loop-divergent-bound"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 3);  // the loop header
+}
+
+TEST(LintRuleTest, CollectiveInUniformLoopIsClean) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    comm.Allreduce(a, b);
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "mpi-collective-in-loop-divergent-bound"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, BlockingReachableFromDrainFlagged) {
+  const auto findings = Findings(R"cc(
+void PumpOne(Engine& eng) {
+  eng.cv.wait(lock);
+}
+void DrainChannels(Engine& eng) {
+  PumpOne(eng);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "sim-blocking-in-drain"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 3);  // the blocking site inside PumpOne
+  ASSERT_EQ(findings[0].related.size(), 1u);
+  EXPECT_EQ(findings[0].related[0].line, 5);  // the drain root
+}
+
+TEST(LintRuleTest, NonBlockingDrainAndBlockingElsewhereAreClean) {
+  const auto findings = Findings(R"cc(
+void DrainChannels(Engine& eng) {
+  while (eng.ring.Pop(msg)) {
+    Apply(msg);
+  }
+}
+void RunRound(Engine& eng) {
+  eng.cv.wait(lock);
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "sim-blocking-in-drain"), 0)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, SpscMultiProducerFlagged) {
+  const auto findings = Findings(R"cc(
+struct Shard {
+  SpscRing<int> outbox;
+};
+void SendCross(Shard& s, int v) {
+  s.outbox.Push(v);
+}
+void StealBack(Shard& s, int v) {
+  s.outbox.Push(v);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "sim-spsc-multi-producer"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  // Declaration site and first producer ride along as evidence.
+  ASSERT_EQ(findings[0].related.size(), 2u);
+  EXPECT_NE(findings[0].message.find("outbox"), std::string::npos);
+}
+
+TEST(LintRuleTest, SingleProducerPerRingIsClean) {
+  // One producer per channel — two channels, two distinct producers.
+  const auto findings = Findings(R"cc(
+struct Shard {
+  SpscRing<int> inbox;
+  SpscRing<int> outbox;
+};
+void SendCross(Shard& s, int v) {
+  s.outbox.Push(v);
+}
+void Reply(Shard& s, int v) {
+  s.inbox.Push(v);
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "sim-spsc-multi-producer"), 0)
+      << RenderLintReport(findings);
+}
+
+// ===========================================================================
 // Output formats + baseline
 // ===========================================================================
 
@@ -589,15 +950,81 @@ TEST(LintOutputTest, SarifGolden) {
               std::string::npos)
         << r.slug;
   }
-  // The result object, golden: mpi-tag-mismatch is rule index 4.
+  // The result object, golden: mpi-tag-mismatch is rule index 6 (the
+  // registry is sorted by slug).
   EXPECT_NE(
       sarif.find(
-          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 4, "
+          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 6, "
           "\"level\": \"error\", \"message\": {\"text\": \"tags 1 vs 2\"}, "
           "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
           "{\"uri\": \"examples/a.cc\"}, \"region\": {\"startLine\": 12}}}]}"),
       std::string::npos)
       << sarif;
+}
+
+TEST(LintOutputTest, RelatedLocationsRendered) {
+  LintFinding f = SampleFinding();
+  f.rule = "mpi-collective-in-divergent-branch";
+  f.related.push_back({"src/wrap.cc", 9, "collective Barrier() reached "
+                                        "through SyncAll()"});
+
+  // Text report: an indented `see:` evidence line under the finding.
+  const std::string text = RenderLintReport({f});
+  EXPECT_NE(text.find("see: src/wrap.cc:9: collective Barrier() reached "
+                      "through SyncAll()"),
+            std::string::npos)
+      << text;
+
+  // JSON: a `related` array, present only when nonempty.
+  const std::string json = RenderJson({f});
+  EXPECT_NE(json.find("\"related\": [{\"file\": \"src/wrap.cc\", "
+                      "\"line\": 9, \"note\": \"collective Barrier() "
+                      "reached through SyncAll()\"}]"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(RenderJson({SampleFinding()}).find("related"),
+            std::string::npos);
+
+  // SARIF 2.1.0: relatedLocations with physicalLocation + message.
+  const std::string sarif = RenderSarif({f});
+  EXPECT_NE(sarif.find("\"relatedLocations\": [{\"physicalLocation\": "
+                       "{\"artifactLocation\": {\"uri\": \"src/wrap.cc\"}, "
+                       "\"region\": {\"startLine\": 9}}, \"message\": "
+                       "{\"text\": \"collective Barrier() reached through "
+                       "SyncAll()\"}}]"),
+            std::string::npos)
+      << sarif;
+  EXPECT_EQ(RenderSarif({SampleFinding()}).find("relatedLocations"),
+            std::string::npos);
+}
+
+TEST(LintBaselineTest, FormatSortsEntriesAndKeepsCustomHeader) {
+  LintFinding b = SampleFinding();
+  b.file = "examples/b.cc";
+  LintFinding a = SampleFinding();
+  a.file = "examples/a.cc";
+  // Entries come out sorted (and deduplicated) regardless of input order.
+  const std::string def = FormatBaseline({b, a, a});
+  const std::size_t first = def.find("mpi-tag-mismatch examples/a.cc\n");
+  const std::size_t second = def.find("mpi-tag-mismatch examples/b.cc\n");
+  ASSERT_NE(first, std::string::npos) << def;
+  ASSERT_NE(second, std::string::npos) << def;
+  EXPECT_LT(first, second);
+  // The duplicated finding collapses to one entry.
+  std::size_t occurrences = 0;
+  for (std::size_t at = def.find("examples/a.cc"); at != std::string::npos;
+       at = def.find("examples/a.cc", at + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+
+  // A custom header (the previous baseline's comment block) replaces the
+  // default one, so regeneration diffs cleanly.
+  const std::string custom =
+      FormatBaseline({a}, "# triaged 2026-08: intentional demo bug\n");
+  EXPECT_EQ(custom,
+            "# triaged 2026-08: intentional demo bug\n"
+            "mpi-tag-mismatch examples/a.cc\n");
 }
 
 TEST(LintBaselineTest, RoundTripSuppressesExactlyTheFindings) {
