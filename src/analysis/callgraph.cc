@@ -1,8 +1,10 @@
 #include "analysis/callgraph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 
 namespace pstk::analysis {
 
@@ -357,17 +359,39 @@ std::optional<Program::CollectiveSite> Program::FirstCollectiveSite(
   return found;
 }
 
-Program Program::Analyze(std::vector<ProgramSource> sources) {
+Program Program::Analyze(std::vector<ProgramSource> sources, int jobs) {
   Program p;
   p.know_ = std::make_unique<TaintKnowledge>();
-  p.units_.reserve(sources.size());
-  for (ProgramSource& src : sources) {
-    FileUnit fu;
-    fu.file = std::move(src.file);
-    fu.tokens = Tokenize(src.source);
+  // Tokenize + parse are per-file pure work; with jobs > 1 a worker pool
+  // claims file indices off an atomic counter and writes into fixed slots,
+  // so the unit order (and every downstream phase) is scheduling-free.
+  p.units_.resize(sources.size());
+  const auto build_one = [&](std::size_t i) {
+    FileUnit& fu = p.units_[i];
+    fu.file = std::move(sources[i].file);
+    fu.tokens = Tokenize(sources[i].source);
     fu.unit = ParseUnit(fu.tokens);
+  };
+  const std::size_t workers = std::min<std::size_t>(
+      jobs > 1 ? static_cast<std::size_t>(jobs) : 1, sources.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < sources.size(); ++i) build_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < p.units_.size();
+             i = next.fetch_add(1)) {
+          build_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  for (const FileUnit& fu : p.units_) {
     ScanSpscDecls(fu.file, fu.tokens, &p.spsc_fields_);
-    p.units_.push_back(std::move(fu));
   }
 
   // --- phase 2: taint-knowledge fixpoint ---------------------------------

@@ -1,0 +1,220 @@
+#include "analysis/cfg.h"
+
+#include <sstream>
+
+namespace pstk::analysis {
+
+namespace {
+
+/// Sentinel edge target used while lowering, before the exit block id is
+/// known (the exit block is appended last so goldens read top-to-bottom).
+constexpr int kExitSentinel = -2;
+
+class Builder {
+ public:
+  Builder(const Function& fn, const FunctionFlow& flow) : flow_(flow) {
+    const int entry = NewBlock(0);
+    const int open = Lower(fn.body, entry, 0);
+    exit_ = NewBlock(0);
+    if (open != -1) AddEdge(open, exit_);
+    for (CfgBlock& b : blocks_) {
+      for (CfgEdge& e : b.succs) {
+        if (e.to == kExitSentinel) e.to = exit_;
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<CfgBlock> Take() { return std::move(blocks_); }
+  [[nodiscard]] int exit_id() const { return exit_; }
+
+ private:
+  int NewBlock(int loop_depth) {
+    const int id = static_cast<int>(blocks_.size());
+    blocks_.push_back(CfgBlock{});
+    blocks_.back().id = id;
+    blocks_.back().loop_depth = loop_depth;
+    return id;
+  }
+
+  void AddEdge(int from, int to, std::optional<CfgCond> cond = std::nullopt,
+               bool back = false) {
+    blocks_[from].succs.push_back(CfgEdge{to, std::move(cond), back});
+  }
+
+  [[nodiscard]] CfgCond CondOf(const Stmt& s, bool negated) const {
+    CfgCond c;
+    c.text = s.text;
+    c.line = s.line;
+    c.negated = negated;
+    // A guard on a Result/status (`.ok()`) is error handling, not SPMD
+    // divergence, even though the status value is rank-local.
+    c.rank_divergent = s.text.find(".ok()") == std::string::npos &&
+                       flow_.IsRankDerived(s.text);
+    return c;
+  }
+
+  /// Lower `stmts` starting in block `cur`; returns the block left open at
+  /// the end, or -1 when every path through `stmts` already terminated
+  /// (statements after an unconditional return are unreachable and are
+  /// dropped).
+  int Lower(const std::vector<Stmt>& stmts, int cur, int loop_depth) {
+    for (const Stmt& s : stmts) {
+      if (cur == -1) break;
+      switch (s.kind) {
+        case StmtKind::kBranch: {
+          blocks_[cur].stmts.push_back(&s);
+          const int then_entry = NewBlock(loop_depth);
+          AddEdge(cur, then_entry, CondOf(s, /*negated=*/false));
+          const int then_end = Lower(s.children, then_entry, loop_depth);
+          if (s.else_children.empty()) {
+            // No else (this also covers switch, lowered by the parser as a
+            // branch with an empty else: some arm ran, or none did).
+            const int join = NewBlock(loop_depth);
+            AddEdge(cur, join, CondOf(s, /*negated=*/true));
+            if (then_end != -1) AddEdge(then_end, join);
+            cur = join;
+          } else {
+            const int else_entry = NewBlock(loop_depth);
+            AddEdge(cur, else_entry, CondOf(s, /*negated=*/true));
+            const int else_end = Lower(s.else_children, else_entry,
+                                       loop_depth);
+            if (then_end == -1 && else_end == -1) {
+              cur = -1;
+            } else {
+              const int join = NewBlock(loop_depth);
+              if (then_end != -1) AddEdge(then_end, join);
+              if (else_end != -1) AddEdge(else_end, join);
+              cur = join;
+            }
+          }
+          break;
+        }
+        case StmtKind::kLoop: {
+          const int head = NewBlock(loop_depth);
+          AddEdge(cur, head);
+          blocks_[head].stmts.push_back(&s);
+          const int body = NewBlock(loop_depth + 1);
+          const int after = NewBlock(loop_depth);
+          AddEdge(head, body, CondOf(s, /*negated=*/false));
+          AddEdge(head, after, CondOf(s, /*negated=*/true));
+          const int body_end = Lower(s.children, body, loop_depth + 1);
+          if (body_end != -1) {
+            AddEdge(body_end, head, std::nullopt, /*back=*/true);
+          }
+          cur = after;
+          break;
+        }
+        case StmtKind::kReturn: {
+          blocks_[cur].stmts.push_back(&s);
+          AddEdge(cur, kExitSentinel);
+          cur = -1;
+          break;
+        }
+        case StmtKind::kBlock: {
+          cur = Lower(s.children, cur, loop_depth);
+          break;
+        }
+        case StmtKind::kPlain:
+        case StmtKind::kPragma: {
+          blocks_[cur].stmts.push_back(&s);
+          break;
+        }
+      }
+    }
+    return cur;
+  }
+
+  const FunctionFlow& flow_;
+  std::vector<CfgBlock> blocks_;
+  int exit_ = 0;
+};
+
+}  // namespace
+
+Cfg Cfg::Build(const Function& fn, const FunctionFlow& flow) {
+  Builder b(fn, flow);
+  Cfg cfg;
+  cfg.exit_ = b.exit_id();
+  cfg.blocks_ = b.Take();
+  cfg.entry_ = 0;
+  return cfg;
+}
+
+std::vector<Cfg::Path> Cfg::EnumeratePaths(std::size_t max_paths,
+                                           bool* overflow) const {
+  if (overflow != nullptr) *overflow = false;
+  std::vector<Path> paths;
+  if (blocks_.empty()) return paths;
+
+  std::vector<int> visits(blocks_.size(), 0);
+  Path cur;
+  bool truncated = false;
+
+  // Depth-first walk; each block may appear at most twice on a path, which
+  // abstracts every loop to its skip path and its body-once path.
+  auto walk = [&](auto&& self, int id) -> void {
+    if (truncated) return;
+    ++visits[id];
+    const std::size_t step_mark = cur.steps.size();
+    const std::size_t cond_mark = cur.conds.size();
+    const CfgBlock& b = blocks_[id];
+    for (const Stmt* s : b.stmts) {
+      cur.steps.push_back(Step{s, b.loop_depth});
+    }
+    if (id == exit_) {
+      if (paths.size() >= max_paths) {
+        truncated = true;
+      } else {
+        paths.push_back(cur);
+      }
+    } else {
+      for (const CfgEdge& e : b.succs) {
+        if (visits[e.to] >= 2) continue;
+        if (e.cond.has_value()) cur.conds.push_back(*e.cond);
+        self(self, e.to);
+        if (e.cond.has_value()) cur.conds.pop_back();
+        if (truncated) break;
+      }
+      // A block with no viable successor is a dead end (e.g. a loop body
+      // whose only exit is an exhausted back edge); the partial path is
+      // simply abandoned.
+    }
+    cur.steps.resize(step_mark);
+    cur.conds.resize(cond_mark);
+    --visits[id];
+  };
+  walk(walk, entry_);
+
+  if (truncated && overflow != nullptr) *overflow = true;
+  return paths;
+}
+
+std::string Cfg::Dump() const {
+  std::ostringstream os;
+  os << "entry=b" << entry_ << " exit=b" << exit_ << "\n";
+  for (const CfgBlock& b : blocks_) {
+    os << "b" << b.id << " d" << b.loop_depth << " lines=";
+    for (std::size_t i = 0; i < b.stmts.size(); ++i) {
+      if (i > 0) os << ",";
+      os << b.stmts[i]->line;
+    }
+    os << "\n";
+    for (const CfgEdge& e : b.succs) {
+      os << "  -> b" << e.to;
+      if (e.cond.has_value()) {
+        os << (e.cond->negated ? " ifnot \"" : " if \"") << e.cond->text
+           << "\" (line " << e.cond->line
+           << (e.cond->rank_divergent ? ", divergent)" : ")");
+      }
+      if (e.back_edge) os << " back";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string DumpCfg(const Function& fn, const FunctionFlow& flow) {
+  return Cfg::Build(fn, flow).Dump();
+}
+
+}  // namespace pstk::analysis

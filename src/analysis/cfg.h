@@ -1,0 +1,102 @@
+// Stage 3.5 of the pstk-lint pipeline: a per-function control-flow graph
+// over the stage-2 statement tree, with symbolic branch conditions.
+//
+// Each Function lowers to basic blocks of *leaf* statements connected by
+// edges that carry the branch condition they were taken under (condition
+// text, polarity, and whether the condition is rank-divergent per the
+// stage-3 dataflow). Loops lower to a head block with a body-taken edge,
+// a skip edge, and a back edge; switch statements lower like an if with
+// an empty else (conservative: some case ran, or none did).
+//
+// On top of the graph sits bounded *path enumeration*: every acyclic
+// entry-to-exit path, with loops abstracted to zero-or-one iterations
+// (each block may appear at most twice on a path, so a loop contributes
+// its skip path and its body-once path). Consumers that need exactness
+// under iteration — collective sequences, send/recv orders — treat any
+// path step inside a loop body as "unknown" instead of trusting the
+// abstraction. Enumeration is capped; overflow reports "don't know",
+// never a truncated answer presented as complete.
+//
+// The path-sensitive divergence rules and the static deadlock detector
+// (lint.cc) consume paths; DumpCfg feeds the golden tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "analysis/parse.h"
+
+namespace pstk::analysis {
+
+/// Symbolic branch condition attached to a CFG edge.
+struct CfgCond {
+  std::string text;  // condition as written (compact)
+  int line = 0;
+  bool negated = false;         // edge taken when the condition is false
+  bool rank_divergent = false;  // condition depends on rank / PE id
+};
+
+struct CfgEdge {
+  int to = -1;
+  std::optional<CfgCond> cond;  // nullopt: unconditional fall-through
+  bool back_edge = false;       // loop repeat edge (body end -> head)
+};
+
+/// One basic block: a maximal run of leaf statements with no internal
+/// control flow. Branch/loop header statements live in the block that
+/// evaluates their condition.
+struct CfgBlock {
+  int id = 0;
+  int loop_depth = 0;  // loop-body nesting of the block's statements
+  std::vector<const Stmt*> stmts;
+  std::vector<CfgEdge> succs;
+};
+
+class Cfg {
+ public:
+  /// Lower `fn` to a CFG. `flow` classifies branch conditions as
+  /// rank-divergent (with the `.ok()` status-guard exemption — a guard on
+  /// a Result is error handling, not rank divergence). The Function must
+  /// outlive the Cfg (blocks hold Stmt pointers).
+  static Cfg Build(const Function& fn, const FunctionFlow& flow);
+
+  [[nodiscard]] const std::vector<CfgBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] int entry() const { return entry_; }
+  [[nodiscard]] int exit() const { return exit_; }
+
+  /// One enumerated entry-to-exit path.
+  struct Step {
+    const Stmt* stmt = nullptr;
+    int loop_depth = 0;  // > 0: this step sits inside an abstracted loop
+  };
+  struct Path {
+    std::vector<Step> steps;
+    std::vector<CfgCond> conds;  // branch decisions taken, in order
+  };
+
+  /// All entry-to-exit paths with loops abstracted to 0-or-1 iterations
+  /// (each block appears at most twice per path). When more than
+  /// `max_paths` exist, `*overflow` is set and the result is truncated —
+  /// consumers must treat overflow as "not provable".
+  [[nodiscard]] std::vector<Path> EnumeratePaths(
+      std::size_t max_paths = 256, bool* overflow = nullptr) const;
+
+  /// Deterministic text rendering for golden tests: one line per block
+  /// with its statement lines and outgoing edges.
+  [[nodiscard]] std::string Dump() const;
+
+ private:
+  std::vector<CfgBlock> blocks_;
+  int entry_ = 0;
+  int exit_ = 0;
+};
+
+/// Build + dump in one step (test convenience).
+std::string DumpCfg(const Function& fn, const FunctionFlow& flow);
+
+}  // namespace pstk::analysis

@@ -1,0 +1,451 @@
+#include "analysis/deadlock.h"
+
+#include <algorithm>
+
+#include "analysis/token.h"
+
+namespace pstk::analysis {
+
+namespace {
+
+/// Recursive-descent evaluator over the token stream. Every production
+/// returns nullopt on the first construct outside the grammar; nullopt is
+/// sticky all the way up.
+class ExprEval {
+ public:
+  ExprEval(const std::vector<Token>& toks,
+           const std::function<std::optional<long long>(const std::string&)>&
+               resolve)
+      : t_(toks), resolve_(resolve) {}
+
+  std::optional<long long> Run() {
+    auto v = Ternary();
+    if (!v.has_value() || pos_ != t_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  [[nodiscard]] bool AtPunct(const char* p) const {
+    return pos_ < t_.size() && t_[pos_].kind == TokKind::kPunct &&
+           t_[pos_].text == p;
+  }
+
+  bool EatPunct(const char* p) {
+    if (!AtPunct(p)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::optional<long long> Ternary() {
+    auto cond = OrExpr();
+    if (!cond.has_value()) return std::nullopt;
+    if (!EatPunct("?")) return cond;
+    auto a = Ternary();
+    if (!a.has_value() || !EatPunct(":")) return std::nullopt;
+    auto b = Ternary();
+    if (!b.has_value()) return std::nullopt;
+    return *cond != 0 ? *a : *b;
+  }
+
+  std::optional<long long> OrExpr() {
+    auto a = AndExpr();
+    while (a.has_value() && AtPunct("||")) {
+      ++pos_;
+      auto b = AndExpr();
+      if (!b.has_value()) return std::nullopt;
+      a = static_cast<long long>(*a != 0 || *b != 0);
+    }
+    return a;
+  }
+
+  std::optional<long long> AndExpr() {
+    auto a = BitOr();
+    while (a.has_value() && AtPunct("&&")) {
+      ++pos_;
+      auto b = BitOr();
+      if (!b.has_value()) return std::nullopt;
+      a = static_cast<long long>(*a != 0 && *b != 0);
+    }
+    return a;
+  }
+
+  std::optional<long long> BitOr() {
+    auto a = BitXor();
+    while (a.has_value() && AtPunct("|")) {
+      ++pos_;
+      auto b = BitXor();
+      if (!b.has_value()) return std::nullopt;
+      a = *a | *b;
+    }
+    return a;
+  }
+
+  std::optional<long long> BitXor() {
+    auto a = BitAnd();
+    while (a.has_value() && AtPunct("^")) {
+      ++pos_;
+      auto b = BitAnd();
+      if (!b.has_value()) return std::nullopt;
+      a = *a ^ *b;
+    }
+    return a;
+  }
+
+  std::optional<long long> BitAnd() {
+    auto a = Equality();
+    while (a.has_value() && AtPunct("&")) {
+      ++pos_;
+      auto b = Equality();
+      if (!b.has_value()) return std::nullopt;
+      a = *a & *b;
+    }
+    return a;
+  }
+
+  std::optional<long long> Equality() {
+    auto a = Relational();
+    while (a.has_value() && (AtPunct("==") || AtPunct("!="))) {
+      const bool eq = t_[pos_].text == "==";
+      ++pos_;
+      auto b = Relational();
+      if (!b.has_value()) return std::nullopt;
+      a = static_cast<long long>(eq ? *a == *b : *a != *b);
+    }
+    return a;
+  }
+
+  std::optional<long long> Relational() {
+    auto a = Shift();
+    while (a.has_value() &&
+           (AtPunct("<") || AtPunct(">") || AtPunct("<=") || AtPunct(">="))) {
+      const std::string op = t_[pos_].text;
+      ++pos_;
+      auto b = Shift();
+      if (!b.has_value()) return std::nullopt;
+      long long r = 0;
+      if (op == "<") r = static_cast<long long>(*a < *b);
+      if (op == ">") r = static_cast<long long>(*a > *b);
+      if (op == "<=") r = static_cast<long long>(*a <= *b);
+      if (op == ">=") r = static_cast<long long>(*a >= *b);
+      a = r;
+    }
+    return a;
+  }
+
+  std::optional<long long> Shift() {
+    auto a = Additive();
+    while (a.has_value() && (AtPunct("<<") || AtPunct(">>"))) {
+      const bool left = t_[pos_].text == "<<";
+      ++pos_;
+      auto b = Additive();
+      if (!b.has_value() || *b < 0 || *b > 62) return std::nullopt;
+      a = left ? (*a << *b) : (*a >> *b);
+    }
+    return a;
+  }
+
+  std::optional<long long> Additive() {
+    auto a = Multiplicative();
+    while (a.has_value() && (AtPunct("+") || AtPunct("-"))) {
+      const bool add = t_[pos_].text == "+";
+      ++pos_;
+      auto b = Multiplicative();
+      if (!b.has_value()) return std::nullopt;
+      a = add ? *a + *b : *a - *b;
+    }
+    return a;
+  }
+
+  std::optional<long long> Multiplicative() {
+    auto a = Unary();
+    while (a.has_value() && (AtPunct("*") || AtPunct("/") || AtPunct("%"))) {
+      const std::string op = t_[pos_].text;
+      ++pos_;
+      auto b = Unary();
+      if (!b.has_value()) return std::nullopt;
+      if ((op == "/" || op == "%") && *b == 0) return std::nullopt;
+      if (op == "*") a = *a * *b;
+      if (op == "/") a = *a / *b;
+      if (op == "%") a = *a % *b;
+    }
+    return a;
+  }
+
+  std::optional<long long> Unary() {
+    if (AtPunct("!")) {
+      ++pos_;
+      auto v = Unary();
+      if (!v.has_value()) return std::nullopt;
+      return static_cast<long long>(*v == 0);
+    }
+    if (AtPunct("-")) {
+      ++pos_;
+      auto v = Unary();
+      if (!v.has_value()) return std::nullopt;
+      return -*v;
+    }
+    if (AtPunct("+")) {
+      ++pos_;
+      return Unary();
+    }
+    if (AtPunct("~")) {
+      ++pos_;
+      auto v = Unary();
+      if (!v.has_value()) return std::nullopt;
+      return ~*v;
+    }
+    return Primary();
+  }
+
+  std::optional<long long> Primary() {
+    if (pos_ >= t_.size()) return std::nullopt;
+    const Token& tok = t_[pos_];
+    if (EatPunct("(")) {
+      auto v = Ternary();
+      if (!v.has_value() || !EatPunct(")")) return std::nullopt;
+      return v;
+    }
+    if (tok.kind == TokKind::kNumber) {
+      ++pos_;
+      return TokenIntValue(tok);
+    }
+    if (tok.kind != TokKind::kIdent) return std::nullopt;
+    if (tok.text == "true" || tok.text == "false") {
+      ++pos_;
+      return static_cast<long long>(tok.text == "true");
+    }
+    if (tok.text == "static_cast") {
+      // static_cast<T>(e): skip the type, evaluate e — every integral cast
+      // is the identity at the value range we evaluate (small ranks/tags).
+      ++pos_;
+      if (!EatPunct("<")) return std::nullopt;
+      int depth = 1;
+      while (pos_ < t_.size() && depth > 0) {
+        if (AtPunct("<")) ++depth;
+        if (AtPunct(">")) --depth;
+        ++pos_;
+      }
+      if (depth != 0 || !EatPunct("(")) return std::nullopt;
+      auto v = Ternary();
+      if (!v.has_value() || !EatPunct(")")) return std::nullopt;
+      return v;
+    }
+    // A plain identifier, resolved through the caller. Member access,
+    // calls, or subscripts on it are outside the grammar.
+    const std::string name = tok.text;
+    ++pos_;
+    if (AtPunct("(") || AtPunct(".") || AtPunct("->") || AtPunct("[") ||
+        AtPunct("::")) {
+      return std::nullopt;
+    }
+    return resolve_(name);
+  }
+
+  const std::vector<Token>& t_;
+  const std::function<std::optional<long long>(const std::string&)>& resolve_;
+  std::size_t pos_ = 0;
+};
+
+/// One send or receive half posted into the match pool.
+struct PostedPart {
+  const CommOp* op = nullptr;
+  bool is_send = false;
+  int peer = -1;  // dest for sends, expected source for recvs
+  int tag = 0;
+  bool matched = false;
+};
+
+struct RankState {
+  std::size_t pc = 0;
+  std::vector<PostedPart> posted;
+  // Index of the first posted part belonging to the op at pc, or npos when
+  // the current op has not posted yet (so re-entering Advance after a
+  // failed match does not double-post).
+  std::size_t posted_at_pc = static_cast<std::size_t>(-1);
+  bool at_collective = false;
+};
+
+}  // namespace
+
+std::optional<long long> EvalIntExpr(
+    const std::string& expr,
+    const std::function<std::optional<long long>(const std::string&)>&
+        resolve) {
+  const std::vector<Token> toks = Tokenize(expr);
+  if (toks.empty()) return std::nullopt;
+  return ExprEval(toks, resolve).Run();
+}
+
+DeadlockReport SimulateRendezvous(
+    const std::vector<std::vector<CommOp>>& seq_of_rank) {
+  const int n = static_cast<int>(seq_of_rank.size());
+  std::vector<RankState> st(seq_of_rank.size());
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  auto all_posted_matched = [&](const RankState& s) {
+    return std::all_of(s.posted.begin(), s.posted.end(),
+                       [](const PostedPart& p) { return p.matched; });
+  };
+
+  // Runs rank r forward until it blocks or finishes; returns true when any
+  // state changed.
+  auto advance = [&](int r) {
+    RankState& s = st[r];
+    const std::vector<CommOp>& seq = seq_of_rank[r];
+    bool moved = false;
+    auto step = [&]() {
+      ++s.pc;
+      s.posted_at_pc = kNone;
+      s.at_collective = false;
+      moved = true;
+    };
+    while (s.pc < seq.size()) {
+      const CommOp& op = seq[s.pc];
+      switch (op.kind) {
+        case CommOp::Kind::kIsend:
+        case CommOp::Kind::kIrecv:
+          s.posted.push_back(PostedPart{
+              &op, op.kind == CommOp::Kind::kIsend, op.peer, op.tag, false});
+          step();
+          continue;
+        case CommOp::Kind::kSend:
+        case CommOp::Kind::kRecv: {
+          if (s.posted_at_pc == kNone) {
+            s.posted_at_pc = s.posted.size();
+            s.posted.push_back(PostedPart{
+                &op, op.kind == CommOp::Kind::kSend, op.peer, op.tag, false});
+            moved = true;
+          }
+          if (s.posted[s.posted_at_pc].matched) {
+            step();
+            continue;
+          }
+          return moved;  // blocked until the rendezvous partner arrives
+        }
+        case CommOp::Kind::kSendrecv: {
+          if (s.posted_at_pc == kNone) {
+            s.posted_at_pc = s.posted.size();
+            s.posted.push_back(PostedPart{&op, true, op.peer, op.tag, false});
+            s.posted.push_back(
+                PostedPart{&op, false, op.peer2, op.tag, false});
+            moved = true;
+          }
+          if (s.posted[s.posted_at_pc].matched &&
+              s.posted[s.posted_at_pc + 1].matched) {
+            step();
+            continue;
+          }
+          return moved;
+        }
+        case CommOp::Kind::kWait: {
+          if (all_posted_matched(s)) {
+            step();
+            continue;
+          }
+          return moved;
+        }
+        case CommOp::Kind::kCollective: {
+          if (!s.at_collective) {
+            s.at_collective = true;
+            moved = true;
+          }
+          return moved;  // released by the lockstep barrier pass below
+        }
+      }
+    }
+    return moved;
+  };
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (int r = 0; r < n; ++r) {
+      if (advance(r)) progressed = true;
+    }
+    // Collective lockstep: release only when every rank of the world is
+    // parked at a collective with the same label.
+    const bool all_at_collective = std::all_of(
+        st.begin(), st.end(), [](const RankState& s) { return s.at_collective; });
+    if (all_at_collective && n > 0) {
+      bool same = true;
+      const std::string& label = seq_of_rank[0][st[0].pc].label;
+      for (int r = 1; r < n; ++r) {
+        if (seq_of_rank[r][st[r].pc].label != label) same = false;
+      }
+      if (same) {
+        for (int r = 0; r < n; ++r) {
+          ++st[r].pc;
+          st[r].posted_at_pc = kNone;
+          st[r].at_collective = false;
+        }
+        progressed = true;
+      }
+    }
+    // Matching pass: lowest sender rank first, post order within a rank;
+    // each send takes the earliest-posted compatible recv, which preserves
+    // MPI's non-overtaking order for a same-(src,dst,tag) stream.
+    for (int r = 0; r < n; ++r) {
+      for (PostedPart& send : st[r].posted) {
+        if (!send.is_send || send.matched) continue;
+        if (send.peer < 0 || send.peer >= n) continue;
+        for (PostedPart& recv : st[send.peer].posted) {
+          if (recv.is_send || recv.matched) continue;
+          if (recv.peer != r || recv.tag != send.tag) continue;
+          send.matched = true;
+          recv.matched = true;
+          progressed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  DeadlockReport rep;
+  std::vector<int> stuck;
+  for (int r = 0; r < n; ++r) {
+    if (st[r].pc < seq_of_rank[r].size()) stuck.push_back(r);
+  }
+  if (stuck.empty()) return rep;  // drained: no deadlock
+  rep.deadlock = true;
+  for (int r : stuck) {
+    if (st[r].at_collective) rep.involves_collective = true;
+  }
+  if (rep.involves_collective) return rep;
+
+  // Who does a stuck rank wait on? The peer of its first unmatched part.
+  auto wait_peer = [&](int r) -> int {
+    for (const PostedPart& p : st[r].posted) {
+      if (!p.matched) return p.peer;
+    }
+    return -1;
+  };
+  auto is_stuck = [&](int r) {
+    return r >= 0 && r < n && st[r].pc < seq_of_rank[r].size();
+  };
+
+  // Walk the wait-for chain from the lowest stuck rank; it either closes
+  // into a cycle or ends at a rank that already finished.
+  std::vector<int> chain;
+  std::vector<int> seen_at(seq_of_rank.size(), -1);
+  int cur = stuck.front();
+  while (is_stuck(cur) && seen_at[cur] < 0) {
+    seen_at[cur] = static_cast<int>(chain.size());
+    chain.push_back(cur);
+    cur = wait_peer(cur);
+  }
+  if (is_stuck(cur)) {
+    // Closed: keep only the cycle portion.
+    rep.proper_cycle = true;
+    chain.erase(chain.begin(), chain.begin() + seen_at[cur]);
+  }
+  rep.ranks = chain;
+  rep.all_sends = rep.proper_cycle;
+  for (int r : chain) {
+    const CommOp& op = seq_of_rank[r][st[r].pc];
+    rep.ops.push_back(op);
+    if (op.kind != CommOp::Kind::kSend) rep.all_sends = false;
+  }
+  return rep;
+}
+
+}  // namespace pstk::analysis

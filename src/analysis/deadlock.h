@@ -1,0 +1,86 @@
+// Static deadlock detection for SPMD point-to-point code: a constant
+// evaluator for rank-dependent integer expressions, and a rendezvous-mode
+// scheduler over per-rank communication sequences.
+//
+// lint.cc concretizes a function for each rank r of a small world
+// (N = 2..4): branch conditions and peer/tag expressions are evaluated
+// with rank() = r and size() = N via EvalIntExpr, yielding one CommOp
+// sequence per rank. SimulateRendezvous then runs the sequences to
+// quiescence under *rendezvous* semantics — a blocking Send does not
+// complete until the receiver arrives — and, when no progress is possible
+// with unfinished ranks, extracts the wait-for cycle.
+//
+// This is the static mirror of verify::DeadlockExplainer: the runtime
+// explainer names the cycle after it hangs; this names it before the
+// program runs. MiniMPI delivers small messages eagerly (below
+// MpiOptions::eager_threshold), so a flagged exchange may happen to work
+// for small payloads — the finding wording accounts for that.
+//
+// Everything here is self-contained (no Program/callgraph dependency);
+// the extraction policy — what to concretize and when to bail — lives
+// with the lint rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pstk::analysis {
+
+/// Evaluates a compact integer expression (as produced by JoinTokens) with
+/// C-like precedence: ternary, || &&, | ^ &, == !=, < <= > >=, << >>,
+/// + -, * / %, unary ! - + ~, parentheses, integer literals, true/false,
+/// and `static_cast<T>(e)` (the cast is skipped, e is evaluated).
+/// Identifiers are resolved through `resolve`; an unresolved identifier —
+/// or any construct outside the grammar — yields nullopt. Division or
+/// modulo by zero yields nullopt.
+std::optional<long long> EvalIntExpr(
+    const std::string& expr,
+    const std::function<std::optional<long long>(const std::string&)>&
+        resolve);
+
+/// One concretized communication operation of a single rank.
+struct CommOp {
+  enum class Kind : std::uint8_t {
+    kSend,        // blocking send (rendezvous: waits for the receiver)
+    kRecv,        // blocking receive
+    kIsend,       // nonblocking send: posts and advances
+    kIrecv,       // nonblocking receive: posts and advances
+    kWait,        // blocks until every posted nonblocking op has matched
+    kSendrecv,    // simultaneous send (peer) + receive (peer2)
+    kCollective,  // blocks until all ranks reach the same collective
+  };
+  Kind kind = Kind::kSend;
+  int peer = -1;      // dest (sends) / source (recvs); dest for kSendrecv
+  int peer2 = -1;     // kSendrecv only: source of the receive half
+  int tag = 0;
+  int line = 0;       // source line of the call (for related locations)
+  std::string label;  // kCollective only: method name, e.g. "Allreduce"
+};
+
+struct DeadlockReport {
+  bool deadlock = false;
+  // At least one stuck rank is blocked at a collective: the divergence /
+  // mismatch rules own that shape, so callers report nothing from here.
+  bool involves_collective = false;
+  // Every blocked op in `ranks` is a blocking Send — the classic
+  // head-to-head or ring-send rendezvous deadlock (fixable by Sendrecv).
+  bool all_sends = false;
+  // The wait-for chain closed on itself (vs. ending at a rank that
+  // already finished its sequence, e.g. a recv against an exited peer).
+  bool proper_cycle = false;
+  std::vector<int> ranks;   // stuck ranks in wait-for order
+  std::vector<CommOp> ops;  // op each rank in `ranks` is blocked at
+};
+
+/// Runs `seq_of_rank` (one op sequence per rank, index = rank) to
+/// quiescence under rendezvous semantics with deterministic matching
+/// (lowest rank first, post order within a rank; same-(src,dst,tag)
+/// messages match in order). Returns the deadlock analysis; when
+/// `deadlock` is false the program drained completely.
+DeadlockReport SimulateRendezvous(
+    const std::vector<std::vector<CommOp>>& seq_of_rank);
+
+}  // namespace pstk::analysis

@@ -10,7 +10,9 @@
 #include <utility>
 
 #include "analysis/callgraph.h"
+#include "analysis/cfg.h"
 #include "analysis/dataflow.h"
+#include "analysis/deadlock.h"
 #include "analysis/parse.h"
 #include "common/strings.h"
 
@@ -59,11 +61,25 @@ const RuleInfo kRules[] = {
      "structural failure)",
      "guard the count against numeric_limits<int32_t>::max() before "
      "narrowing, or chunk the transfer"},
+    {"mpi-rendezvous-deadlock", Severity::kError,
+     "running the function's per-rank send/recv order under rendezvous "
+     "semantics deadlocks with every stuck rank blocked in Send "
+     "(head-to-head exchange or circular ring of sends): the exchange "
+     "hangs once messages cross the rendezvous threshold",
+     "fuse each Send/Recv pair into Sendrecv(), or break the cycle by "
+     "reversing the order on one rank (e.g. even ranks send first)"},
     {"mpi-tag-mismatch", Severity::kError,
      "every send tag and every receive tag in this function is a constant "
      "and the two sets are disjoint: no message can ever match",
      "make the send and receive tags agree (or derive both from one "
      "constant)"},
+    {"mpi-wait-cycle", Severity::kError,
+     "running the function's per-rank send/recv order under rendezvous "
+     "semantics deadlocks on a wait-for cycle that includes a blocking "
+     "Recv: a rank waits for a message its peer only sends after its own "
+     "blocked receive (or never, having already returned)",
+     "reorder so every Recv has a matching Send already in flight: pair "
+     "the exchange with Sendrecv(), or stagger the order by rank parity"},
     {"omp-missing-private", Severity::kWarning,
      "scalar declared before `#pragma omp parallel for` is plainly "
      "assigned inside the loop body without private()/firstprivate(): "
@@ -278,15 +294,33 @@ class DivergenceWalker {
   /// (the PR-3 message, byte-compatible), wrapper calls that reach a
   /// collective, and wrapper calls that reach Checkpoint().
   void ReportSites(const std::vector<Stmt>& arm, const Stmt& branch) {
+    // Hoisting is machine-safe only in the simplest shape: an else-less
+    // branch whose arm is exactly the one collective call — then the fix
+    // is "replace the whole if with its body".
+    const bool hoistable =
+        branch.else_children.empty() && arm.size() == 1 &&
+        arm[0].kind == StmtKind::kPlain && arm[0].calls.size() == 1 &&
+        branch.end_line >= branch.line;
     ForEachStmt(arm, [&](const Stmt& s) {
       for (const CallExpr& c : s.calls) {
         if (IsCollective(c)) {
-          out_.push_back(MakeFinding(
+          LintFinding f = MakeFinding(
               "mpi-collective-in-divergent-branch", entry_.file, c.line,
               "collective " + c.method + "() under the rank-derived "
               "condition at line " + std::to_string(branch.line) +
               " (`" + branch.text + "`): ranks that skip the branch never "
-              "reach the collective"));
+              "reach the collective");
+          if (hoistable) {
+            TextEdit e;
+            e.file = entry_.file;
+            e.line = branch.line;
+            e.delete_lines = branch.end_line - branch.line + 1;
+            e.text = {arm[0].text + ";"};
+            e.note = "hoist " + c.method +
+                     "() out of the rank-divergent branch";
+            f.edits.push_back(std::move(e));
+          }
+          out_.push_back(std::move(f));
           continue;
         }
         const Program::FnEntry* coll_callee = nullptr;
@@ -373,6 +407,554 @@ void CheckEarlyReturnDivergence(const Program& prog,
               "`) while collectives follow: returning ranks drop out "
               "of the collective sequence"));
     }
+  }
+}
+
+// ===========================================================================
+// Path-sensitive divergence gate (CFG layer)
+// ===========================================================================
+//
+// The walker above is arm-syntactic: it compares the two arms of each
+// divergent branch in isolation. The CFG gate runs first and is
+// whole-function: enumerate every entry-to-exit path and compute each
+// path's collective sequence; when every path is provable and they all
+// agree, the function is uniform no matter which rank takes which path —
+// so else-if chains, early returns that keep the sequence intact, and
+// return-carrying arms stay silent without any per-arm pattern matching.
+// Any doubt (path overflow, a collective under a loop, an unknown callee
+// sequence, anything Checkpoint-reaching) fails the gate and the
+// syntactic rules run exactly as before.
+
+std::optional<std::vector<std::string>> PathCollectiveSeq(
+    const Program& prog, const Cfg::Path& path) {
+  std::vector<std::string> seq;
+  for (const Cfg::Step& step : path.steps) {
+    for (const CallExpr& c : step.stmt->calls) {
+      // Checkpoint() epochs are first-arrival-decides, not collectives;
+      // the ckpt rule owns them, so any Checkpoint-reaching path is
+      // never declared uniform.
+      if (c.method == "Checkpoint") return std::nullopt;
+      if (IsCollective(c)) {
+        // The 0-or-1 loop abstraction cannot count iterations; a
+        // collective under a loop is not provable here.
+        if (step.loop_depth > 0) return std::nullopt;
+        seq.push_back(c.method);
+        continue;
+      }
+      std::optional<std::vector<std::string>> callee_seq;
+      bool poisoned = false;
+      for (int idx : prog.Resolve(c)) {
+        const Program::FnEntry& cand =
+            prog.fns()[static_cast<std::size_t>(idx)];
+        if (cand.summary.calls_checkpoint) {
+          poisoned = true;
+          break;
+        }
+        if (!cand.summary.calls_collective) continue;
+        if (!cand.summary.sequence_known) {
+          poisoned = true;
+          break;
+        }
+        if (callee_seq.has_value() &&
+            *callee_seq != cand.summary.collective_seq) {
+          poisoned = true;  // ambiguous resolution with differing sequences
+          break;
+        }
+        callee_seq = cand.summary.collective_seq;
+      }
+      if (poisoned) return std::nullopt;
+      if (callee_seq.has_value()) {
+        if (step.loop_depth > 0 && !callee_seq->empty()) return std::nullopt;
+        seq.insert(seq.end(), callee_seq->begin(), callee_seq->end());
+      }
+    }
+  }
+  return seq;
+}
+
+bool AllPathsCollectiveUniform(const Program& prog,
+                               const Program::FnEntry& entry) {
+  const Cfg cfg = Cfg::Build(*entry.fn, entry.flow);
+  bool overflow = false;
+  const std::vector<Cfg::Path> paths = cfg.EnumeratePaths(256, &overflow);
+  if (overflow || paths.empty()) return false;
+  std::optional<std::vector<std::string>> common;
+  for (const Cfg::Path& p : paths) {
+    auto seq = PathCollectiveSeq(prog, p);
+    if (!seq.has_value()) return false;
+    if (!common.has_value()) {
+      common = std::move(seq);
+    } else if (*common != *seq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ===========================================================================
+// Static deadlock detection (mpi-rendezvous-deadlock / mpi-wait-cycle)
+// ===========================================================================
+//
+// Concretize the function once per rank of a small world (N = 2, 3, 4):
+// substitute <comm>.rank() / <comm>.size(), evaluate branch conditions
+// and peer/tag expressions with EvalIntExpr, and collect each rank's
+// communication order; SimulateRendezvous then runs the orders to
+// quiescence and extracts the wait-for cycle, if any. This is the static
+// mirror of verify::DeadlockExplainer. Anything not provable — an
+// unevaluable condition guarding communication, comm ops under loops,
+// calls into blocking or collective wrappers, an unevaluable peer or
+// tag — bails the whole function for that world: unknown stays quiet.
+
+struct ExtractedOp {
+  CommOp op;
+  const Stmt* stmt = nullptr;
+  const CallExpr* call = nullptr;
+};
+
+class RankExtractor {
+ public:
+  RankExtractor(const Program& prog, const Program::FnEntry& entry,
+                const std::set<std::string>& comms, int rank, int world)
+      : prog_(prog),
+        entry_(entry),
+        comms_(comms),
+        rank_(rank),
+        world_(world) {}
+
+  /// False when this rank's order is not statically provable.
+  bool Run(std::vector<ExtractedOp>* out) {
+    Walk(entry_.fn->body);
+    if (!ok_) return false;
+    *out = std::move(ops_);
+    return true;
+  }
+
+ private:
+  static bool IsIdentTail(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '.';
+  }
+
+  /// Replace `<comm>.rank()` / `<comm>.size()` (exact comm names only —
+  /// `vec.size()` must never concretize) with this rank's values.
+  [[nodiscard]] std::string Subst(const std::string& text) const {
+    std::string out = text;
+    for (const std::string& comm : comms_) {
+      ReplaceAll(out, comm + ".rank()", std::to_string(rank_));
+      ReplaceAll(out, comm + ".size()", std::to_string(world_));
+    }
+    return out;
+  }
+
+  static void ReplaceAll(std::string& text, const std::string& from,
+                         const std::string& to) {
+    std::size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+      if (pos == 0 || !IsIdentTail(text[pos - 1])) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+      } else {
+        pos += from.size();
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<long long> Eval(const std::string& expr,
+                                              int depth = 0) const {
+    if (depth > 8) return std::nullopt;
+    return EvalIntExpr(
+        Subst(expr), [&](const std::string& name) -> std::optional<long long> {
+          const auto it = bindings_.find(name);
+          if (it == bindings_.end()) return std::nullopt;
+          return Eval(it->second, depth + 1);
+        });
+  }
+
+  [[nodiscard]] bool IsCommP2p(const CallExpr& c) const {
+    if (comms_.count(c.receiver) == 0) return false;
+    return MethodIn(c, {"Send", "Recv", "Isend", "Irecv", "Sendrecv",
+                        "Wait", "Waitall"});
+  }
+
+  /// Any communication-relevant call in the subtree: a comm p2p op, a
+  /// collective, or a call resolving to a blocking/collective wrapper.
+  [[nodiscard]] bool SubtreeTouchesComm(const std::vector<Stmt>& stmts) const {
+    bool found = false;
+    ForEachStmt(stmts, [&](const Stmt& s) {
+      for (const CallExpr& c : s.calls) {
+        if (IsCommP2p(c) || IsCollective(c)) {
+          found = true;
+          continue;
+        }
+        for (int idx : prog_.Resolve(c)) {
+          const FunctionSummary& sum =
+              prog_.fns()[static_cast<std::size_t>(idx)].summary;
+          if (sum.calls_blocking || sum.calls_collective) found = true;
+        }
+      }
+    });
+    return found;
+  }
+
+  /// Skipped scopes (untaken loop bodies, unevaluable comm-free branches)
+  /// invalidate every binding they might have written.
+  void EraseAssigned(const std::vector<Stmt>& stmts) {
+    ForEachStmt(stmts, [&](const Stmt& s) {
+      if (!s.decl_name.empty()) bindings_.erase(s.decl_name);
+      if (!s.induction_var.empty()) bindings_.erase(s.induction_var);
+      for (const Assign& a : s.assigns) bindings_.erase(a.name);
+    });
+  }
+
+  void UpdateBindings(const Stmt& s) {
+    if (!s.decl_name.empty()) {
+      if (!s.init_text.empty()) {
+        bindings_[s.decl_name] = s.init_text;
+      } else {
+        bindings_.erase(s.decl_name);
+      }
+    }
+    for (const Assign& a : s.assigns) {
+      bool bound = false;
+      if (a.op == "=" && a.subscript.empty()) {
+        const VarInfo* var = entry_.flow.Lookup(a.name);
+        if (var != nullptr) {
+          for (const VarWrite& w : var->writes) {
+            if (w.line == a.line && !w.rhs.empty()) {
+              bindings_[a.name] = w.rhs;
+              bound = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!bound) bindings_.erase(a.name);
+    }
+  }
+
+  void Push(const Stmt& s, const CallExpr& c, CommOp op) {
+    op.line = c.line;
+    ops_.push_back(ExtractedOp{op, &s, &c});
+  }
+
+  bool HandleCommCall(const Stmt& s, const CallExpr& c) {
+    const std::string& m = c.method;
+    if (m == "rank" || m == "size" || m == "Iprobe" || m == "ok") {
+      return true;  // queries: no ordering effect
+    }
+    if (IsCollectiveMethod(m)) {
+      CommOp op;
+      op.kind = CommOp::Kind::kCollective;
+      op.label = m;
+      Push(s, c, op);
+      return true;
+    }
+    if (m == "Send" || m == "Recv" || m == "Isend" || m == "Irecv") {
+      std::size_t peer_arg = 0;
+      std::size_t tag_arg = 0;
+      if (c.args.size() == 4) {  // (data, bytes, peer, tag)
+        peer_arg = 2;
+        tag_arg = 3;
+      } else if (c.args.size() == 3) {  // span form: (span, peer, tag)
+        peer_arg = 1;
+        tag_arg = 2;
+      } else {
+        return false;
+      }
+      const auto peer = Eval(c.args[peer_arg]);
+      const auto tag = Eval(c.args[tag_arg]);
+      if (!peer.has_value() || !tag.has_value()) return false;
+      if (*peer < 0 || *peer >= world_) return false;  // not this world
+      CommOp op;
+      op.kind = m == "Send"    ? CommOp::Kind::kSend
+                : m == "Recv"  ? CommOp::Kind::kRecv
+                : m == "Isend" ? CommOp::Kind::kIsend
+                               : CommOp::Kind::kIrecv;
+      op.peer = static_cast<int>(*peer);
+      op.tag = static_cast<int>(*tag);
+      if (op.kind == CommOp::Kind::kIsend ||
+          op.kind == CommOp::Kind::kIrecv) {
+        ++outstanding_;
+      }
+      Push(s, c, op);
+      return true;
+    }
+    if (m == "Sendrecv") {
+      // (send_data, send_bytes, dest, recv_data, recv_max, source, tag)
+      if (c.args.size() != 7) return false;
+      const auto dest = Eval(c.args[2]);
+      const auto src = Eval(c.args[5]);
+      const auto tag = Eval(c.args[6]);
+      if (!dest.has_value() || !src.has_value() || !tag.has_value()) {
+        return false;
+      }
+      if (*dest < 0 || *dest >= world_ || *src < 0 || *src >= world_) {
+        return false;
+      }
+      CommOp op;
+      op.kind = CommOp::Kind::kSendrecv;
+      op.peer = static_cast<int>(*dest);
+      op.peer2 = static_cast<int>(*src);
+      op.tag = static_cast<int>(*tag);
+      Push(s, c, op);
+      return true;
+    }
+    if (m == "Wait" || m == "Waitall") {
+      // CommOp::kWait waits for *all* posted ops; MiniMPI's Wait takes one
+      // request, so the two only agree while at most one is outstanding.
+      if (m == "Wait" && outstanding_ > 1) return false;
+      outstanding_ = 0;
+      CommOp op;
+      op.kind = CommOp::Kind::kWait;
+      Push(s, c, op);
+      return true;
+    }
+    return false;  // Split and friends: comm topology changes, bail
+  }
+
+  void HandleCalls(const Stmt& s) {
+    for (const CallExpr& c : s.calls) {
+      if (!ok_) return;
+      if (comms_.count(c.receiver) != 0) {
+        if (!HandleCommCall(s, c)) ok_ = false;
+        continue;
+      }
+      if (IsCollective(c)) {
+        CommOp op;
+        op.kind = CommOp::Kind::kCollective;
+        op.label = c.method;
+        Push(s, c, op);
+        continue;
+      }
+      for (int idx : prog_.Resolve(c)) {
+        const FunctionSummary& sum =
+            prog_.fns()[static_cast<std::size_t>(idx)].summary;
+        if (sum.calls_blocking || sum.calls_collective) {
+          ok_ = false;  // unknown communication behind the call
+          return;
+        }
+      }
+    }
+  }
+
+  void Walk(const std::vector<Stmt>& stmts) {
+    for (const Stmt& s : stmts) {
+      if (!ok_ || stopped_) return;
+      switch (s.kind) {
+        case StmtKind::kBranch: {
+          // Comm ops in the condition itself can't be ordered reliably.
+          for (const CallExpr& c : s.calls) {
+            if (IsCommP2p(c) || IsCollective(c)) {
+              ok_ = false;
+              return;
+            }
+          }
+          const auto taken = Eval(s.text);
+          if (taken.has_value()) {
+            Walk(*taken != 0 ? s.children : s.else_children);
+          } else {
+            if (SubtreeTouchesComm(s.children) ||
+                SubtreeTouchesComm(s.else_children)) {
+              ok_ = false;
+              return;
+            }
+            EraseAssigned(s.children);
+            EraseAssigned(s.else_children);
+          }
+          break;
+        }
+        case StmtKind::kLoop: {
+          // Iteration counts are out of scope: any communicating loop
+          // bails, a comm-free one is skipped (its writes invalidated).
+          if (SubtreeTouchesComm(s.children)) {
+            ok_ = false;
+            return;
+          }
+          for (const CallExpr& c : s.calls) {
+            if (IsCommP2p(c) || IsCollective(c)) {
+              ok_ = false;
+              return;
+            }
+          }
+          EraseAssigned(s.children);
+          if (!s.induction_var.empty()) bindings_.erase(s.induction_var);
+          break;
+        }
+        case StmtKind::kReturn:
+          stopped_ = true;  // this rank's sequence ends here
+          return;
+        case StmtKind::kBlock:
+          Walk(s.children);
+          break;
+        case StmtKind::kPlain:
+          HandleCalls(s);
+          if (ok_) UpdateBindings(s);
+          break;
+        case StmtKind::kPragma:
+          break;
+      }
+    }
+  }
+
+  const Program& prog_;
+  const Program::FnEntry& entry_;
+  const std::set<std::string>& comms_;
+  const int rank_;
+  const int world_;
+  std::map<std::string, std::string> bindings_;  // name -> last known rhs
+  std::vector<ExtractedOp> ops_;
+  int outstanding_ = 0;
+  bool ok_ = true;
+  bool stopped_ = false;
+};
+
+const char* CommOpName(CommOp::Kind kind) {
+  switch (kind) {
+    case CommOp::Kind::kSend: return "Send";
+    case CommOp::Kind::kRecv: return "Recv";
+    case CommOp::Kind::kIsend: return "Isend";
+    case CommOp::Kind::kIrecv: return "Irecv";
+    case CommOp::Kind::kWait: return "Wait";
+    case CommOp::Kind::kSendrecv: return "Sendrecv";
+    case CommOp::Kind::kCollective: return "collective";
+  }
+  return "?";
+}
+
+/// The Sendrecv auto-fix: only for the unbranched all-sends cycle where
+/// every rank blocks at the *same* `Send` line and the very next op is the
+/// matching `Recv` — then replacing the Send line with a fused Sendrecv
+/// and deleting the Recv line is mechanical and provably deadlock-free.
+void MaybeSendrecvFix(const Program::FnEntry& entry,
+                      const DeadlockReport& rep,
+                      const std::vector<std::vector<ExtractedOp>>& metas,
+                      LintFinding* f) {
+  if (!rep.all_sends || !rep.proper_cycle || rep.ranks.empty()) return;
+  const int line = rep.ops.front().line;
+  for (const CommOp& op : rep.ops) {
+    if (op.line != line) return;  // branch-split exchange: not mechanical
+  }
+  const std::vector<ExtractedOp>& seq =
+      metas[static_cast<std::size_t>(rep.ranks.front())];
+  std::size_t at = seq.size();
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i].op.kind == CommOp::Kind::kSend && seq[i].op.line == line) {
+      at = i;
+      break;
+    }
+  }
+  if (at + 1 >= seq.size()) return;
+  const ExtractedOp& send = seq[at];
+  const ExtractedOp& recv = seq[at + 1];
+  if (recv.op.kind != CommOp::Kind::kRecv) return;
+  const Stmt* ss = send.stmt;
+  const Stmt* rs = recv.stmt;
+  const CallExpr* sc = send.call;
+  const CallExpr* rc = recv.call;
+  if (ss == rs || ss->kind != StmtKind::kPlain ||
+      rs->kind != StmtKind::kPlain) {
+    return;
+  }
+  if (ss->calls.size() != 1 || rs->calls.size() != 1) return;
+  if (!ss->decl_name.empty() || !rs->decl_name.empty()) return;
+  if (!ss->assigns.empty() || !rs->assigns.empty()) return;
+  if (ss->end_line != ss->line || rs->end_line != rs->line) return;
+  if (sc->args.size() != 4 || rc->args.size() != 4) return;
+  if (sc->receiver != rc->receiver) return;
+  if (sc->args[3] != rc->args[3]) return;  // tags must agree textually
+  TextEdit fuse;
+  fuse.file = entry.file;
+  fuse.line = ss->line;
+  fuse.delete_lines = 1;
+  fuse.text = {sc->receiver + ".Sendrecv(" + sc->args[0] + ", " +
+               sc->args[1] + ", " + sc->args[2] + ", " + rc->args[0] + ", " +
+               rc->args[1] + ", " + rc->args[2] + ", " + rc->args[3] + ");"};
+  fuse.note = "fuse the blocking Send/Recv exchange into Sendrecv()";
+  TextEdit drop;
+  drop.file = entry.file;
+  drop.line = rs->line;
+  drop.delete_lines = 1;
+  drop.note = "Recv absorbed into the Sendrecv() above";
+  f->edits.push_back(std::move(fuse));
+  f->edits.push_back(std::move(drop));
+}
+
+void CheckRendezvousDeadlock(const Program& prog,
+                             const Program::FnEntry& entry,
+                             std::vector<LintFinding>& out) {
+  std::set<std::string> comms;
+  for (const Param& p : entry.fn->params) {
+    if (!p.name.empty() && p.type.find("Comm") != std::string::npos) {
+      comms.insert(p.name);
+    }
+  }
+  if (comms.empty()) return;
+  bool has_p2p = false;
+  ForEachStmt(entry.fn->body, [&](const Stmt& s) {
+    for (const CallExpr& c : s.calls) {
+      if (comms.count(c.receiver) != 0 &&
+          MethodIn(c, {"Send", "Recv", "Isend", "Irecv"})) {
+        has_p2p = true;
+      }
+    }
+  });
+  if (!has_p2p) return;
+
+  for (int world = 2; world <= 4; ++world) {
+    std::vector<std::vector<ExtractedOp>> metas(
+        static_cast<std::size_t>(world));
+    std::vector<std::vector<CommOp>> seqs(static_cast<std::size_t>(world));
+    bool provable = true;
+    for (int r = 0; r < world && provable; ++r) {
+      RankExtractor ex(prog, entry, comms, r, world);
+      if (!ex.Run(&metas[static_cast<std::size_t>(r)])) {
+        provable = false;
+        break;
+      }
+      for (const ExtractedOp& eo : metas[static_cast<std::size_t>(r)]) {
+        seqs[static_cast<std::size_t>(r)].push_back(eo.op);
+      }
+    }
+    if (!provable) continue;
+    const DeadlockReport rep = SimulateRendezvous(seqs);
+    if (!rep.deadlock || rep.involves_collective || rep.ranks.empty() ||
+        rep.ops.empty()) {
+      continue;
+    }
+    const bool rendezvous = rep.all_sends && rep.proper_cycle;
+    const char* slug =
+        rendezvous ? "mpi-rendezvous-deadlock" : "mpi-wait-cycle";
+    std::ostringstream msg;
+    msg << "with " << world << " ranks the point-to-point order deadlocks: ";
+    for (std::size_t i = 0; i < rep.ranks.size(); ++i) {
+      if (i > 0) msg << " -> ";
+      msg << "rank " << rep.ranks[i] << " blocks in "
+          << CommOpName(rep.ops[i].kind) << "()";
+      if (rep.ops[i].peer >= 0) msg << " on rank " << rep.ops[i].peer;
+      msg << " (line " << rep.ops[i].line << ")";
+    }
+    if (rendezvous) {
+      msg << " — a cycle of blocking Sends: under rendezvous semantics no "
+             "Send completes until its Recv is posted, so the exchange "
+             "hangs once messages cross the eager threshold";
+    } else if (rep.proper_cycle) {
+      msg << " — a wait-for cycle through a blocking Recv that no message "
+             "size can save";
+    } else {
+      msg << " — the chain ends at a rank that already finished, so the "
+             "awaited message never comes";
+    }
+    LintFinding f = MakeFinding(slug, entry.file, rep.ops.front().line,
+                                msg.str());
+    for (std::size_t i = 0; i < rep.ranks.size(); ++i) {
+      f.related.push_back(RelatedLocation{
+          entry.file, rep.ops[i].line,
+          "rank " + std::to_string(rep.ranks[i]) + " blocks in " +
+              CommOpName(rep.ops[i].kind) + "() here"});
+    }
+    MaybeSendrecvFix(entry, rep, metas, &f);
+    out.push_back(std::move(f));
+    return;  // first deadlocking world size is the report
   }
 }
 
@@ -575,6 +1157,8 @@ void CheckPutWithoutQuiet(const std::string& file, const FunctionFlow& flow,
   struct PendingPut {
     std::string base;
     int line;
+    std::string receiver;  // shmem context the put went through
+    int insert_line;       // first line after the whole put statement
   };
   std::vector<PendingPut> pending;
   for (const FlowEvent& e : flow.events()) {
@@ -582,7 +1166,12 @@ void CheckPutWithoutQuiet(const std::string& file, const FunctionFlow& flow,
     const CallExpr& c = *e.call;
     if (MethodIn(c, {"Put", "PutValue"}) && !c.args.empty()) {
       const std::string base = BaseIdent(c.args[0]);
-      if (!base.empty()) pending.push_back(PendingPut{base, c.line});
+      const int after = e.stmt != nullptr && e.stmt->end_line >= c.line
+                            ? e.stmt->end_line + 1
+                            : c.line + 1;
+      if (!base.empty()) {
+        pending.push_back(PendingPut{base, c.line, c.receiver, after});
+      }
       continue;
     }
     if (MethodIn(c, {"Quiet", "Fence", "Barrier", "BarrierAll"})) {
@@ -596,12 +1185,22 @@ void CheckPutWithoutQuiet(const std::string& file, const FunctionFlow& flow,
     const std::string base = BaseIdent(src);
     for (const PendingPut& p : pending) {
       if (p.base != base) continue;
-      out.push_back(MakeFinding(
+      LintFinding f = MakeFinding(
           "shmem-put-without-quiet", file, c.line,
           "get of symmetric object '" + base + "' follows the put at "
           "line " + std::to_string(p.line) + " with no Quiet()/Fence()/"
           "BarrierAll() between: the put is not remotely complete and "
-          "the get may read stale data"));
+          "the get may read stale data");
+      if (!p.receiver.empty()) {
+        TextEdit e;
+        e.file = file;
+        e.line = p.insert_line;
+        e.delete_lines = 0;
+        e.text = {p.receiver + ".Quiet();"};
+        e.note = "complete the put before the read-back";
+        f.edits.push_back(std::move(e));
+      }
+      out.push_back(std::move(f));
       break;
     }
   }
@@ -984,15 +1583,98 @@ const std::vector<RuleInfo>& Rules() {
   return rules;
 }
 
-std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources) {
-  const Program prog = Program::Analyze(std::move(sources));
+namespace {
+
+std::vector<std::string> SourceLines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+/// The int-count widening fix is generated post-hoc from the source line:
+/// the direct-form finding (no related location) points at the line with
+/// the narrowing cast, and widening `static_cast<int>` to
+/// `static_cast<std::int64_t>` is exactly the mechanical remediation
+/// (MiniMPI transfer counts are 64-bit `Bytes`, so the widened call
+/// compiles as-is). Wrapper-form findings stay fix-less: the cast lives
+/// in another function serving other callers.
+void AddIntCountFix(const std::vector<std::string>& lines, LintFinding* f) {
+  if (!f->related.empty() || !f->edits.empty()) return;
+  if (f->line < 1 || static_cast<std::size_t>(f->line) > lines.size()) return;
+  const std::string& orig = lines[static_cast<std::size_t>(f->line - 1)];
+  const std::string narrow = "static_cast<int>";
+  const std::size_t at = orig.find(narrow);
+  if (at == std::string::npos) return;
+  std::string fixed = orig;
+  fixed.replace(at, narrow.size(), "static_cast<std::int64_t>");
+  // The edit stores the line unindented; ApplyEdits restores depth.
+  std::size_t b = 0;
+  while (b < fixed.size() && (fixed[b] == ' ' || fixed[b] == '\t')) ++b;
+  TextEdit e;
+  e.file = f->file;
+  e.line = f->line;
+  e.delete_lines = 1;
+  e.text = {fixed.substr(b)};
+  e.note = "widen the count instead of narrowing it";
+  f->edits.push_back(std::move(e));
+}
+
+}  // namespace
+
+std::string SourceLineHash(const std::string& line_text) {
+  std::size_t b = 0;
+  std::size_t e = line_text.size();
+  while (b < e &&
+         std::isspace(static_cast<unsigned char>(line_text[b])) != 0) {
+    ++b;
+  }
+  while (e > b &&
+         std::isspace(static_cast<unsigned char>(line_text[e - 1])) != 0) {
+    --e;
+  }
+  std::uint32_t h = 2166136261u;  // FNV-1a, 32-bit
+  for (std::size_t i = b; i < e; ++i) {
+    h ^= static_cast<unsigned char>(line_text[i]);
+    h *= 16777619u;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", h);
+  return buf;
+}
+
+std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources,
+                                     int jobs) {
+  // Keep the line text: findings get their drift-tolerant line hash and
+  // the int-count fix needs the cast's source line (Analyze consumes the
+  // source strings).
+  std::map<std::string, std::vector<std::string>> lines_of;
+  for (const ProgramSource& s : sources) {
+    lines_of[s.file] = SourceLines(s.source);
+  }
+  const Program prog = Program::Analyze(std::move(sources), jobs);
   std::vector<LintFinding> out;
   for (const Program::FnEntry& entry : prog.fns()) {
     const FunctionFlow& flow = entry.flow;
     CheckBlockingSymmetricSend(entry.file, flow, out);
     CheckSymmetricSendWrapper(prog, entry, out);
-    CheckCollectiveDivergence(prog, entry, out);
-    CheckEarlyReturnDivergence(prog, entry, out);
+    // Path-sensitive gate: a function whose every CFG path provably
+    // executes the same collective sequence is uniform regardless of
+    // which rank takes which path — the syntactic divergence rules
+    // (branch arms, early returns) run only when the gate fails.
+    if (!AllPathsCollectiveUniform(prog, entry)) {
+      CheckCollectiveDivergence(prog, entry, out);
+      CheckEarlyReturnDivergence(prog, entry, out);
+    }
+    CheckRendezvousDeadlock(prog, entry, out);
     CheckCkptOutsideCollective(entry.file, flow, out);
     CheckIntCountOverflow(prog, entry, out);
     CheckTagMismatch(entry.file, flow, out);
@@ -1014,6 +1696,16 @@ std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources) {
                                  a.line == b.line && a.message == b.message;
                         }),
             out.end());
+  for (LintFinding& f : out) {
+    const auto it = lines_of.find(f.file);
+    if (it == lines_of.end()) continue;
+    if (f.line >= 1 &&
+        static_cast<std::size_t>(f.line) <= it->second.size()) {
+      f.line_hash =
+          SourceLineHash(it->second[static_cast<std::size_t>(f.line - 1)]);
+    }
+    if (f.rule == "mpi-int-count-overflow") AddIntCountFix(it->second, &f);
+  }
   return out;
 }
 
@@ -1041,7 +1733,7 @@ Result<std::vector<LintFinding>> LintFile(const std::string& path) {
 }
 
 Result<std::vector<LintFinding>> LintTree(
-    const std::vector<std::string>& roots) {
+    const std::vector<std::string>& roots, int jobs) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& root : roots) {
@@ -1073,7 +1765,7 @@ Result<std::vector<LintFinding>> LintTree(
     if (!text.ok()) return text.status();
     sources.push_back(ProgramSource{file, std::move(text.value())});
   }
-  return LintProgram(std::move(sources));
+  return LintProgram(std::move(sources), jobs);
 }
 
 Severity WorstSeverity(const std::vector<LintFinding>& findings) {
@@ -1209,6 +1901,7 @@ std::vector<BaselineEntry> ParseBaseline(const std::string& text) {
     BaselineEntry entry;
     entry.rule = fields[0];
     if (fields.size() > 1) entry.path = fields[1];
+    if (fields.size() > 2) entry.hash = fields[2];
     out.push_back(std::move(entry));
   }
   return out;
@@ -1226,7 +1919,11 @@ std::string FormatBaseline(const std::vector<LintFinding>& findings,
                            const std::string& header) {
   std::set<std::string> lines;
   for (const LintFinding& f : findings) {
-    lines.insert(f.rule + " " + f.file);
+    // The hash column is emitted only when the finding carries one, so a
+    // hash-less round trip (findings built by hand, old goldens) renders
+    // the legacy two-field form byte-for-byte.
+    lines.insert(f.rule + " " + f.file +
+                 (f.line_hash.empty() ? "" : " " + f.line_hash));
   }
   std::string out =
       header.empty()
@@ -1267,7 +1964,12 @@ std::vector<LintFinding> ApplyBaseline(
   for (LintFinding& f : findings) {
     const bool matched = std::any_of(
         baseline.begin(), baseline.end(), [&](const BaselineEntry& e) {
-          return e.rule == f.rule && PathMatches(f.file, e.path);
+          // A hash on both sides must agree; either side hash-less falls
+          // back to the rule+path match (drift-tolerant by construction:
+          // the hash covers line *text*, never the line number).
+          return e.rule == f.rule && PathMatches(f.file, e.path) &&
+                 (e.hash.empty() || f.line_hash.empty() ||
+                  e.hash == f.line_hash);
         });
     if (matched) {
       ++dropped;

@@ -1,12 +1,15 @@
 // pstk-lint: dataflow-based static analysis of benchmark/example sources
 // for cross-paradigm misuse — the static twin of the runtime verifier
-// (src/verify). Sources run through a three-stage pipeline:
+// (src/verify). Sources run through a five-stage pipeline:
 //
 //   token.h    C++-subset tokenizer (comment/string-literal aware)
 //   parse.h    structural parser: functions, loops, branches, pragmas,
 //              calls with argument text, lambdas lifted as functions
 //   dataflow.h per-function def-use: variable table, reaching writes,
 //              rank-derived / 64-bit-size value facts, branch context
+//   cfg.h      per-function control-flow graph with symbolic branch
+//              conditions; bounded path enumeration feeds the
+//              path-sensitive divergence gate and the deadlock detector
 //   callgraph.h whole-program layer: call graph, taint-knowledge
 //              fixpoint, bottom-up function summaries (transitive
 //              collective/blocking/checkpoint facts, count/peer params,
@@ -36,6 +39,14 @@
 //   mpi-tag-mismatch — error — all send tags and all recv tags in a
 //       function are constants and the two sets are disjoint: the match
 //       can never happen
+//   mpi-rendezvous-deadlock — error — per-rank concretization of the
+//       function's send/recv order (rank() = r, size() = N for small N)
+//       run under rendezvous semantics ends with every stuck rank blocked
+//       in Send: the head-to-head exchange / ring-send cycle that hangs
+//       once messages cross the eager threshold
+//   mpi-wait-cycle — error — same simulation, but the wait-for cycle
+//       includes a Recv (or a chain ending at an exited peer): a
+//       recv-before-send ordering no message size can save
 //   shmem-put-without-quiet — error — symmetric put followed by a get of
 //       the same symmetric object with no Quiet/Fence/BarrierAll between
 //   omp-shared-reduction — error — `#pragma omp parallel for` whose body
@@ -67,6 +78,7 @@
 #include <vector>
 
 #include "analysis/callgraph.h"
+#include "analysis/rewrite.h"
 #include "common/status.h"
 
 namespace pstk::analysis {
@@ -92,6 +104,12 @@ struct LintFinding {
   Severity severity = Severity::kWarning;
   std::string fixit;    // short remediation hint ("" when obvious)
   std::vector<RelatedLocation> related;  // cross-function evidence chain
+  // Line-drift-tolerant identity: FNV-1a of the trimmed source line the
+  // finding points at ("" when the source text is unavailable). Baseline
+  // entries carry it so suppressions survive unrelated edits above.
+  std::string line_hash;
+  // Machine-applicable fix ([--fix]); empty for non-mechanical findings.
+  std::vector<TextEdit> edits;
 };
 
 /// Static metadata for one rule (drives --format=sarif and the report).
@@ -112,14 +130,22 @@ std::vector<LintFinding> LintSource(const std::string& file,
 /// Scan a set of sources as one program: call edges cross file
 /// boundaries, so wrapper-hidden misuse in one file is reported at call
 /// sites in another. LintSource and LintTree are wrappers over this.
-std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources);
+/// `jobs` parallelizes the per-file tokenize/parse phase; findings are
+/// byte-identical for every value of `jobs`.
+std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources,
+                                     int jobs = 1);
 
 /// Read and scan one file from the host filesystem.
 Result<std::vector<LintFinding>> LintFile(const std::string& path);
 
 /// Recursively scan every .cc/.cpp/.h under each root (files sorted for
 /// deterministic output). Roots may also name single files.
-Result<std::vector<LintFinding>> LintTree(const std::vector<std::string>& roots);
+Result<std::vector<LintFinding>> LintTree(const std::vector<std::string>& roots,
+                                          int jobs = 1);
+
+/// The finding/baseline line hash: 32-bit FNV-1a of the line with leading
+/// and trailing whitespace removed, rendered as 8 hex digits.
+std::string SourceLineHash(const std::string& line_text);
 
 /// Highest severity present (kNote when empty).
 Severity WorstSeverity(const std::vector<LintFinding>& findings);
@@ -140,14 +166,18 @@ std::string RenderSarif(const std::vector<LintFinding>& findings);
 // --- baseline suppression --------------------------------------------------
 
 /// One suppression: findings of `rule` in files whose path ends with
-/// `path` are dropped.
+/// `path` are dropped. A nonempty `hash` additionally pins the trimmed
+/// text of the flagged line (SourceLineHash), which keeps the entry
+/// matching when unrelated edits shift line numbers but stops it from
+/// hiding a *different* finding that lands in the same file.
 struct BaselineEntry {
   std::string rule;
   std::string path;
+  std::string hash;
 };
 
-/// Parse baseline text: one `rule path` pair per line, `#` comments and
-/// blank lines ignored.
+/// Parse baseline text: one `rule path [hash]` tuple per line, `#`
+/// comments and blank lines ignored.
 std::vector<BaselineEntry> ParseBaseline(const std::string& text);
 
 /// Load and parse a baseline file.

@@ -184,12 +184,21 @@ class Parser {
 
   // --- statements ----------------------------------------------------------
 
+  /// Line of the last token consumed before position `i` (0 at start).
+  [[nodiscard]] int LineBefore(std::size_t i) const {
+    if (i == 0 || t_.empty()) return 0;
+    return t_[std::min(i, t_.size()) - 1].line;
+  }
+
   std::vector<Stmt> ParseBlock(std::size_t i, std::size_t* end) {
     std::vector<Stmt> out;
     ++i;  // consume "{"
     while (!AtEnd(i) && !IsPunct(i, "}")) {
       const std::size_t before = i;
-      if (auto stmt = ParseStmt(&i)) out.push_back(std::move(*stmt));
+      if (auto stmt = ParseStmt(&i)) {
+        stmt->end_line = LineBefore(i);
+        out.push_back(std::move(*stmt));
+      }
       if (i == before) ++i;  // never wedge on unexpected tokens
     }
     *end = AtEnd(i) ? i : i + 1;
@@ -395,7 +404,10 @@ class Parser {
       *out = ParseBlock(*ip, ip);
       return;
     }
-    if (auto stmt = ParseStmt(ip)) out->push_back(std::move(*stmt));
+    if (auto stmt = ParseStmt(ip)) {
+      stmt->end_line = LineBefore(*ip);
+      out->push_back(std::move(*stmt));
+    }
   }
 
   /// For-header induction variable: `int i = 0; ...` or `auto& x : range`.

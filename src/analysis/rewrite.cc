@@ -1,0 +1,116 @@
+#include "analysis/rewrite.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pstk::analysis {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+std::string IndentOf(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(0, i);
+}
+
+[[nodiscard]] bool EndsWithOpenBrace(const std::string& line) {
+  for (auto it = line.rbegin(); it != line.rend(); ++it) {
+    if (*it == ' ' || *it == '\t') continue;
+    return *it == '{';
+  }
+  return false;
+}
+
+/// Indentation for an edit at 1-based `line`: the indentation of the first
+/// replaced line when the edit replaces something, otherwise the previous
+/// line's indentation (+2 when that line opens a block).
+std::string EditIndent(const std::vector<std::string>& lines, int line,
+                       int delete_lines) {
+  const std::size_t at = static_cast<std::size_t>(line - 1);
+  if (delete_lines > 0 && at < lines.size()) return IndentOf(lines[at]);
+  if (at > 0 && at - 1 < lines.size()) {
+    const std::string& prev = lines[at - 1];
+    std::string indent = IndentOf(prev);
+    if (EndsWithOpenBrace(prev)) indent += "  ";
+    return indent;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string ApplyEdits(const std::string& source, std::vector<TextEdit> edits,
+                       std::vector<TextEdit>* applied,
+                       std::vector<TextEdit>* skipped) {
+  std::vector<std::string> lines = SplitLines(source);
+  const bool trailing_newline =
+      source.empty() || source.back() == '\n';
+
+  std::stable_sort(edits.begin(), edits.end(),
+                   [](const TextEdit& a, const TextEdit& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.delete_lines < b.delete_lines;
+                   });
+
+  // First pass: accept edits front-to-back, dropping range overlaps and
+  // out-of-file targets. Two pure insertions at the same line would also
+  // collide (ambiguous order), so the second is dropped too.
+  std::vector<TextEdit> accepted;
+  int next_free_line = 1;  // first line not covered by an accepted edit
+  const int line_count = static_cast<int>(lines.size());
+  for (TextEdit& e : edits) {
+    const bool in_range =
+        e.line >= 1 &&
+        (e.delete_lines == 0 ? e.line <= line_count + 1
+                             : e.line + e.delete_lines - 1 <= line_count);
+    const bool overlaps = e.line < next_free_line;
+    const bool no_op = e.delete_lines == 0 && e.text.empty();
+    if (!in_range || overlaps || no_op) {
+      if (skipped != nullptr) skipped->push_back(std::move(e));
+      continue;
+    }
+    next_free_line = e.line + std::max(e.delete_lines, 1);
+    accepted.push_back(std::move(e));
+  }
+
+  // Second pass: apply bottom-up so earlier line numbers stay valid.
+  for (auto it = accepted.rbegin(); it != accepted.rend(); ++it) {
+    const TextEdit& e = *it;
+    const std::string indent = EditIndent(lines, e.line, e.delete_lines);
+    std::vector<std::string> body;
+    body.reserve(e.text.size());
+    for (const std::string& t : e.text) {
+      body.push_back(t.empty() ? t : indent + t);
+    }
+    const auto at = lines.begin() + (e.line - 1);
+    lines.erase(at, at + e.delete_lines);
+    lines.insert(lines.begin() + (e.line - 1), body.begin(), body.end());
+  }
+  if (applied != nullptr) {
+    for (TextEdit& e : accepted) applied->push_back(std::move(e));
+  }
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    os << lines[i];
+    if (i + 1 < lines.size() || trailing_newline) os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pstk::analysis

@@ -1,0 +1,48 @@
+// Machine-applicable text edits for pstk-lint findings (`--fix`).
+//
+// Edits are deliberately line-grained: the structural parser keeps
+// statement line spans (Stmt::line / Stmt::end_line) but not column
+// offsets, and every fix the rules emit — hoist a collective out of a
+// branch, fuse a Send/Recv pair into Sendrecv, insert a shmem Quiet(),
+// widen a narrowing cast — is naturally a whole-line replacement or
+// insertion. Replacement text is stored *unindented*; indentation is
+// derived at apply time from the surrounding lines, so a fix composed
+// from compact statement text lands at the right depth regardless of
+// where the finding sat.
+//
+// ApplyEdits is total and conservative: edits are sorted, overlapping
+// edits are dropped (first by line order wins), and out-of-range edits
+// are skipped — applying fixes never corrupts a file, it only fixes
+// less. lint_main re-lints after applying and reports any finding that
+// survived its own fix, which keeps `--fix` idempotent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pstk::analysis {
+
+/// One line-granular edit: replace `delete_lines` lines starting at
+/// 1-based `line` with `text` (0 delete_lines = pure insertion before
+/// `line`). `text` lines carry no leading indentation.
+struct TextEdit {
+  std::string file;
+  int line = 1;
+  int delete_lines = 0;
+  std::vector<std::string> text;
+  std::string note;  // short human description, shown by --fix=dry-run
+
+  friend bool operator==(const TextEdit&, const TextEdit&) = default;
+};
+
+/// Applies `edits` (all for one file) to `source`, returning the new
+/// content. Edits are applied bottom-up after sorting by line; an edit
+/// whose line range overlaps an already-accepted edit, or which falls
+/// outside the file, is skipped. `applied` / `skipped` (optional)
+/// receive the accepted and dropped edits.
+std::string ApplyEdits(const std::string& source,
+                       std::vector<TextEdit> edits,
+                       std::vector<TextEdit>* applied = nullptr,
+                       std::vector<TextEdit>* skipped = nullptr);
+
+}  // namespace pstk::analysis

@@ -53,8 +53,16 @@ class Lexer {
       }
       at_line_start_ = false;
       const std::size_t raw_prefix = RawStringPrefixAt();
-      if (raw_prefix > 0) {
+      if (raw_prefix > 0 && ValidRawDelimiterAt(pos_ + raw_prefix + 1)) {
         LexRawString(raw_prefix);
+        continue;
+      }
+      if (raw_prefix > 0) {
+        // `R"` (or `u8R"` etc.) not followed by a valid delimiter + '(' is
+        // an encoding-prefix identifier and an ordinary string literal.
+        Emit(TokKind::kIdent, src_.substr(pos_, raw_prefix), line_);
+        pos_ += raw_prefix;
+        LexString('"', TokKind::kString);
         continue;
       }
       if (c == '"') {
@@ -158,6 +166,22 @@ class Lexer {
     return 0;
   }
 
+  /// The d-char-seq may not contain space, parens, backslash, quote, or
+  /// control characters, and is at most 16 chars (C++ [lex.string]). A
+  /// malformed introducer is not a raw string at all — without this check
+  /// a stray `R"` swallows the rest of the file as one token.
+  [[nodiscard]] bool ValidRawDelimiterAt(std::size_t at) const {
+    for (std::size_t n = 0; at + n < src_.size() && n <= 16; ++n) {
+      const char c = src_[at + n];
+      if (c == '(') return true;
+      if (c == ' ' || c == ')' || c == '\\' || c == '"' ||
+          static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+    }
+    return false;  // no '(' within 16 chars (or hit end of input)
+  }
+
   void LexRawString(std::size_t prefix_len) {
     const int start_line = line_;
     std::string text = src_.substr(pos_, prefix_len) + "\"";
@@ -222,6 +246,11 @@ class Lexer {
     std::string text;
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
+      if (c == '\'' &&
+          (pos_ + 1 >= src_.size() ||
+           std::isalnum(static_cast<unsigned char>(src_[pos_ + 1])) == 0)) {
+        break;  // a separator needs a digit after it; this ' opens a char
+      }
       if (IsIdentChar(c) || c == '.' || c == '\'') {
         // Exponent sign: 1e+9 / 0x1p-3.
         text += c;

@@ -96,6 +96,13 @@ Bytes Comm::Recv(void* data, Bytes max_bytes, int source, int tag) {
   return RawRecv(source, tag, data, max_bytes);
 }
 
+Bytes Comm::Sendrecv(const void* send_data, Bytes send_bytes, int dest,
+                     void* recv_data, Bytes recv_max, int source, int tag) {
+  PSTK_CHECK_MSG(tag >= 0 && tag < kCollTagBase, "user tag out of range");
+  RawSend(dest, tag, send_data, send_bytes, /*async=*/true);
+  return RawRecv(source, tag, recv_data, recv_max);
+}
+
 Request Comm::Isend(const void* data, Bytes bytes, int dest, int tag) {
   PSTK_CHECK_MSG(tag >= 0 && tag < kCollTagBase, "user tag out of range");
   RawSend(dest, tag, data, bytes, /*async=*/true);

@@ -102,6 +102,13 @@ class Comm {
     return Recv(data.data(), data.size_bytes(), source, tag) / sizeof(T);
   }
 
+  /// Combined exchange (MPI_Sendrecv): the send is posted without
+  /// blocking before the receive, so head-to-head exchanges that would
+  /// deadlock as Send;Recv above the rendezvous threshold are safe.
+  /// Returns the number of bytes received.
+  Bytes Sendrecv(const void* send_data, Bytes send_bytes, int dest,
+                 void* recv_data, Bytes recv_max, int source, int tag);
+
   /// Nonblocking send: buffers and returns immediately.
   Request Isend(const void* data, Bytes bytes, int dest, int tag);
   /// Nonblocking receive: completes in Wait/Waitall.

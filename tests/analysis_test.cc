@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 
+#include "analysis/cfg.h"
 #include "analysis/dataflow.h"
+#include "analysis/deadlock.h"
 #include "analysis/lint.h"
 #include "analysis/loc.h"
 #include "analysis/parse.h"
+#include "analysis/rewrite.h"
 #include "analysis/token.h"
 
 namespace pstk::analysis {
@@ -916,7 +920,8 @@ TEST(LintOutputTest, SeverityNamesAndWorst) {
   EXPECT_STREQ(SeverityName(Severity::kNote), "note");
   EXPECT_STREQ(SeverityName(Severity::kWarning), "warning");
   EXPECT_STREQ(SeverityName(Severity::kError), "error");
-  std::vector<LintFinding> fs{{"r", "f", 1, "m", Severity::kWarning, ""}};
+  std::vector<LintFinding> fs{{"r", "f", 1, "m", Severity::kWarning, "", {},
+                               "", {}}};
   EXPECT_EQ(WorstSeverity({}), Severity::kNote);
   EXPECT_EQ(WorstSeverity(fs), Severity::kWarning);
   fs.push_back(SampleFinding());
@@ -950,11 +955,11 @@ TEST(LintOutputTest, SarifGolden) {
               std::string::npos)
         << r.slug;
   }
-  // The result object, golden: mpi-tag-mismatch is rule index 6 (the
+  // The result object, golden: mpi-tag-mismatch is rule index 7 (the
   // registry is sorted by slug).
   EXPECT_NE(
       sarif.find(
-          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 6, "
+          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 7, "
           "\"level\": \"error\", \"message\": {\"text\": \"tags 1 vs 2\"}, "
           "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
           "{\"uri\": \"examples/a.cc\"}, \"region\": {\"startLine\": 12}}}]}"),
@@ -1067,6 +1072,683 @@ TEST(LintBaselineTest, WrongRuleOrPathDoesNotSuppress) {
       ParseBaseline("spark-missing-persist examples/a.cc\n");
   const auto kept = ApplyBaseline({SampleFinding()}, entries, nullptr);
   EXPECT_EQ(kept.size(), 1u);  // rule differs, finding survives
+}
+
+// ===========================================================================
+// Tokenizer regressions: custom raw delimiters + digit separators
+// ===========================================================================
+
+TEST(TokenTest, CustomRawDelimiterScansToItsOwnTerminator) {
+  // A custom delimiter means `)"` inside the literal does NOT end it —
+  // only `)xyz"` does. The contents must stay opaque either way.
+  const auto tokens = Tokenize(
+      "auto a = R\"xyz(comm.Send(buf)\" still inside)xyz\";\n"
+      "int after = 1;\n");
+  for (const Token& t : tokens) {
+    EXPECT_FALSE(t.IsIdent("Send")) << t.text;
+    EXPECT_FALSE(t.IsIdent("inside")) << t.text;
+  }
+  const auto after = std::find_if(
+      tokens.begin(), tokens.end(),
+      [](const Token& t) { return t.IsIdent("after"); });
+  ASSERT_NE(after, tokens.end());
+  EXPECT_EQ(after->line, 2);
+}
+
+TEST(TokenTest, MalformedRawPrefixFallsBackToOrdinaryString) {
+  // `R"<27 chars>(` is not a valid raw literal (delimiter too long); the
+  // R must lex as an identifier and the quote as an ordinary string, not
+  // scan unbounded for a matching terminator that never comes.
+  const auto tokens = Tokenize(
+      "auto a = R\"aaaaaaaaaaaaaaaaaaaaaaaaaaa ok\";\n"
+      "int after = 1;\n");
+  const auto after = std::find_if(
+      tokens.begin(), tokens.end(),
+      [](const Token& t) { return t.IsIdent("after"); });
+  ASSERT_NE(after, tokens.end());
+  EXPECT_EQ(after->line, 2);
+}
+
+TEST(TokenTest, DigitSeparatorsDoNotSpliceTokens) {
+  // `1'000'000` is one number; `2'` (a quote not followed by a digit)
+  // must not swallow the following character literal apostrophe.
+  const auto big = Tokenize("n = 1'000'000;");
+  const auto num = std::find_if(
+      big.begin(), big.end(),
+      [](const Token& t) { return t.kind == TokKind::kNumber; });
+  ASSERT_NE(num, big.end());
+  EXPECT_EQ(num->text, "1'000'000");
+  EXPECT_EQ(TokenIntValue(*num), std::optional<long long>(1000000));
+
+  const auto edge = Tokenize("f(1, 'x'); int after = 1;");
+  const auto after = std::find_if(
+      edge.begin(), edge.end(),
+      [](const Token& t) { return t.IsIdent("after"); });
+  EXPECT_NE(after, edge.end());
+}
+
+// ===========================================================================
+// Stage 3.5: control-flow graph
+// ===========================================================================
+
+std::string CfgDumpOf(const std::string& source) {
+  const Unit unit = ParseSource(source);
+  EXPECT_FALSE(unit.functions.empty());
+  const Function& fn = unit.functions.front();
+  return DumpCfg(fn, FunctionFlow(fn));
+}
+
+TEST(CfgTest, IfElseGolden) {
+  const std::string dump = CfgDumpOf(R"cc(
+void f(mpi::Comm& comm) {
+  int a = 1;
+  if (comm.rank() == 0) {
+    a = 2;
+  } else {
+    a = 3;
+  }
+  comm.Barrier();
+}
+)cc");
+  EXPECT_EQ(dump,
+            "entry=b0 exit=b4\n"
+            "b0 d0 lines=3,4\n"
+            "  -> b1 if \"comm.rank()==0\" (line 4, divergent)\n"
+            "  -> b2 ifnot \"comm.rank()==0\" (line 4, divergent)\n"
+            "b1 d0 lines=5\n"
+            "  -> b3\n"
+            "b2 d0 lines=7\n"
+            "  -> b3\n"
+            "b3 d0 lines=9\n"
+            "  -> b4\n"
+            "b4 d0 lines=\n");
+}
+
+TEST(CfgTest, LoopAndEarlyReturnGolden) {
+  // The early return edges straight to the exit block; the loop lowers to
+  // head (condition), body (depth 1, back edge), and after blocks.
+  const std::string dump = CfgDumpOf(R"cc(
+void f(mpi::Comm& comm, int n) {
+  if (n == 0) {
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    comm.Barrier();
+  }
+}
+)cc");
+  // Uniform condition: no ", divergent" marker anywhere.
+  EXPECT_EQ(dump.find("divergent"), std::string::npos) << dump;
+  // The return block's only successor is the exit block.
+  EXPECT_NE(dump.find("exit=b6"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("b1 d0 lines=4\n  -> b6\n"), std::string::npos)
+      << dump;
+  // Loop body sits at depth 1 and carries the back edge to the head.
+  EXPECT_NE(dump.find("b4 d1 lines=7\n  -> b3 back\n"), std::string::npos)
+      << dump;
+}
+
+TEST(CfgTest, PathEnumerationAbstractsLoopsToZeroOrOne) {
+  const Unit unit = ParseSource(R"cc(
+void f(mpi::Comm& comm, int n) {
+  if (n > 0) {
+    n = 1;
+  }
+  for (int i = 0; i < n; ++i) {
+    comm.Send(buf, 64, 0, 0);
+  }
+}
+)cc");
+  const Function& fn = unit.functions.front();
+  const Cfg cfg = Cfg::Build(fn, FunctionFlow(fn));
+  bool overflow = true;
+  const auto paths = cfg.EnumeratePaths(256, &overflow);
+  EXPECT_FALSE(overflow);
+  // 2 branch outcomes x (loop skipped | body once) = 4 paths.
+  EXPECT_EQ(paths.size(), 4u);
+  // Any path that walks the loop body marks the Send step with depth > 0,
+  // so sequence-exact consumers know not to trust the 0-or-1 abstraction.
+  bool saw_loop_send = false;
+  for (const auto& p : paths) {
+    for (const auto& s : p.steps) {
+      if (!s.stmt->calls.empty() && s.stmt->calls[0].method == "Send") {
+        EXPECT_GT(s.loop_depth, 0);
+        saw_loop_send = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_loop_send);
+}
+
+TEST(CfgTest, PathEnumerationOverflowReportsDontKnow) {
+  // 10 sequential two-way branches: 1024 paths > the cap of 8.
+  std::string source = "void f(int n) {\n";
+  for (int i = 0; i < 10; ++i) {
+    source += "  if (n > " + std::to_string(i) + ") {\n    n += 1;\n  }\n";
+  }
+  source += "}\n";
+  const Unit unit = ParseSource(source);
+  const Function& fn = unit.functions.front();
+  const Cfg cfg = Cfg::Build(fn, FunctionFlow(fn));
+  bool overflow = false;
+  const auto paths = cfg.EnumeratePaths(8, &overflow);
+  EXPECT_TRUE(overflow);
+  EXPECT_LE(paths.size(), 8u);
+}
+
+// ===========================================================================
+// Deadlock machinery: expression evaluator + rendezvous scheduler
+// ===========================================================================
+
+TEST(DeadlockSimTest, EvalIntExprGrammar) {
+  const auto resolve = [](const std::string& name)
+      -> std::optional<long long> {
+    if (name == "r") return 3;
+    if (name == "N") return 4;
+    return std::nullopt;
+  };
+  const auto eval = [&](const std::string& e) { return EvalIntExpr(e, resolve); };
+  EXPECT_EQ(eval("(r+1)%N"), std::optional<long long>(0));
+  EXPECT_EQ(eval("r^1"), std::optional<long long>(2));
+  EXPECT_EQ(eval("r==0?10:20"), std::optional<long long>(20));
+  EXPECT_EQ(eval("static_cast<std::int64_t>(r)*2"),
+            std::optional<long long>(6));
+  EXPECT_EQ(eval("2'000+1"), std::optional<long long>(2001));
+  EXPECT_EQ(eval("!(r<N)||r/2==1"), std::optional<long long>(1));
+  // Unknowns stay unknown: unresolved identifier, call syntax, div by 0.
+  EXPECT_EQ(eval("x+1"), std::nullopt);
+  EXPECT_EQ(eval("f(r)"), std::nullopt);
+  EXPECT_EQ(eval("r/(r-3)"), std::nullopt);
+}
+
+CommOp Op(CommOp::Kind kind, int peer, int tag = 0) {
+  CommOp op;
+  op.kind = kind;
+  op.peer = peer;
+  op.tag = tag;
+  return op;
+}
+
+TEST(DeadlockSimTest, HeadToHeadSendsDeadlock) {
+  using K = CommOp::Kind;
+  const auto rep = SimulateRendezvous({
+      {Op(K::kSend, 1), Op(K::kRecv, 1)},
+      {Op(K::kSend, 0), Op(K::kRecv, 0)},
+  });
+  EXPECT_TRUE(rep.deadlock);
+  EXPECT_TRUE(rep.proper_cycle);
+  EXPECT_TRUE(rep.all_sends);
+  EXPECT_FALSE(rep.involves_collective);
+  ASSERT_EQ(rep.ranks.size(), 2u);
+  EXPECT_EQ(rep.ops[0].kind, K::kSend);
+}
+
+TEST(DeadlockSimTest, RingSendsDeadlockAtThreeRanks) {
+  using K = CommOp::Kind;
+  std::vector<std::vector<CommOp>> seqs;
+  for (int r = 0; r < 3; ++r) {
+    seqs.push_back({Op(K::kSend, (r + 1) % 3), Op(K::kRecv, (r + 2) % 3)});
+  }
+  const auto rep = SimulateRendezvous(seqs);
+  EXPECT_TRUE(rep.deadlock);
+  EXPECT_TRUE(rep.all_sends);
+  EXPECT_EQ(rep.ranks.size(), 3u);
+}
+
+TEST(DeadlockSimTest, RecvBeforeSendIsAWaitCycleNotAllSends) {
+  using K = CommOp::Kind;
+  const auto rep = SimulateRendezvous({
+      {Op(K::kRecv, 1), Op(K::kSend, 1)},
+      {Op(K::kRecv, 0), Op(K::kSend, 0)},
+  });
+  EXPECT_TRUE(rep.deadlock);
+  EXPECT_TRUE(rep.proper_cycle);
+  EXPECT_FALSE(rep.all_sends);
+  EXPECT_EQ(rep.ops[0].kind, K::kRecv);
+}
+
+TEST(DeadlockSimTest, SafeOrderingsDrain) {
+  using K = CommOp::Kind;
+  // Sendrecv exchange.
+  CommOp xchg = Op(K::kSendrecv, 1);
+  xchg.peer2 = 1;
+  CommOp xchg2 = Op(K::kSendrecv, 0);
+  xchg2.peer2 = 0;
+  EXPECT_FALSE(SimulateRendezvous({{xchg}, {xchg2}}).deadlock);
+  // Staggered order: one side sends first.
+  EXPECT_FALSE(SimulateRendezvous({
+      {Op(K::kSend, 1), Op(K::kRecv, 1)},
+      {Op(K::kRecv, 0), Op(K::kSend, 0)},
+  }).deadlock);
+  // Isend posts without blocking; Wait drains after the Recv matched.
+  EXPECT_FALSE(SimulateRendezvous({
+      {Op(K::kIsend, 1), Op(K::kRecv, 1), Op(K::kWait, -1)},
+      {Op(K::kIsend, 0), Op(K::kRecv, 0), Op(K::kWait, -1)},
+  }).deadlock);
+}
+
+TEST(DeadlockSimTest, RecvAgainstExitedPeerIsChainNotCycle) {
+  using K = CommOp::Kind;
+  const auto rep = SimulateRendezvous({{Op(K::kRecv, 1)}, {}});
+  EXPECT_TRUE(rep.deadlock);
+  EXPECT_FALSE(rep.proper_cycle);
+  ASSERT_EQ(rep.ranks.size(), 1u);
+  EXPECT_EQ(rep.ranks[0], 0);
+}
+
+TEST(DeadlockSimTest, CollectivesRunLockstepOrSuppress) {
+  using K = CommOp::Kind;
+  CommOp barrier = Op(K::kCollective, -1);
+  barrier.label = "Barrier";
+  // All ranks at the same collective: it completes.
+  EXPECT_FALSE(SimulateRendezvous({{barrier}, {barrier}}).deadlock);
+  // One rank at a collective, the other in a Recv: stuck, but the
+  // divergence rules own collective shapes — the report says so.
+  const auto rep = SimulateRendezvous({{barrier}, {Op(K::kRecv, 0)}});
+  EXPECT_TRUE(rep.deadlock);
+  EXPECT_TRUE(rep.involves_collective);
+}
+
+// ===========================================================================
+// Rewriter
+// ===========================================================================
+
+TEST(RewriteTest, InsertReplaceDelete) {
+  const std::string src = "a();\nb();\nc();\n";
+  std::vector<TextEdit> applied;
+  std::vector<TextEdit> skipped;
+  const std::string out = ApplyEdits(
+      src,
+      {
+          {"f", 2, 0, {"x();"}, "insert before b"},
+          {"f", 3, 1, {"y();", "z();"}, "replace c"},
+      },
+      &applied, &skipped);
+  EXPECT_EQ(out, "a();\nx();\nb();\ny();\nz();\n");
+  EXPECT_EQ(applied.size(), 2u);
+  EXPECT_EQ(skipped.size(), 0u);
+
+  // Pure deletion.
+  EXPECT_EQ(ApplyEdits(src, {{"f", 2, 1, {}, "drop b"}}), "a();\nc();\n");
+  // No trailing newline: preserved as-is.
+  EXPECT_EQ(ApplyEdits("a();\nb();", {{"f", 1, 1, {"n();"}, ""}}),
+            "n();\nb();");
+}
+
+TEST(RewriteTest, OverlapAndOutOfRangeEditsAreSkipped) {
+  const std::string src = "a();\nb();\nc();\n";
+  std::vector<TextEdit> applied;
+  std::vector<TextEdit> skipped;
+  const std::string out = ApplyEdits(
+      src,
+      {
+          {"f", 1, 2, {"one();"}, "replace a+b"},
+          {"f", 2, 1, {"clash();"}, "overlaps the first edit"},
+          {"f", 99, 1, {"far();"}, "past the end"},
+      },
+      &applied, &skipped);
+  EXPECT_EQ(out, "one();\nc();\n");
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(skipped.size(), 2u);
+}
+
+TEST(RewriteTest, InsertedTextAdoptsSurroundingIndentation) {
+  // Replacement takes the first replaced line's indent; an insertion
+  // after a line that opens a block indents one level deeper.
+  EXPECT_EQ(ApplyEdits("  if (x) {\n    foo();\n  }\n",
+                       {{"f", 1, 3, {"foo();"}, ""}}),
+            "  foo();\n");
+  EXPECT_EQ(ApplyEdits("if (x) {\n}\n", {{"f", 2, 0, {"bar();"}, ""}}),
+            "if (x) {\n  bar();\n}\n");
+}
+
+// ===========================================================================
+// Rules: static deadlock detection (rendezvous + wait cycles)
+// ===========================================================================
+
+TEST(LintRuleTest, RendezvousExchangeDeadlockFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  comm.Send(out, 131072, partner, 3);
+  comm.Recv(in, 131072, partner, 3);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-rendezvous-deadlock"), 1)
+      << RenderLintReport(findings);
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const LintFinding& f) { return f.rule == "mpi-rendezvous-deadlock"; });
+  EXPECT_EQ(it->severity, Severity::kError);
+  EXPECT_EQ(it->line, 4);
+  // The message names the world size and walks the cycle; both endpoints
+  // appear as related locations (static mirror of the runtime explainer).
+  EXPECT_NE(it->message.find("with 2 ranks"), std::string::npos)
+      << it->message;
+  EXPECT_NE(it->message.find("rank 0 blocks in Send()"), std::string::npos);
+  EXPECT_EQ(it->related.size(), 2u);
+  // The finding carries the Sendrecv fuse: replace the Send line, absorb
+  // the Recv line.
+  ASSERT_EQ(it->edits.size(), 2u);
+  ASSERT_EQ(it->edits[0].text.size(), 1u);
+  EXPECT_NE(it->edits[0].text[0].find("comm.Sendrecv("), std::string::npos);
+  EXPECT_EQ(it->edits[1].delete_lines, 1);
+  EXPECT_TRUE(it->edits[1].text.empty());
+}
+
+TEST(LintRuleTest, RingSendDeadlockFlagged) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  comm.Send(out, 131072, next, 0);
+  comm.Recv(in, 131072, prev, 0);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-rendezvous-deadlock"), 1)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, RecvBeforeSendFlaggedAsWaitCycle) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  comm.Recv(in, 64, partner, 0);
+  comm.Send(out, 64, partner, 0);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "mpi-wait-cycle"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(CountRule(findings, "mpi-rendezvous-deadlock"), 0);
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const LintFinding& f) { return f.rule == "mpi-wait-cycle"; });
+  EXPECT_NE(it->message.find("blocks in Recv()"), std::string::npos)
+      << it->message;
+}
+
+TEST(LintRuleTest, SafeExchangeOrdersProduceNoDeadlockFindings) {
+  // Sendrecv fusion.
+  const auto fused = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  comm.Sendrecv(out, 131072, partner, in, 131072, partner, 3);
+}
+)cc");
+  EXPECT_EQ(CountRule(fused, "mpi-rendezvous-deadlock"), 0)
+      << RenderLintReport(fused);
+  EXPECT_EQ(CountRule(fused, "mpi-wait-cycle"), 0);
+  // Isend keeps one side nonblocking.
+  const auto isend = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  auto req = comm.Isend(out, 131072, partner, 0);
+  comm.Recv(in, 131072, partner, 0);
+  comm.Wait(req);
+}
+)cc");
+  EXPECT_EQ(CountRule(isend, "mpi-rendezvous-deadlock"), 0)
+      << RenderLintReport(isend);
+  EXPECT_EQ(CountRule(isend, "mpi-wait-cycle"), 0);
+}
+
+TEST(LintRuleTest, DeadlockDetectionBailsOnUnknowns) {
+  // Unevaluable peer: stay quiet rather than guess.
+  const auto unknown = Findings(R"cc(
+void f(mpi::Comm& comm, int peer) {
+  comm.Send(out, 131072, peer, 0);
+  comm.Recv(in, 131072, peer, 0);
+}
+)cc");
+  EXPECT_EQ(CountRule(unknown, "mpi-rendezvous-deadlock"), 0)
+      << RenderLintReport(unknown);
+  EXPECT_EQ(CountRule(unknown, "mpi-wait-cycle"), 0);
+  // Point-to-point under a loop: the order is not statically known.
+  const auto looped = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  for (int i = 0; i < 4; ++i) {
+    comm.Send(out, 131072, partner, 0);
+    comm.Recv(in, 131072, partner, 0);
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(looped, "mpi-rendezvous-deadlock"), 0)
+      << RenderLintReport(looped);
+  EXPECT_EQ(CountRule(looped, "mpi-wait-cycle"), 0);
+}
+
+// ===========================================================================
+// Path-sensitive uniformity gate
+// ===========================================================================
+
+TEST(LintRuleTest, UniformPathsThroughDivergentBranchesAreClean) {
+  // Every rank executes [Barrier] on every path, so the rank-divergent
+  // branches are harmless — the syntactic heuristic used to flag all
+  // three of these shapes.
+  const auto both_arms = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  } else {
+    comm.Barrier();
+  }
+}
+)cc");
+  EXPECT_EQ(CountRule(both_arms, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(both_arms);
+  EXPECT_EQ(CountRule(both_arms, "mpi-collective-mismatch"), 0);
+
+  const auto early_return = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Bcast(buf, 64, 0);
+    return;
+  }
+  comm.Bcast(buf, 64, 0);
+}
+)cc");
+  EXPECT_EQ(CountRule(early_return, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(early_return);
+
+  const auto elseif_chain = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+    return;
+  } else if (comm.rank() == 1) {
+    comm.Barrier();
+    return;
+  }
+  comm.Barrier();
+}
+)cc");
+  EXPECT_EQ(CountRule(elseif_chain, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(elseif_chain);
+}
+
+TEST(LintRuleTest, NonUniformPathsStillFlagged) {
+  // One path has the Barrier, the other does not: genuinely divergent.
+  const auto skipped = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  }
+  compute();
+}
+)cc");
+  EXPECT_EQ(CountRule(skipped, "mpi-collective-in-divergent-branch"), 1)
+      << RenderLintReport(skipped);
+}
+
+// ===========================================================================
+// Auto-fix engine (--fix): generated edits + idempotence
+// ===========================================================================
+
+std::vector<TextEdit> AllEdits(const std::vector<LintFinding>& findings) {
+  std::vector<TextEdit> edits;
+  for (const LintFinding& f : findings) {
+    edits.insert(edits.end(), f.edits.begin(), f.edits.end());
+  }
+  return edits;
+}
+
+TEST(LintFixTest, HoistCollectiveFixAppliesAndIsIdempotent) {
+  const std::string src = R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  }
+}
+)cc";
+  const auto findings = LintSource("t.cc", src);
+  ASSERT_EQ(CountRule(findings, "mpi-collective-in-divergent-branch"), 1);
+  const std::string fixed = ApplyEdits(src, AllEdits(findings));
+  EXPECT_NE(fixed.find("\n  comm.Barrier();\n"), std::string::npos) << fixed;
+  EXPECT_EQ(fixed.find("if ("), std::string::npos) << fixed;
+  // The fixed source is clean, so a second pass has nothing to edit.
+  const auto refindings = LintSource("t.cc", fixed);
+  EXPECT_EQ(CountRule(refindings, "mpi-collective-in-divergent-branch"), 0)
+      << RenderLintReport(refindings);
+  EXPECT_EQ(ApplyEdits(fixed, AllEdits(refindings)), fixed);
+}
+
+TEST(LintFixTest, SendrecvFuseFixAppliesAndIsIdempotent) {
+  const std::string src = R"cc(
+void f(mpi::Comm& comm) {
+  const int next = (comm.rank() + 1) % comm.size();
+  const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  comm.Send(out, 131072, next, 0);
+  comm.Recv(in, 131072, prev, 0);
+}
+)cc";
+  const auto findings = LintSource("t.cc", src);
+  ASSERT_EQ(CountRule(findings, "mpi-rendezvous-deadlock"), 1)
+      << RenderLintReport(findings);
+  const std::string fixed = ApplyEdits(src, AllEdits(findings));
+  // The ring exchange fuses with distinct dest/source peers.
+  EXPECT_NE(fixed.find("comm.Sendrecv(out, 131072, next, in, 131072, "
+                       "prev, 0);"),
+            std::string::npos)
+      << fixed;
+  const auto refindings = LintSource("t.cc", fixed);
+  EXPECT_EQ(CountRule(refindings, "mpi-rendezvous-deadlock"), 0)
+      << RenderLintReport(refindings);
+  EXPECT_EQ(ApplyEdits(fixed, AllEdits(refindings)), fixed);
+}
+
+TEST(LintFixTest, IntCountWideningFix) {
+  const std::string src = R"cc(
+void f(mpi::Comm& comm, mpi::File* file) {
+  const Bytes len = file->size() / comm.size();
+  auto part = file->ReadLinesAtAll(comm, 0, static_cast<int>(len));
+}
+)cc";
+  const auto findings = LintSource("t.cc", src);
+  ASSERT_EQ(CountRule(findings, "mpi-int-count-overflow"), 1);
+  const std::string fixed = ApplyEdits(src, AllEdits(findings));
+  EXPECT_NE(fixed.find("static_cast<std::int64_t>(len)"), std::string::npos)
+      << fixed;
+  EXPECT_EQ(LintSource("t.cc", fixed).size(), 0u);
+}
+
+TEST(LintFixTest, ShmemQuietInsertionFix) {
+  const std::string src = R"cc(
+void f(shmem::Pe& pe) {
+  pe.PutValue(slots.at(0), 1, 2);
+  int v = pe.GetValue(slots.at(0), 2);
+}
+)cc";
+  const auto findings = LintSource("t.cc", src);
+  ASSERT_EQ(CountRule(findings, "shmem-put-without-quiet"), 1);
+  const std::string fixed = ApplyEdits(src, AllEdits(findings));
+  EXPECT_NE(fixed.find("pe.PutValue(slots.at(0), 1, 2);\n  pe.Quiet();\n"),
+            std::string::npos)
+      << fixed;
+  EXPECT_EQ(CountRule(LintSource("t.cc", fixed), "shmem-put-without-quiet"),
+            0);
+}
+
+// ===========================================================================
+// Baseline line hashes (drift tolerance) + parallel determinism
+// ===========================================================================
+
+TEST(LintBaselineTest, HashPinsFlaggedLineNotLineNumber) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  }
+}
+)cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line_hash, SourceLineHash("comm.Barrier();"));
+
+  // A hashed entry suppresses regardless of the line number...
+  const BaselineEntry good{"mpi-collective-in-divergent-branch", "t.cc",
+                           SourceLineHash("comm.Barrier();")};
+  EXPECT_EQ(ApplyBaseline(findings, {good}, nullptr).size(), 0u);
+  // ...a stale hash (the flagged code changed) does not...
+  const BaselineEntry stale{"mpi-collective-in-divergent-branch", "t.cc",
+                            SourceLineHash("comm.Allreduce(a, b);")};
+  EXPECT_EQ(ApplyBaseline(findings, {stale}, nullptr).size(), 1u);
+  // ...and a legacy two-field entry still matches everything in the file.
+  const BaselineEntry legacy{"mpi-collective-in-divergent-branch", "t.cc",
+                             ""};
+  EXPECT_EQ(ApplyBaseline(findings, {legacy}, nullptr).size(), 0u);
+}
+
+TEST(LintBaselineTest, HashRoundTripsThroughFormatAndParse) {
+  const auto findings = Findings(R"cc(
+void f(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.Barrier();
+  }
+}
+)cc");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string text = FormatBaseline(findings);
+  EXPECT_NE(text.find("mpi-collective-in-divergent-branch t.cc " +
+                      findings[0].line_hash),
+            std::string::npos)
+      << text;
+  const auto entries = ParseBaseline(text);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].hash, findings[0].line_hash);
+  EXPECT_EQ(ApplyBaseline(findings, entries, nullptr).size(), 0u);
+}
+
+TEST(LintProgramTest, FindingsIdenticalAcrossJobCounts) {
+  // A multi-file program with cross-file wrapper findings: the parallel
+  // tokenize/parse phase must not perturb output order or content.
+  std::vector<ProgramSource> sources;
+  sources.push_back({"a.cc", R"cc(
+void SyncAll(mpi::Comm& comm) { comm.Barrier(); }
+)cc"});
+  sources.push_back({"b.cc", R"cc(
+void caller(mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    SyncAll(comm);
+  }
+}
+)cc"});
+  sources.push_back({"c.cc", R"cc(
+void g(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  comm.Send(out, 131072, partner, 0);
+  comm.Recv(in, 131072, partner, 0);
+}
+)cc"});
+  sources.push_back({"d.cc", "void empty() {}\n"});
+  const auto one = LintProgram(sources, 1);
+  const auto four = LintProgram(sources, 4);
+  EXPECT_FALSE(one.empty());
+  ASSERT_EQ(one.size(), four.size());
+  EXPECT_EQ(RenderJson(one), RenderJson(four));
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].line_hash, four[i].line_hash);
+    EXPECT_EQ(one[i].edits.size(), four[i].edits.size());
+  }
 }
 
 }  // namespace

@@ -321,6 +321,77 @@ TEST(DeadlockVerifyTest, RecvCycleIsNamedInReportAndFinding) {
   EXPECT_TRUE(severity_checked);
 }
 
+// The static detector (pstk-lint's mpi-rendezvous-deadlock) is the
+// lint-time mirror of this explainer: one exchange, caught both ways.
+TEST(DeadlockVerifyTest, StaticDetectorMirrorsRuntimeExplainer) {
+  // 128 KiB payloads sit above MiniMPI's 64 KiB eager threshold, so the
+  // blocking Send really waits for its receiver.
+  constexpr Bytes kPayload = 131072;
+
+  // Static side: the same exchange as source text.
+  const auto findings = analysis::LintSource("exchange.cc", R"cc(
+void exchange(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  comm.Send(data.data(), 131072, partner, 5);
+  comm.Recv(data.data(), 131072, partner, 5);
+}
+)cc");
+  const auto count = [&](const char* rule) {
+    std::size_t n = 0;
+    for (const auto& f : findings) n += f.rule == rule ? 1u : 0u;
+    return n;
+  };
+  EXPECT_EQ(count("mpi-rendezvous-deadlock"), 1u)
+      << analysis::RenderLintReport(findings);
+
+  // Runtime side: the exact exchange hangs and the explainer names it.
+  MpiFixture f;
+  mpi::World world(*f.cluster, 2, 1);
+  auto t = world.RunSpmd([&](mpi::Comm& comm) {
+    std::vector<char> data(static_cast<std::size_t>(kPayload));
+    const int partner = comm.rank() ^ 1;
+    comm.Send(data.data(), kPayload, partner, 5);
+    comm.Recv(data.data(), kPayload, partner, 5);
+  });
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().ToString().find("wait-for cycle:"), kNpos);
+  EXPECT_EQ(f.hub().CountCode("sim-deadlock"), 1u);
+}
+
+TEST(DeadlockVerifyTest, SendrecvExchangeIsCleanBothWays) {
+  constexpr Bytes kPayload = 131072;
+
+  // Static side: the fused form produces no deadlock findings.
+  const auto findings = analysis::LintSource("exchange.cc", R"cc(
+void exchange(mpi::Comm& comm) {
+  const int partner = comm.rank() ^ 1;
+  comm.Sendrecv(out.data(), 131072, partner, in.data(), 131072, partner, 5);
+}
+)cc");
+  for (const auto& fd : findings) {
+    EXPECT_NE(fd.rule, "mpi-rendezvous-deadlock") << fd.message;
+    EXPECT_NE(fd.rule, "mpi-wait-cycle") << fd.message;
+  }
+
+  // Runtime side: the same exchange completes above the eager threshold
+  // and each rank receives the partner's payload.
+  MpiFixture f;
+  mpi::World world(*f.cluster, 2, 1);
+  auto t = world.RunSpmd([&](mpi::Comm& comm) {
+    const int partner = comm.rank() ^ 1;
+    std::vector<char> out(static_cast<std::size_t>(kPayload),
+                          static_cast<char>('a' + comm.rank()));
+    std::vector<char> in(static_cast<std::size_t>(kPayload), '?');
+    const Bytes got = comm.Sendrecv(out.data(), kPayload, partner,
+                                    in.data(), kPayload, partner, 5);
+    EXPECT_EQ(got, kPayload);
+    EXPECT_EQ(in.front(), static_cast<char>('a' + partner));
+    EXPECT_EQ(in.back(), static_cast<char>('a' + partner));
+  });
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(f.hub().CountCode("sim-deadlock"), 0u);
+}
+
 // ===========================================================================
 // SHMEM synchronization checker on live MiniSHMEM jobs
 // ===========================================================================
@@ -673,9 +744,9 @@ TEST(LintTest, RenderReportCleanAndSummary) {
   EXPECT_EQ(analysis::RenderLintReport({}), "pstk-lint: clean (0 findings)\n");
   std::vector<analysis::LintFinding> findings{
       {"omp-shared-reduction", "a.cc", 4, "race",
-       analysis::Severity::kWarning, ""},
+       analysis::Severity::kWarning, "", {}, "", {}},
       {"omp-shared-reduction", "b.cc", 9, "race",
-       analysis::Severity::kWarning, ""},
+       analysis::Severity::kWarning, "", {}, "", {}},
   };
   const std::string report = analysis::RenderLintReport(findings);
   EXPECT_NE(report.find("2 finding(s)"), kNpos);
