@@ -37,6 +37,8 @@ void Observability::ParseFlags(int* argc, char** argv) {
         std::exit(2);
       }
       sim::SetDefaultBackend(*backend);
+    } else if (arg.rfind("--arrivals=", 0) == 0) {
+      arrivals_ = std::string(arg.substr(std::strlen("--arrivals=")));
     } else if (arg.rfind("--faults=", 0) == 0) {
       auto plan = sim::FaultPlan::Parse(arg.substr(std::strlen("--faults=")));
       if (!plan.ok()) {

@@ -7,10 +7,19 @@
 //                    SHMEM synchronization, Spark/MR invariants) and print
 //                    a findings report per run
 //   --faults=node:<id>@<t>[+<down>][,...]
-//                    unified fault-injection plan: fail node <id> at
-//                    virtual time <t> (optionally restoring it <down>
-//                    seconds later); benches apply it with
+//   --faults=exp:mtbf=<s>,horizon=<s>,nodes=<n>[,first=<id>][,down=<s>][,seed=<u64>]
+//                    unified fault-injection plan: either explicit events
+//                    (fail node <id> at virtual time <t>, optionally
+//                    restoring it <down> seconds later) or a seeded
+//                    Poisson failure process (FaultPlan::Exponential);
+//                    benches apply it with
 //                    cluster.ApplyFaultPlan(Instance().fault_plan())
+//   --arrivals=poisson:rate=<jobs/s>,n=<count>[,seed=<u64>]
+//   --arrivals=trace:<file>
+//                    job-arrival process for the service benches
+//                    (svc_answerscount); parsed lazily with
+//                    sched::ArrivalSpec::Parse so bench_opts itself does
+//                    not depend on pstk_sched. Ignored by batch benches.
 //   --sim-backend=fibers|threads
 //                    execution backend for every engine the bench builds
 //                    (sets sim::SetDefaultBackend; overrides the
@@ -54,6 +63,9 @@ class Observability {
   [[nodiscard]] const sim::FaultPlan& fault_plan() const {
     return fault_plan_;
   }
+  /// Raw --arrivals= spec (empty when absent). Service benches parse it
+  /// with sched::ArrivalSpec::Parse.
+  [[nodiscard]] const std::string& arrivals() const { return arrivals_; }
 
   /// Enable the engine's instrumentation bus when --trace/--metrics is on
   /// and install the verification checkers when --verify is on.
@@ -72,6 +84,7 @@ class Observability {
   Observability() = default;
 
   std::string trace_path_;
+  std::string arrivals_;
   bool metrics_ = false;
   bool verify_ = false;
   sim::FaultPlan fault_plan_;

@@ -91,6 +91,13 @@ const RuleInfo kRules[] = {
      "loop without a reduction clause (or omp atomic/critical): data race",
      "add reduction(+ : <var>) to the pragma, or guard the update with "
      "#pragma omp atomic"},
+    {"sched-blocking-in-submit-path", Severity::kError,
+     "blocking call reachable from a scheduler submit-path function "
+     "(Submit / OnJob*): these run inside engine event handlers, so a "
+     "block there freezes the whole simulated cluster's event loop, not "
+     "just the submitting job",
+     "defer the blocking work onto a spawned process (engine.Spawn) and "
+     "keep the submit path event-driven"},
     {"shmem-put-without-quiet", Severity::kError,
      "symmetric put followed by a get of the same symmetric object with "
      "no Quiet()/Fence()/BarrierAll() between: the put may not be "
@@ -1506,14 +1513,18 @@ void CheckSpscMultiProducer(const Program& prog,
   }
 }
 
-void CheckBlockingInDrain(const Program& prog,
-                          std::vector<LintFinding>& out) {
+/// Shared engine for the "no blocking reachable from X" rules: for every
+/// function matched by `is_root`, flag each blocking call in its
+/// interprocedurally reachable set, once per source line per rule.
+void CheckBlockingReachableFrom(const Program& prog, const char* slug,
+                                bool (*is_root)(const std::string&),
+                                const char* role, const char* rationale,
+                                std::vector<LintFinding>& out) {
   std::set<std::pair<std::string, int>> seen;
   for (std::size_t i = 0; i < prog.fns().size(); ++i) {
     const Program::FnEntry& root = prog.fns()[i];
     const std::string& name = root.fn->name;
-    if (name.compare(0, 5, "Drain") != 0 ||
-        name.find("::lambda#") != std::string::npos) {
+    if (name.find("::lambda#") != std::string::npos || !is_root(name)) {
       continue;
     }
     std::vector<int> scope = prog.ReachableFrom(static_cast<int>(i));
@@ -1525,18 +1536,53 @@ void CheckBlockingInDrain(const Program& prog,
         if (e.call == nullptr || !IsBlockingMethod(e.call->method)) continue;
         if (!seen.insert({entry.file, e.call->line}).second) continue;
         LintFinding f = MakeFinding(
-            "sim-blocking-in-drain", entry.file, e.call->line,
+            slug, entry.file, e.call->line,
             "blocking call " + e.call->method + "() is reachable from " +
-                name + "() — the drain path runs on the coordinator "
-                "between simulation rounds and must never block, or "
-                "every shard stalls behind it");
+                name + "() — " + rationale);
         f.related.push_back(RelatedLocation{
             root.file, root.fn->line,
-            "drain root " + name + "() defined here"});
+            std::string(role) + " " + name + "() defined here"});
         out.push_back(std::move(f));
       }
     }
   }
+}
+
+void CheckBlockingInDrain(const Program& prog,
+                          std::vector<LintFinding>& out) {
+  CheckBlockingReachableFrom(
+      prog, "sim-blocking-in-drain",
+      [](const std::string& name) {
+        return name.compare(0, 5, "Drain") == 0;
+      },
+      "drain root",
+      "the drain path runs on the coordinator "
+      "between simulation rounds and must never block, or "
+      "every shard stalls behind it",
+      out);
+}
+
+/// Submit-path roots: `Submit` / `Foo::Submit`, plus `OnJob*` handlers
+/// (OnJobDone, OnJobArrival, ...) — the scheduler entry points that run
+/// as engine event handlers rather than inside a simulated process.
+bool IsSubmitPathRoot(const std::string& name) {
+  const std::size_t at = name.rfind("::");
+  const std::string_view tail =
+      at == std::string::npos
+          ? std::string_view(name)
+          : std::string_view(name).substr(at + 2);
+  return tail == "Submit" || tail.substr(0, 5) == "OnJob";
+}
+
+void CheckBlockingInSubmitPath(const Program& prog,
+                               std::vector<LintFinding>& out) {
+  CheckBlockingReachableFrom(
+      prog, "sched-blocking-in-submit-path", IsSubmitPathRoot,
+      "submit-path root",
+      "the scheduler's submit path runs inside an engine event "
+      "handler; blocking there freezes the whole simulated cluster's "
+      "event loop, not just the submitting job",
+      out);
 }
 
 // ===========================================================================
@@ -1684,6 +1730,7 @@ std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources,
   }
   CheckSpscMultiProducer(prog, out);
   CheckBlockingInDrain(prog, out);
+  CheckBlockingInSubmitPath(prog, out);
   std::sort(out.begin(), out.end(),
             [](const LintFinding& a, const LintFinding& b) {
               if (a.file != b.file) return a.file < b.file;

@@ -24,6 +24,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec, double data_scale)
   disks_.reserve(spec_.nodes);
   scratch_.reserve(spec_.nodes);
   failed_.assign(spec_.nodes, false);
+  used_cores_.assign(spec_.nodes, 0);
   for (std::size_t i = 0; i < spec_.nodes; ++i) {
     disks_.push_back(std::make_shared<storage::Disk>(spec_.node.scratch));
     disks_.back()->AttachObs(&engine_.obs(), "storage.scratch");
@@ -105,6 +106,54 @@ void Cluster::ApplyFaultPlan(const sim::FaultPlan& plan) {
     FailNode(event.node, event.time);
     if (event.transient()) RestoreNode(event.node, event.time + event.down_for);
   }
+}
+
+bool Cluster::ReserveCores(int node, int count, int owner) {
+  PSTK_CHECK_MSG(node >= 0 && node < nodes(), "bad node " << node);
+  PSTK_CHECK_MSG(count > 0, "reserve count must be positive, got " << count);
+  if (failed_[node]) return false;
+  if (used_cores_[node] + count > cores_per_node()) return false;
+  used_cores_[node] += count;
+  held_cores_[{owner, node}] += count;
+  return true;
+}
+
+void Cluster::ReleaseCores(int node, int count, int owner) {
+  PSTK_CHECK_MSG(node >= 0 && node < nodes(), "bad node " << node);
+  PSTK_CHECK_MSG(count > 0, "release count must be positive, got " << count);
+  auto it = held_cores_.find({owner, node});
+  PSTK_CHECK_MSG(it != held_cores_.end() && it->second >= count,
+                 "owner " << owner << " releases " << count << " cores on node "
+                          << node << " but holds "
+                          << (it == held_cores_.end() ? 0 : it->second));
+  it->second -= count;
+  if (it->second == 0) held_cores_.erase(it);
+  used_cores_[node] -= count;
+}
+
+void Cluster::ReleaseAllCores(int owner) {
+  for (auto it = held_cores_.lower_bound({owner, 0});
+       it != held_cores_.end() && it->first.first == owner;) {
+    used_cores_[it->first.second] -= it->second;
+    it = held_cores_.erase(it);
+  }
+}
+
+int Cluster::FreeCores(int node) const {
+  PSTK_CHECK_MSG(node >= 0 && node < nodes(), "bad node " << node);
+  if (failed_[node]) return 0;
+  return cores_per_node() - used_cores_[node];
+}
+
+int Cluster::CoresHeldBy(int owner, int node) const {
+  auto it = held_cores_.find({owner, node});
+  return it == held_cores_.end() ? 0 : it->second;
+}
+
+int Cluster::UsedCores() const {
+  int total = 0;
+  for (int used : used_cores_) total += used;
+  return total;
 }
 
 void Cluster::SubscribeNodeFailure(NodeEventCallback callback) {

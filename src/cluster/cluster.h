@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -92,6 +93,32 @@ class Cluster {
   void SubscribeNodeFailure(NodeEventCallback callback);
   void SubscribeNodeRestore(NodeEventCallback callback);
 
+  // --- Core occupancy -------------------------------------------------------
+  // Nodes are allocatable at per-core granularity so several jobs can share a
+  // node (pstk::sched's elastic placement) while gang placement still gets
+  // whole nodes by reserving all cores. Bookkeeping is per (owner, node) so
+  // over-release and release-twice are hard errors, not silent corruption.
+
+  /// Reserve `count` cores on `node` for `owner`. All-or-nothing: returns
+  /// false (reserving nothing) if fewer than `count` cores are free or the
+  /// node is down.
+  [[nodiscard]] bool ReserveCores(int node, int count, int owner);
+  /// Release `count` of `owner`'s cores on `node`. PSTK_CHECKs that the owner
+  /// actually holds that many (catches double-release).
+  void ReleaseCores(int node, int count, int owner);
+  /// Release everything `owner` holds, across all nodes.
+  void ReleaseAllCores(int owner);
+  /// Cores not currently reserved on `node` (0 if the node is down).
+  [[nodiscard]] int FreeCores(int node) const;
+  /// Cores reserved by `owner` on `node`.
+  [[nodiscard]] int CoresHeldBy(int owner, int node) const;
+  /// Total reserved cores across the cluster (failed nodes included — a
+  /// failed node's reservations persist until the owner releases them).
+  [[nodiscard]] int UsedCores() const;
+  [[nodiscard]] int TotalCores() const {
+    return nodes() * cores_per_node();
+  }
+
  private:
   sim::Engine& engine_;
   ClusterSpec spec_;
@@ -102,6 +129,8 @@ class Cluster {
   std::vector<bool> failed_;
   std::vector<NodeEventCallback> on_failure_;
   std::vector<NodeEventCallback> on_restore_;
+  std::vector<int> used_cores_;                    // per node
+  std::map<std::pair<int, int>, int> held_cores_;  // (owner, node) -> count
 };
 
 }  // namespace pstk::cluster

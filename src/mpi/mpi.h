@@ -38,6 +38,14 @@ struct MpiOptions {
   Bytes eager_threshold = 64 * kKiB;
   /// Override the cluster's default transport (tests use this).
   std::optional<net::TransportParams> transport;
+  /// Explicit rank->node placement (size must equal nranks). When empty,
+  /// ranks are block-placed `ranks_per_node` to a node starting at node 0.
+  /// The scheduler uses this to land gang jobs on whatever nodes it
+  /// allocated.
+  std::vector<int> placement;
+  /// Prefix for spawned process names; concurrent jobs under pstk::sched
+  /// use it to keep traces distinguishable.
+  std::string name = "mpi";
 };
 
 class World;
@@ -213,9 +221,16 @@ class World {
   /// to the last rank's exit), or an error on deadlock/abort.
   Result<SimTime> RunSpmd(RankBody body);
 
+  /// Fires once, when the last rank leaves MPI_Finalize. Mid-run launchers
+  /// (pstk::sched) use it instead of RunSpmd's engine-drained return.
+  void OnAllRanksDone(std::function<void(SimTime)> callback) {
+    on_done_ = std::move(callback);
+  }
+
   [[nodiscard]] int nranks() const { return nranks_; }
   [[nodiscard]] int ranks_per_node() const { return ranks_per_node_; }
   [[nodiscard]] int NodeOfRank(int rank) const {
+    if (!options_.placement.empty()) return options_.placement[rank];
     return rank / ranks_per_node_;
   }
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
@@ -232,6 +247,8 @@ class World {
   std::unique_ptr<net::Network> network_;
   int next_comm_id_ = 1;
   SimTime job_end_ = 0;
+  int ranks_done_ = 0;
+  std::function<void(SimTime)> on_done_;
 };
 
 /// MPI-IO over node-local scratch replicas (the paper's setup: the input

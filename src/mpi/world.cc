@@ -15,10 +15,21 @@ World::World(cluster::Cluster& cluster, int nranks, int ranks_per_node,
       ranks_per_node_(ranks_per_node) {
   PSTK_CHECK_MSG(nranks_ >= 1, "need at least one rank");
   PSTK_CHECK_MSG(ranks_per_node_ >= 1, "ranks_per_node must be >= 1");
-  const int needed_nodes = (nranks_ + ranks_per_node_ - 1) / ranks_per_node_;
-  PSTK_CHECK_MSG(needed_nodes <= cluster_.nodes(),
-                 "not enough nodes: need " << needed_nodes << ", have "
-                                           << cluster_.nodes());
+  if (!options_.placement.empty()) {
+    PSTK_CHECK_MSG(
+        options_.placement.size() == static_cast<std::size_t>(nranks_),
+        "placement names " << options_.placement.size() << " ranks for an "
+                           << nranks_ << "-rank job");
+    for (int node : options_.placement) {
+      PSTK_CHECK_MSG(node >= 0 && node < cluster_.nodes(),
+                     "placement node " << node << " out of range");
+    }
+  } else {
+    const int needed_nodes = (nranks_ + ranks_per_node_ - 1) / ranks_per_node_;
+    PSTK_CHECK_MSG(needed_nodes <= cluster_.nodes(),
+                   "not enough nodes: need " << needed_nodes << ", have "
+                                             << cluster_.nodes());
+  }
   const net::TransportParams transport =
       options_.transport.value_or(cluster_.spec().transport);
   network_ = std::make_unique<net::Network>(
@@ -34,11 +45,13 @@ void World::SpawnRanks(RankBody body) {
     const int node = NodeOfRank(r);
     network_->CreateEndpoint(r, node);
     cluster_.engine().Spawn(
-        "mpi-rank-" + std::to_string(r),
+        options_.name + "-rank-" + std::to_string(r),
         [this, r, group, body](sim::Context& ctx) {
           // mpirun launch + MPI_Init (which registers the rank with its
           // NIC endpoint, so deadlock wait-for edges resolve immediately).
-          ctx.SleepUntil(options_.startup_cost);
+          // Relative sleep so mid-run launches (sched) pay the same cost
+          // as t=0 launches.
+          ctx.SleepFor(options_.startup_cost);
           network_->endpoint(r).Bind(ctx);
           Comm comm(*this, ctx, r, nranks_, /*comm_id=*/0, group);
           body(comm);
@@ -59,6 +72,7 @@ void World::SpawnRanks(RankBody body) {
                               ctx.now());
           }
           job_end_ = std::max(job_end_, ctx.now());
+          if (++ranks_done_ == nranks_ && on_done_) on_done_(ctx.now());
         },
         node);
   }

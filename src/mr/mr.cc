@@ -176,9 +176,9 @@ Result<JobResult> MrEngine::RunJob(JobConf conf, MapFn map, ReduceFn reduce,
   return Internal("MapReduce job never completed");
 }
 
-void MrEngine::Submit(JobConf conf, MapFn map, ReduceFn reduce,
-                      std::optional<ReduceFn> combine,
-                      std::function<void(Result<JobResult>)> on_done) {
+MrEngine::JobHandle MrEngine::Submit(
+    JobConf conf, MapFn map, ReduceFn reduce, std::optional<ReduceFn> combine,
+    std::function<void(Result<JobResult>)> on_done) {
   auto job = std::make_shared<Job>();
   job->conf = std::move(conf);
   job->map = std::move(map);
@@ -188,22 +188,29 @@ void MrEngine::Submit(JobConf conf, MapFn map, ReduceFn reduce,
   job->network = std::make_unique<net::Network>(cluster_.engine(), fabric_);
   ++job_seq_;
 
-  // One worker per (node, slot).
-  job->num_workers = cluster_.nodes() * options_.slots_per_node;
+  // One worker per (node, slot), unless the conf placed workers explicitly.
+  if (job->conf.worker_nodes.empty()) {
+    job->num_workers = cluster_.nodes() * options_.slots_per_node;
+    for (int w = 0; w < job->num_workers; ++w) {
+      job->worker_nodes.push_back(w / options_.slots_per_node);
+    }
+  } else {
+    job->worker_nodes = job->conf.worker_nodes;
+    job->num_workers = static_cast<int>(job->worker_nodes.size());
+  }
 
-  // Endpoint 0 = coordinator (node 0); workers at 1 + id.
-  job->network->CreateEndpoint(0, 0);
+  // Endpoint 0 = coordinator; workers at 1 + id.
+  job->network->CreateEndpoint(0, job->conf.coordinator_node);
   for (int w = 0; w < job->num_workers; ++w) {
-    const int node = w / options_.slots_per_node;
-    job->network->CreateEndpoint(1 + w, node);
-    job->worker_nodes.push_back(node);
+    job->network->CreateEndpoint(1 + w, job->worker_nodes[w]);
   }
   job->worker_pids.assign(job->num_workers, sim::kNoPid);
 
   auto self = this;
   cluster_.engine().Spawn(
       job->conf.name + "-coord",
-      [self, job](sim::Context& ctx) { self->CoordinatorMain(ctx, *job); }, 0);
+      [self, job](sim::Context& ctx) { self->CoordinatorMain(ctx, *job); },
+      job->conf.coordinator_node);
   for (int w = 0; w < job->num_workers; ++w) {
     const int node = job->worker_nodes[w];
     // No NodeManager on a currently-failed node: its slots stay empty
@@ -214,7 +221,32 @@ void MrEngine::Submit(JobConf conf, MapFn map, ReduceFn reduce,
         [self, job, w](sim::Context& ctx) { self->WorkerMain(ctx, *job, w); },
         node);
   }
+  return job;
 }
+
+int MrEngine::AddWorker(const JobHandle& job, int node) {
+  const int w = job->num_workers++;
+  job->worker_nodes.push_back(node);
+  job->network->CreateEndpoint(1 + w, node);
+  job->worker_pids.push_back(sim::kNoPid);
+  if (!cluster_.NodeFailed(node) && !job->finished) {
+    auto self = this;
+    job->worker_pids[w] = cluster_.engine().Spawn(
+        job->conf.name + "-worker-" + std::to_string(w),
+        [self, job, w](sim::Context& ctx) { self->WorkerMain(ctx, *job, w); },
+        node);
+  }
+  return w;
+}
+
+void MrEngine::KillWorker(const JobHandle& job, int worker_id) {
+  const sim::Pid pid = job->worker_pids[static_cast<std::size_t>(worker_id)];
+  if (pid != sim::kNoPid && cluster_.engine().IsAlive(pid)) {
+    cluster_.engine().KillNow(pid);
+  }
+}
+
+bool MrEngine::JobFinished(const JobHandle& job) { return job->finished; }
 
 // ---------------------------------------------------------------------------
 // Coordinator

@@ -56,6 +56,11 @@ struct JobConf {
   int num_reducers = 1;
   int max_attempts = 4;        // per task
   bool write_output = true;    // benchmarks may skip the DFS write
+  /// Explicit worker->node placement (one worker per entry), overriding the
+  /// nodes x slots_per_node grid; set by pstk::sched's elastic placement.
+  std::vector<int> worker_nodes;
+  /// Node hosting the coordinator (ApplicationMaster).
+  int coordinator_node = 0;
 };
 
 struct MrOptions {
@@ -97,23 +102,34 @@ struct JobResult {
 
 class MrEngine {
  public:
+  struct Job;  // internal coordinator state; opaque to callers
+  /// Opaque handle to a submitted job, usable for elastic grow/shrink.
+  using JobHandle = std::shared_ptr<Job>;
+
   MrEngine(cluster::Cluster& cluster, dfs::MiniDfs& dfs, MrOptions options = {});
 
   /// Submit and run a job to completion inside the current engine run.
   /// Spawns the coordinator + per-slot worker processes; the caller runs
   /// the engine (or use RunJob for the common standalone case).
-  void Submit(JobConf conf, MapFn map, ReduceFn reduce,
-              std::optional<ReduceFn> combine,
-              std::function<void(Result<JobResult>)> on_done);
+  JobHandle Submit(JobConf conf, MapFn map, ReduceFn reduce,
+                   std::optional<ReduceFn> combine,
+                   std::function<void(Result<JobResult>)> on_done);
 
   /// Convenience: submit + engine.Run() and return the outcome.
   Result<JobResult> RunJob(JobConf conf, MapFn map, ReduceFn reduce,
                            std::optional<ReduceFn> combine = std::nullopt);
 
+  /// Elastic growth: add one worker (container) on `node` to a running
+  /// job. The worker joins the pull loop immediately; returns its id.
+  int AddWorker(const JobHandle& job, int node);
+  /// Elastic shrink: kill worker `worker_id`. Its running task is requeued
+  /// by the coordinator's dead-worker sweep.
+  void KillWorker(const JobHandle& job, int worker_id);
+  [[nodiscard]] static bool JobFinished(const JobHandle& job);
+
   [[nodiscard]] const MrOptions& options() const { return options_; }
 
  private:
-  struct Job;  // internal coordinator state
 
   void CoordinatorMain(sim::Context& ctx, Job& job);
   void WorkerMain(sim::Context& ctx, Job& job, int worker_id);

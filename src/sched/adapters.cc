@@ -1,0 +1,181 @@
+#include "sched/adapters.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pstk::sched {
+
+namespace {
+
+/// Kill every process on the job's (exclusively owned) nodes. Gang
+/// placement is whole-node, so nothing else can be running there.
+void KillNodes(cluster::Cluster& cluster, const std::vector<int>& placement) {
+  sim::Engine& engine = cluster.engine();
+  const std::set<int> nodes(placement.begin(), placement.end());
+  for (int node : nodes) {
+    for (sim::Pid pid : engine.AlivePidsOnNode(node)) {
+      engine.KillNow(pid);
+    }
+  }
+}
+
+/// Snapshot store + all attempts' runtime objects, kept alive for the
+/// launcher's lifetime.
+template <typename WorldT>
+struct GangState {
+  std::unique_ptr<ckpt::SnapshotStore> store;
+  std::vector<std::shared_ptr<WorldT>> attempts;
+};
+
+/// Per-proc bookkeeping for elastic jobs: which proc ids are alive and
+/// where, so shrink can free the most recently added one.
+struct ElasticState {
+  std::vector<std::pair<int, int>> live;  // (proc id, node), oldest first
+};
+
+}  // namespace
+
+Launcher MakeMpiLauncher(Scheduler& sched, MpiCkptBody body,
+                         mpi::MpiOptions options, ckpt::CkptPolicy policy) {
+  auto state = std::make_shared<GangState<mpi::World>>();
+  cluster::Cluster& cluster = sched.cluster();
+  return [&sched, &cluster, state, body = std::move(body), options,
+          policy](const Launch& launch) -> JobHooks {
+    const int nranks = static_cast<int>(launch.placement.size());
+    if (state->store == nullptr) {
+      state->store = std::make_unique<ckpt::SnapshotStore>(nranks);
+    }
+    mpi::MpiOptions opts = options;
+    opts.placement = launch.placement;
+    opts.name = "mpi-j" + std::to_string(launch.job_id) + "a" +
+                std::to_string(launch.attempt);
+    auto world = std::make_shared<mpi::World>(cluster, nranks,
+                                              /*ranks_per_node=*/1, opts);
+    auto coordinator = std::make_shared<ckpt::CheckpointCoordinator>(
+        cluster, *state->store, policy);
+    world->OnAllRanksDone(
+        [&sched, job_id = launch.job_id](SimTime) { sched.OnJobDone(job_id); });
+    world->SpawnRanks([body, coordinator](mpi::Comm& comm) {
+      body(comm, *coordinator);
+    });
+    state->attempts.push_back(world);
+
+    JobHooks hooks;
+    hooks.kill = [&cluster, placement = launch.placement] {
+      KillNodes(cluster, placement);
+    };
+    return hooks;
+  };
+}
+
+Launcher MakeShmemLauncher(Scheduler& sched, ShmemCkptBody body,
+                           shmem::ShmemOptions options,
+                           ckpt::CkptPolicy policy) {
+  auto state = std::make_shared<GangState<shmem::ShmemWorld>>();
+  cluster::Cluster& cluster = sched.cluster();
+  return [&sched, &cluster, state, body = std::move(body), options,
+          policy](const Launch& launch) -> JobHooks {
+    const int npes = static_cast<int>(launch.placement.size());
+    if (state->store == nullptr) {
+      state->store = std::make_unique<ckpt::SnapshotStore>(npes);
+    }
+    shmem::ShmemOptions opts = options;
+    opts.placement = launch.placement;
+    opts.name = "shmem-j" + std::to_string(launch.job_id) + "a" +
+                std::to_string(launch.attempt);
+    auto world = std::make_shared<shmem::ShmemWorld>(cluster, npes,
+                                                     /*pes_per_node=*/1, opts);
+    auto coordinator = std::make_shared<ckpt::CheckpointCoordinator>(
+        cluster, *state->store, policy);
+    world->OnAllPesDone(
+        [&sched, job_id = launch.job_id](SimTime) { sched.OnJobDone(job_id); });
+    world->SpawnPes([body, coordinator](shmem::Pe& pe) {
+      body(pe, *coordinator);
+    });
+    state->attempts.push_back(world);
+
+    JobHooks hooks;
+    hooks.kill = [&cluster, placement = launch.placement] {
+      KillNodes(cluster, placement);
+    };
+    return hooks;
+  };
+}
+
+Launcher MakeSparkLauncher(Scheduler& sched, dfs::MiniDfs* dfs,
+                           spark::MiniSpark::DriverBody body,
+                           spark::SparkOptions options) {
+  cluster::Cluster& cluster = sched.cluster();
+  return [&sched, &cluster, dfs, body = std::move(body),
+          options](const Launch& launch) -> JobHooks {
+    spark::SparkOptions opts = options;
+    opts.executor_nodes = launch.placement;
+    opts.driver_node = launch.placement.front();
+    opts.max_executors = launch.max_procs;
+    opts.name = "spark-j" + std::to_string(launch.job_id);
+    auto app = std::make_shared<spark::MiniSpark>(cluster, dfs, opts);
+    auto state = std::make_shared<ElasticState>();
+    for (int e = 0; e < static_cast<int>(launch.placement.size()); ++e) {
+      state->live.emplace_back(e, launch.placement[e]);
+    }
+    app->Submit(body, [&sched, app, job_id = launch.job_id](
+                          Result<spark::AppResult>) {
+      sched.OnJobDone(job_id);
+    });
+
+    JobHooks hooks;
+    hooks.grow = [app, state](int node) {
+      state->live.emplace_back(app->AddExecutor(node), node);
+      return true;
+    };
+    hooks.shrink = [app, state]() -> int {
+      if (state->live.empty()) return -1;
+      const auto [id, node] = state->live.back();
+      state->live.pop_back();
+      app->RemoveExecutor(id);
+      return node;
+    };
+    return hooks;
+  };
+}
+
+Launcher MakeMrLauncher(Scheduler& sched, mr::MrEngine& engine, MrJob job) {
+  return [&sched, &engine, job = std::move(job)](
+             const Launch& launch) -> JobHooks {
+    mr::JobConf conf = job.conf;
+    conf.worker_nodes = launch.placement;
+    conf.coordinator_node = launch.placement.front();
+    conf.name = conf.name + "-j" + std::to_string(launch.job_id);
+    auto state = std::make_shared<ElasticState>();
+    for (int w = 0; w < static_cast<int>(launch.placement.size()); ++w) {
+      state->live.emplace_back(w, launch.placement[w]);
+    }
+    mr::MrEngine::JobHandle handle = engine.Submit(
+        conf, job.map, job.reduce, job.combine,
+        [&sched, job_id = launch.job_id](Result<mr::JobResult>) {
+          sched.OnJobDone(job_id);
+        });
+
+    JobHooks hooks;
+    hooks.grow = [&engine, handle, state](int node) {
+      if (mr::MrEngine::JobFinished(handle)) return false;
+      state->live.emplace_back(engine.AddWorker(handle, node), node);
+      return true;
+    };
+    hooks.shrink = [&engine, handle, state]() -> int {
+      if (state->live.empty()) return -1;
+      const auto [id, node] = state->live.back();
+      state->live.pop_back();
+      engine.KillWorker(handle, id);
+      return node;
+    };
+    return hooks;
+  };
+}
+
+}  // namespace pstk::sched

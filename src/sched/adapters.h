@@ -1,0 +1,70 @@
+// Launch adapters: bridge pstk::sched's placement grants to the four
+// framework runtimes.
+//
+// Each Make*Launcher returns a sched::Launcher. The scheduler calls it with
+// the granted placement; the adapter builds the runtime with that placement
+// (MpiOptions/ShmemOptions::placement, SparkOptions::executor_nodes,
+// JobConf::worker_nodes), wires completion back to Scheduler::OnJobDone,
+// and returns the paradigm's control hooks:
+//
+//  * gang (MPI/SHMEM): `kill` stops every process on the job's exclusively
+//    held nodes. Each attempt shares one ckpt::SnapshotStore, so a
+//    preempted job's next attempt restores from the latest committed epoch
+//    instead of restarting from scratch — checkpoint-preempt-requeue.
+//  * elastic (Spark/MR): `grow` adds an executor/worker on a node, `shrink`
+//    kills the most recently added one (the runtime's lineage/task-retry
+//    machinery recomputes whatever it lost).
+//
+// Runtime objects from earlier attempts are kept alive until the launcher
+// is destroyed: killed processes may still be referenced by engine-side
+// teardown, and snapshots must outlive the attempt that wrote them.
+#pragma once
+
+#include <functional>
+
+#include "ckpt/ckpt.h"
+#include "cluster/cluster.h"
+#include "dfs/dfs.h"
+#include "mpi/mpi.h"
+#include "mr/mr.h"
+#include "sched/sched.h"
+#include "shmem/shmem.h"
+#include "spark/spark.h"
+
+namespace pstk::sched {
+
+/// Gang MPI job. `body(comm, ckpt)` runs on every rank each attempt; call
+/// `ckpt.Restore(...)` first and `ckpt.Checkpoint(...)` at collective
+/// boundaries to make preemption cheap (policy.interval <= 0 disables
+/// snapshots and preemption degrades to restart-from-scratch).
+using MpiCkptBody =
+    std::function<void(mpi::Comm&, ckpt::CheckpointCoordinator&)>;
+Launcher MakeMpiLauncher(Scheduler& sched, MpiCkptBody body,
+                         mpi::MpiOptions options = {},
+                         ckpt::CkptPolicy policy = {});
+
+/// Gang SHMEM job; same checkpoint contract as MPI.
+using ShmemCkptBody =
+    std::function<void(shmem::Pe&, ckpt::CheckpointCoordinator&)>;
+Launcher MakeShmemLauncher(Scheduler& sched, ShmemCkptBody body,
+                           shmem::ShmemOptions options = {},
+                           ckpt::CkptPolicy policy = {});
+
+/// Elastic Spark app: one MiniSpark per launch, executors on the granted
+/// cores, driver co-located with the first grant (not separately charged).
+/// `dfs` may be null for local-file apps.
+Launcher MakeSparkLauncher(Scheduler& sched, dfs::MiniDfs* dfs,
+                           spark::MiniSpark::DriverBody body,
+                           spark::SparkOptions options = {});
+
+/// Elastic MapReduce job on a shared MrEngine; workers on the granted
+/// cores, coordinator co-located with the first grant.
+struct MrJob {
+  mr::JobConf conf;
+  mr::MapFn map;
+  mr::ReduceFn reduce;
+  std::optional<mr::ReduceFn> combine;
+};
+Launcher MakeMrLauncher(Scheduler& sched, mr::MrEngine& engine, MrJob job);
+
+}  // namespace pstk::sched

@@ -1,0 +1,114 @@
+#include "sched/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pstk::sched {
+
+namespace {
+
+Result<ArrivalSpec> ParsePoisson(const std::string& body) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalSpec::Kind::kPoisson;
+  std::stringstream ss(body);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgument("bad arrival field '" + field +
+                             "' (want key=value)");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    try {
+      if (key == "rate") {
+        spec.rate = std::stod(value);
+      } else if (key == "n") {
+        spec.count = std::stoi(value);
+      } else if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else {
+        return InvalidArgument("unknown arrival key '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return InvalidArgument("bad arrival value '" + value + "' for " + key);
+    }
+  }
+  if (spec.rate <= 0) return InvalidArgument("arrival rate must be > 0");
+  if (spec.count <= 0) return InvalidArgument("arrival count must be > 0");
+  return spec;
+}
+
+Result<ArrivalSpec> ParseTrace(const std::string& path) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalSpec::Kind::kTrace;
+  std::ifstream in(path);
+  if (!in) return NotFound("arrival trace file '" + path + "' not readable");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    try {
+      spec.trace.push_back(std::stod(line.substr(start)));
+    } catch (const std::exception&) {
+      return InvalidArgument("bad arrival time '" + line + "' in " + path);
+    }
+    if (spec.trace.back() < 0) {
+      return InvalidArgument("negative arrival time in " + path);
+    }
+  }
+  if (spec.trace.empty()) {
+    return InvalidArgument("arrival trace '" + path + "' has no events");
+  }
+  std::sort(spec.trace.begin(), spec.trace.end());
+  return spec;
+}
+
+}  // namespace
+
+Result<ArrivalSpec> ArrivalSpec::Parse(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    return InvalidArgument("bad --arrivals= spec '" + text +
+                           "' (want poisson:... or trace:<file>)");
+  }
+  const std::string kind = text.substr(0, colon);
+  const std::string body = text.substr(colon + 1);
+  if (kind == "poisson") return ParsePoisson(body);
+  if (kind == "trace") return ParseTrace(body);
+  return InvalidArgument("unknown arrival kind '" + kind + "'");
+}
+
+std::vector<SimTime> ArrivalSpec::Times() const {
+  if (kind == Kind::kTrace) return trace;
+  std::vector<SimTime> times;
+  times.reserve(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  SimTime t = 0;
+  for (int i = 0; i < count; ++i) {
+    // Exponential inter-arrival gap; 1-U keeps log() off exact zero.
+    t += -std::log(1.0 - rng.Uniform()) / rate;
+    times.push_back(t);
+  }
+  return times;
+}
+
+void ScheduleArrivals(sim::Engine& engine, const ArrivalSpec& spec,
+                      std::function<void(int index, SimTime t)> on_arrival) {
+  const std::vector<SimTime> times = spec.Times();
+  auto shared = std::make_shared<std::function<void(int, SimTime)>>(
+      std::move(on_arrival));
+  for (int i = 0; i < static_cast<int>(times.size()); ++i) {
+    const SimTime t = times[static_cast<std::size_t>(i)];
+    engine.ScheduleEvent(t, [shared, i, t] { (*shared)(i, t); });
+  }
+}
+
+}  // namespace pstk::sched

@@ -34,9 +34,19 @@ ShmemWorld::ShmemWorld(cluster::Cluster& cluster, int npes, int pes_per_node,
       pes_per_node_(pes_per_node) {
   PSTK_CHECK_MSG(npes_ >= 1, "need at least one PE");
   PSTK_CHECK_MSG(pes_per_node_ >= 1, "pes_per_node must be >= 1");
-  const int needed = (npes_ + pes_per_node_ - 1) / pes_per_node_;
-  PSTK_CHECK_MSG(needed <= cluster_.nodes(),
-                 "not enough nodes for " << npes_ << " PEs");
+  if (!options_.placement.empty()) {
+    PSTK_CHECK_MSG(options_.placement.size() == static_cast<std::size_t>(npes_),
+                   "placement names " << options_.placement.size()
+                                      << " PEs for an " << npes_ << "-PE job");
+    for (int node : options_.placement) {
+      PSTK_CHECK_MSG(node >= 0 && node < cluster_.nodes(),
+                     "placement node " << node << " out of range");
+    }
+  } else {
+    const int needed = (npes_ + pes_per_node_ - 1) / pes_per_node_;
+    PSTK_CHECK_MSG(needed <= cluster_.nodes(),
+                   "not enough nodes for " << npes_ << " PEs");
+  }
   const net::TransportParams transport =
       options_.transport.value_or(cluster_.spec().transport);
   fabric_ = cluster_.fabric(transport);
@@ -51,13 +61,14 @@ void ShmemWorld::SpawnPes(PeBody body) {
     const int node = NodeOfPe(pe);
     network_->CreateEndpoint(pe, node);
     cluster_.engine().Spawn(
-        "shmem-pe-" + std::to_string(pe),
+        options_.name + "-pe-" + std::to_string(pe),
         [this, pe, body](sim::Context& ctx) {
-          ctx.SleepUntil(options_.startup_cost);  // launcher + shmem_init
+          ctx.SleepFor(options_.startup_cost);  // launcher + shmem_init
           Pe handle(*this, ctx, pe);
           body(handle);
           handle.BarrierAll();  // shmem_finalize
           job_end_ = std::max(job_end_, ctx.now());
+          if (++pes_done_ == npes_ && on_done_) on_done_(ctx.now());
         },
         node);
   }

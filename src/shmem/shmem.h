@@ -28,6 +28,11 @@ struct ShmemOptions {
   SimTime startup_cost = Millis(600);
   /// SHMEM exists to exploit RDMA; override only in tests.
   std::optional<net::TransportParams> transport;
+  /// Explicit PE->node placement (size must equal npes); empty means
+  /// block placement from node 0. Set by pstk::sched for gang launches.
+  std::vector<int> placement;
+  /// Prefix for spawned process names.
+  std::string name = "shmem";
 };
 
 /// Typed offset into the symmetric heap; valid on every PE.
@@ -156,8 +161,17 @@ class ShmemWorld {
   /// Spawn + run; returns job makespan or failure.
   Result<SimTime> RunSpmd(PeBody body);
 
+  /// Fires once, when the last PE leaves shmem_finalize (for mid-run
+  /// launchers that cannot wait for the engine to drain).
+  void OnAllPesDone(std::function<void(SimTime)> callback) {
+    on_done_ = std::move(callback);
+  }
+
   [[nodiscard]] int npes() const { return npes_; }
-  [[nodiscard]] int NodeOfPe(int pe) const { return pe / pes_per_node_; }
+  [[nodiscard]] int NodeOfPe(int pe) const {
+    if (!options_.placement.empty()) return options_.placement[pe];
+    return pe / pes_per_node_;
+  }
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
   /// Virtual time the last PE exited (valid after the engine ran); lets
   /// callers that drive the engine directly (ckpt::RestartManager) read
@@ -188,6 +202,8 @@ class ShmemWorld {
   std::vector<sim::Pid> waiters_;
 
   SimTime job_end_ = 0;
+  int pes_done_ = 0;
+  std::function<void(SimTime)> on_done_;
 };
 
 }  // namespace pstk::shmem

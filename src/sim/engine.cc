@@ -340,7 +340,13 @@ Pid Engine::Spawn(std::string name, ProcessBody body, int node) {
   SimTime start = 0;
   const Shard& s = *shards_[static_cast<std::size_t>(
       std::max(CurrentShardIndex(), 0))];
-  if (s.running != kNoPid) start = procs_[s.running]->clock;
+  if (s.running != kNoPid) {
+    start = procs_[s.running]->clock;
+  } else if (running_loop_) {
+    // Spawned from an event handler mid-run (e.g. a scheduler arrival):
+    // the child starts at the event's instant, not back at t=0.
+    start = s.frontier;
+  }
   return SpawnAt(start, std::move(name), std::move(body), node);
 }
 

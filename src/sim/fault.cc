@@ -24,9 +24,54 @@ Result<double> ParseNumber(std::string_view text, std::string_view what) {
   return value;
 }
 
+/// `mtbf=<s>,horizon=<s>,nodes=<n>[,first=<id>][,down=<s>][,seed=<u64>]`
+/// — the CLI spelling of FaultPlan::Exponential.
+Result<FaultPlan> ParseExponential(std::string_view body) {
+  double mtbf = 0, horizon = 0, down = 0;
+  int nodes = 0, first = 0;
+  std::uint64_t seed = 1;
+  for (const std::string& field : SplitNonEmpty(body, ',')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgument("bad exp fault field '" + field +
+                             "' (want key=value)");
+    }
+    const std::string key = field.substr(0, eq);
+    auto value = ParseNumber(std::string_view(field).substr(eq + 1), key);
+    if (!value.ok()) return value.status();
+    if (key == "mtbf") {
+      mtbf = *value;
+    } else if (key == "horizon") {
+      horizon = *value;
+    } else if (key == "nodes") {
+      nodes = static_cast<int>(*value);
+    } else if (key == "first") {
+      first = static_cast<int>(*value);
+    } else if (key == "down") {
+      down = *value;
+    } else if (key == "seed") {
+      seed = static_cast<std::uint64_t>(*value);
+    } else {
+      return InvalidArgument("unknown exp fault key '" + key + "'");
+    }
+  }
+  if (mtbf <= 0) return InvalidArgument("exp fault needs mtbf > 0");
+  if (horizon <= 0) return InvalidArgument("exp fault needs horizon > 0");
+  if (nodes <= 0) return InvalidArgument("exp fault needs nodes > 0");
+  if (first < 0 || first >= nodes) {
+    return InvalidArgument("exp fault first node out of range");
+  }
+  if (down < 0) return InvalidArgument("exp fault down must be >= 0");
+  return FaultPlan::Exponential(mtbf, horizon, nodes, first, down, seed);
+}
+
 }  // namespace
 
 Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  constexpr std::string_view kExp = "exp:";
+  if (spec.rfind(kExp, 0) == 0) {
+    return ParseExponential(spec.substr(kExp.size()));
+  }
   FaultPlan plan;
   for (const std::string& entry : SplitNonEmpty(spec, ',')) {
     constexpr std::string_view kPrefix = "node:";

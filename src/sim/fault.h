@@ -35,9 +35,14 @@ struct FaultPlan {
 
   [[nodiscard]] bool empty() const { return events.empty(); }
 
-  /// Parse the benches' CLI syntax: `node:<id>@<t>[+<down_for>]`, comma
-  /// separated. Example: "node:3@10,node:5@20+30" fails node 3 at t=10s
-  /// forever and node 5 at t=20s for 30s.
+  /// Parse the benches' CLI syntax. Two spellings:
+  ///
+  ///  * explicit events: `node:<id>@<t>[+<down_for>]`, comma separated.
+  ///    "node:3@10,node:5@20+30" fails node 3 at t=10s forever and node 5
+  ///    at t=20s for 30s;
+  ///  * a whole Poisson process (the CLI form of `Exponential` below):
+  ///    `exp:mtbf=<s>,horizon=<s>,nodes=<n>[,first=<id>][,down=<s>]
+  ///    [,seed=<u64>]`. Not mixable with explicit `node:` entries.
   static Result<FaultPlan> Parse(std::string_view spec);
 
   /// Poisson failure process: exponential inter-arrival times with mean

@@ -75,6 +75,18 @@ struct SparkOptions {
   SimTime heartbeat = Seconds(1.0);
   /// Default partition count for parallelize (0 = total executor count).
   int default_parallelism = 0;
+
+  /// Explicit executor->node placement: one executor per entry, overriding
+  /// the nodes x executors_per_node grid. pstk::sched's elastic placement
+  /// starts apps on whatever cores it could allocate.
+  std::vector<int> executor_nodes;
+  /// Node hosting the driver process (client mode).
+  int driver_node = 0;
+  /// Executor-id headroom for executors added after construction
+  /// (MiniSpark::AddExecutor); 0 = fixed executor set, no growth.
+  int max_executors = 0;
+  /// Prefix for spawned process names.
+  std::string name = "spark";
 };
 
 /// Type-erased materialized partition (points to a std::vector<T>).

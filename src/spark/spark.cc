@@ -630,15 +630,24 @@ MiniSpark::MiniSpark(cluster::Cluster& cluster, dfs::MiniDfs* dfs,
       static_cast<double>(app_->options.executors_per_node));
   app_->block_store = std::make_unique<BlockStore>(per_executor_memory);
 
-  const int executors = cluster.nodes() * app_->options.executors_per_node;
+  const std::vector<int>& placement = app_->options.executor_nodes;
+  const int executors =
+      placement.empty() ? cluster.nodes() * app_->options.executors_per_node
+                        : static_cast<int>(placement.size());
+  // The driver endpoint sits past the growth headroom so AddExecutor can
+  // hand out fresh executor ids without colliding with it.
+  app_->driver_endpoint = std::max(executors, app_->options.max_executors);
   app_->executors.resize(static_cast<std::size_t>(executors));
-  app_->driver_endpoint = executors;
   for (int e = 0; e < executors; ++e) {
-    const int node = e / app_->options.executors_per_node;
+    const int node =
+        placement.empty() ? e / app_->options.executors_per_node : placement[e];
+    PSTK_CHECK_MSG(node >= 0 && node < cluster.nodes(),
+                   "executor node " << node << " out of range");
     app_->executors[e] = ExecutorInfo{e, node, sim::kNoPid, false, false};
     app_->control->CreateEndpoint(e, node);
   }
-  app_->control->CreateEndpoint(app_->driver_endpoint, /*node=*/0);
+  app_->control->CreateEndpoint(app_->driver_endpoint,
+                                app_->options.driver_node);
 }
 
 void MiniSpark::Submit(DriverBody body,
@@ -646,7 +655,7 @@ void MiniSpark::Submit(DriverBody body,
   // Executor processes.
   for (ExecutorInfo& info : app_->executors) {
     info.pid = cluster_.engine().Spawn(
-        "spark-exec-" + std::to_string(info.id),
+        app_->options.name + "-exec-" + std::to_string(info.id),
         [this, id = info.id](sim::Context& ctx) { ExecutorMain(ctx, id); },
         info.node);
     info.alive = true;
@@ -654,19 +663,43 @@ void MiniSpark::Submit(DriverBody body,
   if (app_->options.reacquire_executors) {
     app_->respawn_executor = [this](ExecutorInfo& info) {
       info.pid = cluster_.engine().Spawn(
-          "spark-exec-" + std::to_string(info.id),
+          app_->options.name + "-exec-" + std::to_string(info.id),
           [this, id = info.id](sim::Context& ctx) { ExecutorMain(ctx, id); },
           info.node);
     };
   }
-  // Driver process (client mode, node 0).
+  // Driver process (client mode).
   cluster_.engine().Spawn(
-      "spark-driver",
+      app_->options.name + "-driver",
       [this, body = std::move(body),
        on_done = std::move(on_done)](sim::Context& ctx) {
         DriverMain(ctx, body, on_done);
       },
-      0);
+      app_->options.driver_node);
+}
+
+int MiniSpark::AddExecutor(int node) {
+  const int id = static_cast<int>(app_->executors.size());
+  PSTK_CHECK_MSG(id < app_->driver_endpoint,
+                 "executor growth past max_executors=" << app_->driver_endpoint);
+  app_->executors.push_back(ExecutorInfo{id, node, sim::kNoPid, false, false});
+  app_->control->CreateEndpoint(id, node);
+  ExecutorInfo& info = app_->executors.back();
+  info.pid = cluster_.engine().Spawn(
+      app_->options.name + "-exec-" + std::to_string(id),
+      [this, id](sim::Context& ctx) { ExecutorMain(ctx, id); }, node);
+  info.alive = true;
+  return id;
+}
+
+void MiniSpark::RemoveExecutor(int executor_id) {
+  ExecutorInfo& info =
+      app_->executors[static_cast<std::size_t>(executor_id)];
+  if (info.pid != sim::kNoPid && cluster_.engine().IsAlive(info.pid)) {
+    // The driver's next SweepExecutors drops its shuffle/cache state and
+    // lineage recomputes anything lost — the elastic shrink path.
+    cluster_.engine().KillNow(info.pid);
+  }
 }
 
 Result<AppResult> MiniSpark::RunApp(DriverBody body) {

@@ -500,6 +500,14 @@ class MiniSpark {
   /// Submit + engine.Run(); the common standalone path.
   Result<AppResult> RunApp(DriverBody body);
 
+  /// Elastic growth: spawn one more executor on `node` (requires
+  /// SparkOptions::max_executors headroom). Returns the new executor id.
+  /// The driver picks it up on its next task round.
+  int AddExecutor(int node);
+  /// Elastic shrink: kill executor `executor_id`. Its shuffle/cache state
+  /// is dropped by the driver's sweep and lineage recomputes what's needed.
+  void RemoveExecutor(int executor_id);
+
   [[nodiscard]] AppState& app() { return *app_; }
 
  private:

@@ -864,6 +864,57 @@ void RunRound(Engine& eng) {
       << RenderLintReport(findings);
 }
 
+TEST(LintRuleTest, BlockingReachableFromSubmitPathFlagged) {
+  // Submit() reaches a blocking wait through a helper — the scheduler's
+  // submit path runs inside an engine event handler, so this must flag.
+  const auto findings = Findings(R"cc(
+void WaitForSlot(Scheduler& sched) {
+  sched.cv.wait(lock);
+}
+void Submit(Scheduler& sched, JobSpec spec) {
+  WaitForSlot(sched);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "sched-blocking-in-submit-path"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].line, 3);  // the blocking site inside the helper
+  ASSERT_EQ(findings[0].related.size(), 1u);
+  EXPECT_EQ(findings[0].related[0].line, 5);  // the submit-path root
+}
+
+TEST(LintRuleTest, OnJobHandlerBlockingFlagged) {
+  // OnJob* event handlers are submit-path roots too (qualified names
+  // included), even when the block is direct rather than via a helper.
+  const auto findings = Findings(R"cc(
+void Scheduler::OnJobDone(JobId id) {
+  done_future.wait_for(timeout);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "sched-blocking-in-submit-path"), 1)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, NonBlockingSubmitAndBlockingElsewhereAreClean) {
+  // Submit defers onto the event heap (no blocking); a Wait in an
+  // unrelated worker body must not be attributed to the submit path,
+  // and a SubmitButton::Render() name must not match the root filter.
+  const auto findings = Findings(R"cc(
+void Submit(Scheduler& sched, JobSpec spec) {
+  sched.queue.Push(spec);
+  sched.engine.SpawnAt(sched.now, "pass", RunPass);
+}
+void WorkerBody(mpi::Comm& comm) {
+  comm.Recv(buf, n, peer, tag);
+}
+void SubmitterLoop(Scheduler& sched) {
+  sched.cv.wait(lock);
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "sched-blocking-in-submit-path"), 0)
+      << RenderLintReport(findings);
+}
+
 TEST(LintRuleTest, SpscMultiProducerFlagged) {
   const auto findings = Findings(R"cc(
 struct Shard {

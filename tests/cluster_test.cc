@@ -36,6 +36,68 @@ TEST(ClusterTest, FabricSharedPerTransport) {
   EXPECT_EQ(eth->nodes(), 2u);
 }
 
+TEST(ClusterTest, FabricByTransportIsCachedByName) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(2));
+  // Repeated requests for the same non-default transport hit the cache.
+  auto eth1 = cluster.fabric(net::TransportParams::Ethernet10G());
+  auto eth2 = cluster.fabric(net::TransportParams::Ethernet10G());
+  EXPECT_EQ(eth1.get(), eth2.get());
+  // Spelling the default transport explicitly lands on the same object as
+  // the no-argument accessor — one NIC timeline per transport, not per
+  // call site.
+  auto dflt = cluster.fabric();
+  auto named = cluster.fabric(cluster.spec().transport);
+  EXPECT_EQ(dflt.get(), named.get());
+  EXPECT_NE(dflt.get(), eth1.get());
+}
+
+TEST(ClusterTest, ReserveCoresIsAllOrNothing) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(1));  // 24 cores
+  EXPECT_TRUE(cluster.ReserveCores(0, 20, /*owner=*/1));
+  EXPECT_EQ(cluster.FreeCores(0), 4);
+  // Over-committing fails and must reserve *nothing* — a partial grant
+  // here would strand cores on a job that can never start.
+  EXPECT_FALSE(cluster.ReserveCores(0, 5, /*owner=*/2));
+  EXPECT_EQ(cluster.FreeCores(0), 4);
+  EXPECT_EQ(cluster.CoresHeldBy(2, 0), 0);
+  EXPECT_TRUE(cluster.ReserveCores(0, 4, /*owner=*/2));
+  EXPECT_EQ(cluster.FreeCores(0), 0);
+  EXPECT_EQ(cluster.UsedCores(), 24);
+}
+
+TEST(ClusterTest, FragmentedCoresAreReusable) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(2));
+  // Three owners fill node 0; the middle one leaves and a newcomer's
+  // all-or-nothing request fits exactly into the hole.
+  ASSERT_TRUE(cluster.ReserveCores(0, 8, /*owner=*/1));
+  ASSERT_TRUE(cluster.ReserveCores(0, 8, /*owner=*/2));
+  ASSERT_TRUE(cluster.ReserveCores(0, 8, /*owner=*/3));
+  EXPECT_EQ(cluster.FreeCores(0), 0);
+  cluster.ReleaseCores(0, 8, /*owner=*/2);
+  EXPECT_EQ(cluster.FreeCores(0), 8);
+  EXPECT_TRUE(cluster.ReserveCores(0, 8, /*owner=*/4));
+  EXPECT_EQ(cluster.UsedCores(), 24);
+  // ReleaseAllCores sweeps one owner across every node it touched.
+  ASSERT_TRUE(cluster.ReserveCores(1, 4, /*owner=*/4));
+  cluster.ReleaseAllCores(4);
+  EXPECT_EQ(cluster.CoresHeldBy(4, 0), 0);
+  EXPECT_EQ(cluster.CoresHeldBy(4, 1), 0);
+  EXPECT_EQ(cluster.FreeCores(0), 8);  // owners 1 and 3 still hold 8 each
+  EXPECT_EQ(cluster.FreeCores(1), 24);
+}
+
+TEST(ClusterDeathTest, ReleaseTwiceIsFatal) {
+  sim::Engine engine;
+  Cluster cluster(engine, ClusterSpec::Comet(1));
+  ASSERT_TRUE(cluster.ReserveCores(0, 8, /*owner=*/1));
+  cluster.ReleaseCores(0, 8, /*owner=*/1);
+  // Releasing again is bookkeeping corruption, not a no-op.
+  EXPECT_DEATH(cluster.ReleaseCores(0, 8, /*owner=*/1), "");
+}
+
 TEST(ClusterTest, ComputeTimeScalesWithThreads) {
   sim::Engine engine;
   Cluster cluster(engine, ClusterSpec::Comet(1));

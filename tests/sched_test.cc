@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt.h"
+#include "cluster/cluster.h"
+#include "mpi/mpi.h"
+#include "sched/adapters.h"
+#include "sched/arrivals.h"
+#include "sched/sched.h"
+#include "serde/serde.h"
+#include "sim/engine.h"
+
+namespace pstk::sched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------------
+
+TEST(JobQueueTest, FairShareRanksByUsagePerWeight) {
+  JobQueue q;
+  q.SetWeight("hpc", 1.0);
+  q.SetWeight("bigdata", 2.0);
+  q.Submit(1, "hpc");
+  q.Submit(2, "bigdata");
+  // Equal usage: "bigdata" < "hpc" alphabetically breaks the tie.
+  ASSERT_TRUE(q.FairShareHead().has_value());
+  EXPECT_EQ(*q.FairShareHead(), 2);
+  // bigdata accrues 100 core-seconds at weight 2 (share 50), hpc 60 at
+  // weight 1 (share 60): bigdata is still the least-served queue.
+  q.AddUsage("bigdata", 100);
+  q.AddUsage("hpc", 60);
+  EXPECT_DOUBLE_EQ(q.Share("bigdata"), 50);
+  EXPECT_DOUBLE_EQ(q.Share("hpc"), 60);
+  EXPECT_EQ(*q.FairShareHead(), 2);
+  // More bigdata usage flips the ranking.
+  q.AddUsage("bigdata", 40);
+  EXPECT_EQ(*q.FairShareHead(), 1);
+  // Scan order ranks whole queues, FIFO inside each.
+  q.Submit(3, "hpc");
+  EXPECT_EQ(q.InScanOrder(), (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(q.Pending(), 3u);
+}
+
+TEST(JobQueueTest, PreemptedJobsRequeueAtFront) {
+  JobQueue q;
+  q.Submit(1, "default");
+  q.Submit(2, "default");
+  q.Remove(1, "default");  // job 1 started...
+  q.Submit(1, "default", /*front=*/true);  // ...and was preempted
+  EXPECT_EQ(*q.FairShareHead(), 1);  // it does not wait behind job 2 again
+}
+
+// ---------------------------------------------------------------------------
+// Arrivals
+// ---------------------------------------------------------------------------
+
+TEST(ArrivalSpecTest, PoissonIsDeterministicPerSeed) {
+  ArrivalSpec spec;
+  spec.rate = 2.0;
+  spec.count = 32;
+  spec.seed = 7;
+  const std::vector<SimTime> a = spec.Times();
+  const std::vector<SimTime> b = spec.Times();
+  EXPECT_EQ(a, b);  // bitwise: no host entropy anywhere
+  ASSERT_EQ(a.size(), 32u);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GT(a[i], a[i - 1]);
+  spec.seed = 8;
+  EXPECT_NE(a, spec.Times());
+}
+
+TEST(ArrivalSpecTest, ParsePoissonSpellingsAndErrors) {
+  auto ok = ArrivalSpec::Parse("poisson:rate=0.5,n=10,seed=42");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->kind, ArrivalSpec::Kind::kPoisson);
+  EXPECT_DOUBLE_EQ(ok->rate, 0.5);
+  EXPECT_EQ(ok->count, 10);
+  EXPECT_EQ(ok->seed, 42u);
+  EXPECT_FALSE(ArrivalSpec::Parse("poisson:rate=0,n=3").ok());
+  EXPECT_FALSE(ArrivalSpec::Parse("poisson:rate=1,n=3,burst=2").ok());
+  EXPECT_FALSE(ArrivalSpec::Parse("uniform:rate=1").ok());
+  EXPECT_FALSE(ArrivalSpec::Parse("no-colon").ok());
+}
+
+TEST(ArrivalSpecTest, TraceFileReplay) {
+  const std::string path = testing::TempDir() + "/sched_arrivals.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n" << "5.0\n" << "  1.5\n" << "\n" << "3.0\n";
+  }
+  auto spec = ArrivalSpec::Parse("trace:" + path);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->Times(), (std::vector<SimTime>{1.5, 3.0, 5.0}));  // sorted
+  EXPECT_FALSE(ArrivalSpec::Parse("trace:/no/such/file").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler placement and bookkeeping (stub launchers: no processes, every
+// Submit runs its scheduling pass synchronously, so placement is testable
+// without running the engine)
+// ---------------------------------------------------------------------------
+
+struct StubLog {
+  std::vector<Launch> launches;
+  std::vector<int> nodes;  // elastic: nodes held, grant order (for shrink)
+};
+
+Launcher StubGang(std::shared_ptr<StubLog> log) {
+  return [log](const Launch& launch) {
+    log->launches.push_back(launch);
+    JobHooks hooks;
+    hooks.kill = [] {};
+    return hooks;
+  };
+}
+
+Launcher StubElastic(std::shared_ptr<StubLog> log) {
+  return [log](const Launch& launch) {
+    log->launches.push_back(launch);
+    log->nodes = launch.placement;
+    JobHooks hooks;
+    hooks.grow = [log](int node) {
+      log->nodes.push_back(node);
+      return true;
+    };
+    hooks.shrink = [log]() -> int {
+      if (log->nodes.empty()) return -1;
+      const int node = log->nodes.back();
+      log->nodes.pop_back();
+      return node;
+    };
+    return hooks;
+  };
+}
+
+JobSpec Gang(std::shared_ptr<StubLog> log, int procs, int ppn) {
+  JobSpec spec;
+  spec.paradigm = Paradigm::kMpi;
+  spec.procs = procs;
+  spec.procs_per_node = ppn;
+  spec.launch = StubGang(std::move(log));
+  return spec;
+}
+
+JobSpec Elastic(std::shared_ptr<StubLog> log, int procs, int min_procs,
+                int ppn) {
+  JobSpec spec;
+  spec.paradigm = Paradigm::kSpark;
+  spec.procs = procs;
+  spec.min_procs = min_procs;
+  spec.procs_per_node = ppn;
+  spec.launch = StubElastic(std::move(log));
+  return spec;
+}
+
+TEST(SchedulerTest, GangTakesWholeNodesExclusively) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(2));
+  Scheduler sched(cluster);
+  auto log = std::make_shared<StubLog>();
+
+  // 8 ranks at 8 per node need one node — but they get ALL 24 of its
+  // cores: gang placement is whole-node (the paper's HPC utilization tax).
+  const int a = sched.Submit(Gang(log, 8, 8));
+  ASSERT_EQ(log->launches.size(), 1u);
+  EXPECT_EQ(log->launches[0].placement, std::vector<int>(8, 0));
+  EXPECT_EQ(sched.job(a).state, JobState::kRunning);
+  EXPECT_EQ(cluster.CoresHeldBy(a, 0), 24);
+  EXPECT_EQ(cluster.UsedCores(), 24);
+
+  const int b = sched.Submit(Gang(log, 8, 8));
+  EXPECT_EQ(log->launches[1].placement, std::vector<int>(8, 1));
+  EXPECT_EQ(cluster.UsedCores(), 48);
+
+  // No whole node free: all-or-nothing means pending, not partial.
+  const int c = sched.Submit(Gang(log, 8, 8));
+  EXPECT_EQ(sched.job(c).state, JobState::kPending);
+  EXPECT_EQ(log->launches.size(), 2u);
+  EXPECT_EQ(sched.jobs_running(), 2);
+  (void)b;
+}
+
+TEST(SchedulerTest, ElasticStartsPartialAndGrowsOnRelease) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(2));
+  Scheduler sched(cluster);
+  auto gang_log = std::make_shared<StubLog>();
+  auto log = std::make_shared<StubLog>();
+
+  // A gang job owns node 0; the elastic job wants 30 executors but starts
+  // immediately with the 24 cores node 1 can give (min_procs=1).
+  const int a = sched.Submit(Gang(gang_log, 1, 1));
+  const int b = sched.Submit(Elastic(log, 30, 1, 24));
+  EXPECT_EQ(sched.job(b).state, JobState::kRunning);
+  EXPECT_EQ(sched.job(b).procs_running, 24);
+  EXPECT_EQ(cluster.CoresHeldBy(b, 1), 24);
+
+  // Node 0 frees: the next pass grows the elastic job to its target.
+  sched.OnJobDone(a);
+  const auto run = engine.Run();
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_EQ(sched.job(b).procs_running, 30);
+  EXPECT_EQ(cluster.CoresHeldBy(b, 0), 6);
+  EXPECT_EQ(engine.obs().CounterByName("sched.grown"), 6u);
+  EXPECT_EQ(cluster.UsedCores(), 30);
+}
+
+TEST(SchedulerTest, EasyBackfillRespectsShadowTime) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(2));
+  Scheduler sched(cluster);
+  auto log = std::make_shared<StubLog>();
+
+  // A runs on node 0 with a 100 s estimate. B (head, needs both nodes)
+  // blocks until A ends — its shadow time is t=100.
+  JobSpec a = Gang(log, 8, 8);
+  a.est_runtime = Seconds(100);
+  sched.Submit(std::move(a));
+  JobSpec b = Gang(log, 16, 8);
+  b.est_runtime = Seconds(10);
+  const int b_id = sched.Submit(std::move(b));
+  EXPECT_EQ(sched.job(b_id).state, JobState::kPending);
+
+  // C fits on node 1 and its 50 s estimate ends before the shadow time:
+  // EASY lets it jump the blocked head.
+  JobSpec c = Gang(log, 8, 8);
+  c.est_runtime = Seconds(50);
+  const int c_id = sched.Submit(std::move(c));
+  EXPECT_EQ(sched.job(c_id).state, JobState::kRunning);
+  EXPECT_TRUE(sched.job(c_id).backfilled);
+  EXPECT_EQ(sched.backfills(), 1);
+
+  // D would also fit but its 200 s estimate overruns the shadow time —
+  // starting it would delay the head, which EASY forbids.
+  JobSpec d = Gang(log, 8, 8);
+  d.est_runtime = Seconds(200);
+  const int d_id = sched.Submit(std::move(d));
+  EXPECT_EQ(sched.job(d_id).state, JobState::kPending);
+  EXPECT_EQ(sched.backfills(), 1);
+}
+
+TEST(SchedulerTest, ElasticShrinksToFloorUnderPreemption) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(1));
+  Scheduler sched(cluster);
+  auto victim_log = std::make_shared<StubLog>();
+  auto log = std::make_shared<StubLog>();
+
+  const int a = sched.Submit(Elastic(victim_log, 24, 8, 24));
+  EXPECT_EQ(sched.job(a).procs_running, 24);
+
+  // A high-priority elastic job needing 16 cores shrinks A to its floor
+  // (min_procs=8) instead of killing it — lineage absorbs the loss.
+  JobSpec b = Elastic(log, 16, 16, 24);
+  b.priority = 1;
+  const int b_id = sched.Submit(std::move(b));
+  EXPECT_EQ(sched.job(b_id).state, JobState::kRunning);
+  EXPECT_EQ(sched.job(b_id).procs_running, 16);
+  EXPECT_EQ(sched.job(a).procs_running, 8);
+  EXPECT_EQ(engine.obs().CounterByName("sched.shrunk"), 16u);
+  EXPECT_EQ(cluster.UsedCores(), 24);
+  // Shrink-to-floor is not a gang preemption: nothing was killed.
+  EXPECT_EQ(sched.preemptions(), 0);
+  EXPECT_EQ(sched.job(a).attempt, 0);
+
+  // When the high-priority job leaves, A regrows to its target.
+  sched.OnJobDone(b_id);
+  const auto run = engine.Run();
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_EQ(sched.job(a).procs_running, 24);
+  EXPECT_EQ(cluster.UsedCores(), 24);
+}
+
+// ---------------------------------------------------------------------------
+// Preemption end-to-end: checkpoint-preempt-requeue with the real MPI
+// runtime — the preempted gang job's second attempt must resume from the
+// latest committed snapshot epoch, not from scratch.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, PreemptedGangResumesFromLatestEpoch) {
+  constexpr int kSteps = 8;
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(2));
+  Scheduler sched(cluster);
+
+  auto epochs = std::make_shared<std::vector<int>>();
+  auto executed = std::make_shared<int>(0);
+  MpiCkptBody background = [epochs, executed](
+                               mpi::Comm& comm,
+                               ckpt::CheckpointCoordinator& coord) {
+    const int rank = comm.rank();
+    const int node = comm.ctx().node();
+    comm.Barrier();
+    int start = 0;
+    const serde::Buffer* frag = coord.Restore(comm.ctx(), rank, node);
+    if (frag != nullptr) {
+      serde::Reader r(*frag);
+      start = static_cast<int>(r.ReadRaw<std::int32_t>().value()) + 1;
+    }
+    if (rank == 0) epochs->push_back(coord.restore_epoch().value_or(-1));
+    std::vector<double> one(1, 1.0);
+    std::vector<double> sum(1, 0.0);
+    for (int iter = start; iter < kSteps; ++iter) {
+      comm.ctx().Compute(1.0);
+      comm.Allreduce<double>(one, sum);
+      if (rank == 0) ++*executed;
+      serde::Writer w;
+      w.WriteRaw<std::int32_t>(iter);
+      coord.Checkpoint(comm.ctx(), rank, node, iter, w.TakeBuffer());
+    }
+  };
+  ckpt::CkptPolicy policy;
+  policy.interval = 0.5;  // the first Checkpoint call only anchors the clock
+
+  JobSpec bg;
+  bg.name = "background";
+  bg.paradigm = Paradigm::kMpi;
+  bg.procs = 2;
+  bg.procs_per_node = 1;  // one rank per node: owns the whole cluster
+  bg.priority = 0;
+  bg.launch = MakeMpiLauncher(sched, background, {}, policy);
+  const int bg_id = sched.Submit(std::move(bg));
+
+  // A high-priority query lands mid-run and evicts the gang. t=4.5 gives
+  // the ~1 s steps time to commit an epoch or two first (iter 0's
+  // Checkpoint only anchors the interval clock, and commits also pay the
+  // snapshot's disk-write latency).
+  ArrivalSpec arrival;
+  arrival.kind = ArrivalSpec::Kind::kTrace;
+  arrival.trace = {4.5};
+  int query_id = -1;
+  ScheduleArrivals(engine, arrival, [&](int, SimTime) {
+    JobSpec query;
+    query.name = "query";
+    query.paradigm = Paradigm::kMpi;
+    query.procs = 2;
+    query.procs_per_node = 2;
+    query.priority = 1;
+    query.launch = MakeMpiLauncher(
+        sched, [](mpi::Comm& comm, ckpt::CheckpointCoordinator&) {
+          comm.ctx().Compute(0.5);
+          comm.Barrier();
+        });
+    query_id = sched.Submit(std::move(query));
+  });
+
+  const auto run = engine.Run();
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+
+  EXPECT_EQ(sched.preemptions(), 1);
+  EXPECT_EQ(sched.job(query_id).state, JobState::kDone);
+  const JobInfo& info = sched.job(bg_id);
+  EXPECT_EQ(info.state, JobState::kDone);
+  EXPECT_EQ(info.attempt, 1);
+  EXPECT_EQ(info.preemptions, 1);
+  // Attempt 0 started fresh; attempt 1 restored a committed epoch.
+  ASSERT_EQ(epochs->size(), 2u);
+  EXPECT_EQ((*epochs)[0], -1);
+  EXPECT_GE((*epochs)[1], 0);
+  // Resumed, not rerun: strictly fewer than 2x the steps, none lost.
+  EXPECT_GE(*executed, kSteps);
+  EXPECT_LT(*executed, 2 * kSteps);
+  EXPECT_EQ(cluster.UsedCores(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a service run is a pure function of its seed.
+// ---------------------------------------------------------------------------
+
+std::vector<SimTime> RunService() {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(2));
+  Scheduler sched(cluster);
+  ArrivalSpec spec;
+  spec.rate = 0.5;
+  spec.count = 4;
+  spec.seed = 7;
+  std::vector<int> ids(4, -1);
+  ScheduleArrivals(engine, spec, [&](int index, SimTime) {
+    JobSpec job;
+    job.name = "q" + std::to_string(index);
+    job.paradigm = Paradigm::kMpi;
+    job.procs = 2;
+    job.procs_per_node = 1;
+    job.est_runtime = Seconds(5);
+    job.launch = MakeMpiLauncher(
+        sched, [index](mpi::Comm& comm, ckpt::CheckpointCoordinator&) {
+          comm.ctx().Compute(0.25 * (index + 1));
+          comm.Barrier();
+        });
+    ids[static_cast<std::size_t>(index)] = sched.Submit(std::move(job));
+  });
+  const auto run = engine.Run();
+  PSTK_CHECK(run.status.ok());
+  std::vector<SimTime> ends;
+  for (int id : ids) {
+    PSTK_CHECK(sched.job(id).state == JobState::kDone);
+    ends.push_back(sched.job(id).end_time);
+  }
+  return ends;
+}
+
+TEST(SchedulerTest, ServiceRunIsDeterministicAcrossRepeats) {
+  const std::vector<SimTime> first = RunService();
+  const std::vector<SimTime> second = RunService();
+  EXPECT_EQ(first, second);  // bitwise-equal virtual times
+  ASSERT_EQ(first.size(), 4u);
+  for (SimTime t : first) EXPECT_GT(t, 0.0);
+}
+
+}  // namespace
+}  // namespace pstk::sched
