@@ -168,9 +168,9 @@ Status MiniDfs::Write(sim::Context& ctx, int writer_node,
   return OkStatus();
 }
 
-Result<std::string> MiniDfs::ReadBlock(sim::Context& ctx, int reader_node,
-                                       const std::string& path,
-                                       std::size_t block_index) {
+Result<const MiniDfs::StoredBlock*> MiniDfs::AccessBlock(
+    sim::Context& ctx, int reader_node, const std::string& path,
+    std::size_t block_index) {
   auto it = files_.find(path);
   if (it == files_.end()) return NotFound("no such file: " + path);
   const FileInfo& file = it->second;
@@ -214,7 +214,15 @@ Result<std::string> MiniDfs::ReadBlock(sim::Context& ctx, int reader_node,
   ctx.Compute(static_cast<double>(modeled) * options_.client_cpu_per_byte);
   ctx.SleepUntil(t);
   reg.Observe(tags_.read_latency, ctx.now() - t0);
-  return block.content;
+  return &block;
+}
+
+Result<std::string> MiniDfs::ReadBlock(sim::Context& ctx, int reader_node,
+                                       const std::string& path,
+                                       std::size_t block_index) {
+  auto block = AccessBlock(ctx, reader_node, path, block_index);
+  if (!block.ok()) return block.status();
+  return block.value()->content;
 }
 
 Result<std::string> MiniDfs::ReadAll(sim::Context& ctx, int reader_node,
@@ -224,9 +232,9 @@ Result<std::string> MiniDfs::ReadAll(sim::Context& ctx, int reader_node,
   std::string out;
   out.reserve(it->second.actual_size);
   for (std::size_t i = 0; i < it->second.blocks.size(); ++i) {
-    auto piece = ReadBlock(ctx, reader_node, path, i);
-    if (!piece.ok()) return piece.status();
-    out += piece.value();
+    auto block = AccessBlock(ctx, reader_node, path, i);
+    if (!block.ok()) return block.status();
+    out += block.value()->content;
   }
   return out;
 }

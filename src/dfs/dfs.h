@@ -114,6 +114,14 @@ class MiniDfs {
     std::string content;  // stored once; replicas share it
   };
 
+  /// Locate block `block_index` of `path`, charge the full read cost
+  /// (namenode RPC, datanode disk, network if remote, client CPU) and
+  /// return a pointer to the stored block — no payload copy. The pointer
+  /// is valid until the block is deleted or the file re-replicated away.
+  Result<const StoredBlock*> AccessBlock(sim::Context& ctx, int reader_node,
+                                         const std::string& path,
+                                         std::size_t block_index);
+
   /// Choose `replication` distinct nodes, first one preferring `writer`.
   std::vector<int> PlaceReplicas(int writer, Rng& rng) const;
   /// Split content at line boundaries into ~actual_block_size pieces.

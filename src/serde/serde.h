@@ -26,6 +26,11 @@ class Writer {
   Writer() = default;
   explicit Writer(Buffer buffer) : buffer_(std::move(buffer)) {}
 
+  /// Pre-size the underlying buffer to at least `total` bytes so hot encode
+  /// loops append without reallocation. `total` is an absolute capacity, not
+  /// a delta (matching std::vector::reserve).
+  void Reserve(std::size_t total) { buffer_.reserve(total); }
+
   void WriteBytes(const void* data, std::size_t size) {
     const auto* p = static_cast<const std::uint8_t*>(data);
     buffer_.insert(buffer_.end(), p, p + size);
@@ -101,6 +106,77 @@ class Reader {
 template <typename T, typename Enable = void>
 struct Codec;
 
+// --- encoded-size computation (no materialization) --------------------------
+
+[[nodiscard]] inline std::size_t VarintLen(std::uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Exact encoded size for the built-in codecs, computed without writing a
+/// single byte. `kEnabled` marks types whose size is computable this way;
+/// EncodedSize() falls back to a dry encode for everything else, and
+/// Codec<std::vector<T>>::Encode uses it to pre-size the output buffer.
+template <typename T, typename Enable = void>
+struct SizeOf {
+  static constexpr bool kEnabled = false;
+  static std::size_t Of(const T&) { return 0; }
+};
+
+template <typename T>
+struct SizeOf<T, std::enable_if_t<std::is_arithmetic_v<T>>> {
+  static constexpr bool kEnabled = true;
+  static std::size_t Of(const T&) { return sizeof(T); }
+};
+
+template <>
+struct SizeOf<std::string> {
+  static constexpr bool kEnabled = true;
+  static std::size_t Of(const std::string& s) {
+    return VarintLen(s.size()) + s.size();
+  }
+};
+
+template <typename A, typename B>
+struct SizeOf<std::pair<A, B>,
+              std::enable_if_t<SizeOf<A>::kEnabled && SizeOf<B>::kEnabled>> {
+  static constexpr bool kEnabled = true;
+  static std::size_t Of(const std::pair<A, B>& p) {
+    return SizeOf<A>::Of(p.first) + SizeOf<B>::Of(p.second);
+  }
+};
+
+template <typename... Ts>
+struct SizeOf<std::tuple<Ts...>,
+              std::enable_if_t<(SizeOf<Ts>::kEnabled && ...)>> {
+  static constexpr bool kEnabled = true;
+  static std::size_t Of(const std::tuple<Ts...>& t) {
+    return std::apply(
+        [](const Ts&... elems) {
+          return (std::size_t{0} + ... + SizeOf<Ts>::Of(elems));
+        },
+        t);
+  }
+};
+
+template <typename T>
+struct SizeOf<std::vector<T>, std::enable_if_t<SizeOf<T>::kEnabled>> {
+  static constexpr bool kEnabled = true;
+  static std::size_t Of(const std::vector<T>& v) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      return VarintLen(v.size()) + v.size() * sizeof(T);
+    } else {
+      std::size_t total = VarintLen(v.size());
+      for (const T& elem : v) total += SizeOf<T>::Of(elem);
+      return total;
+    }
+  }
+};
+
 // --- arithmetic types -------------------------------------------------------
 
 template <typename T>
@@ -119,6 +195,7 @@ struct Codec<T, std::enable_if_t<std::is_arithmetic_v<T>>> {
 template <>
 struct Codec<std::string> {
   static void Encode(Writer& w, const std::string& value) {
+    w.Reserve(w.size() + VarintLen(value.size()) + value.size());
     w.WriteVarint(value.size());
     w.WriteBytes(value.data(), value.size());
   }
@@ -172,6 +249,9 @@ struct Codec<std::tuple<Ts...>> {
 template <typename T>
 struct Codec<std::vector<T>> {
   static void Encode(Writer& w, const std::vector<T>& value) {
+    if constexpr (SizeOf<std::vector<T>>::kEnabled) {
+      w.Reserve(w.size() + SizeOf<std::vector<T>>::Of(value));
+    }
     w.WriteVarint(value.size());
     for (const T& elem : value) Codec<T>::Encode(w, elem);
   }
@@ -217,13 +297,18 @@ Result<T> DecodeFromBuffer(const Buffer& buffer) {
   return out;
 }
 
-/// Serialized size without materializing the buffer (still encodes, but
-/// callers with hot paths can specialize). Used by cost models.
+/// Serialized size without materializing the buffer. For the built-in codecs
+/// this is a pure size computation (SizeOf<T>); custom Codec specializations
+/// fall back to a dry encode. Used by cost models and cache accounting.
 template <typename T>
 std::size_t EncodedSize(const T& value) {
-  Writer w;
-  Codec<T>::Encode(w, value);
-  return w.size();
+  if constexpr (SizeOf<T>::kEnabled) {
+    return SizeOf<T>::Of(value);
+  } else {
+    Writer w;
+    Codec<T>::Encode(w, value);
+    return w.size();
+  }
 }
 
 }  // namespace pstk::serde
