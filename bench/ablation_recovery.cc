@@ -448,7 +448,7 @@ BigDataRun RunMrFt(const FtConfig& cfg, const sim::FaultPlan* plan,
             failed = true;
             return;
           }
-          const std::string& text = content.value();
+          const std::string text = content.value().ToString();
           std::size_t pos = 0;
           while (pos < text.size()) {
             const auto eol = text.find('\n', pos);

@@ -1,11 +1,14 @@
 #include "bench_opts.h"
 
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
 
 #include "common/log.h"
+#include "obs/obs.h"
 #include "verify/checkers.h"
 
 namespace pstk::bench {
@@ -58,9 +61,36 @@ void Observability::ParseFlags(int* argc, char** argv) {
 void Observability::Attach(sim::Engine& engine) {
   if (active() || metrics_) engine.EnableTrace(true);
   if (verify_) verify::InstallAll(engine.verify());
+  buf_at_attach_ = buf::SnapshotStats();
 }
 
 void Observability::Collect(sim::Engine& engine, const std::string& label) {
+  if (active() || metrics_) {
+    // Attribute the data plane's buffer activity since Attach to this run.
+    const buf::StatsSnapshot now = buf::SnapshotStats();
+    obs::Registry& obs = engine.obs();
+    obs.Add(obs.Intern("buf.chunks_allocated"),
+            now.chunks_allocated - buf_at_attach_.chunks_allocated);
+    obs.Add(obs.Intern("buf.chunks_aliased"),
+            now.chunks_aliased - buf_at_attach_.chunks_aliased);
+    std::array<std::uint64_t, obs::Histogram::kBuckets> hist{};
+    double min = 0.0;
+    double max = 0.0;
+    for (std::size_t b = 0; b < hist.size(); ++b) {
+      hist[b] = now.copy_hist[b] - buf_at_attach_.copy_hist[b];
+      if (hist[b] == 0) continue;
+      // Bucket b holds values with binary exponent b - 32.
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 32);
+      if (min == 0.0) min = lo;
+      max = lo * 2;
+    }
+    obs.MergeHistogram(
+        obs.Intern("buf.copy_bytes"),
+        obs::Histogram::FromRaw(
+            now.copies - buf_at_attach_.copies,
+            static_cast<double>(now.copy_bytes - buf_at_attach_.copy_bytes),
+            min, max, hist));
+  }
   if (active()) {
     // Give each run its own pid block so merged runs don't overlap.
     engine.obs().AppendChromeTraceEvents(&events_json_, runs_ * 1000,

@@ -41,6 +41,7 @@
 
 #include <string>
 
+#include "buf/bytes.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
 
@@ -90,6 +91,9 @@ class Observability {
   sim::FaultPlan fault_plan_;
   std::string events_json_;
   int runs_ = 0;
+  /// buf::Bytes process-global counters at Attach time; Collect publishes
+  /// the delta as buf.* metrics attributed to the run.
+  buf::StatsSnapshot buf_at_attach_;
 };
 
 }  // namespace pstk::bench

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     auto part = env->dfs->ReadAll(ctx, 0, "/out/answerscount/part-r-0");
     if (!part.ok()) return;
     std::size_t pos = 0;
-    const std::string& text = part.value();
+    const std::string text = part.value().ToString();
     while (pos < text.size()) {
       auto nl = text.find('\n', pos);
       if (nl == std::string::npos) nl = text.size();

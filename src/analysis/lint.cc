@@ -32,6 +32,12 @@ const RuleInfo kRules[] = {
      "commits — the snapshot can never be restored",
      "call Checkpoint() on every rank at the same collective boundary "
      "(hoist it out of the rank-derived branch)"},
+    {"dataplane-copy-in-hot-path", Severity::kWarning,
+     "by-value payload parameter (std::string / serde::Buffer / byte "
+     "vector) on a function reachable from a task or shuffle root: every "
+     "call deep-copies the payload on the data plane's hot path",
+     "pass buf::Bytes by value instead (refcounted, zero-copy), or take "
+     "the payload by const reference / string_view"},
     {"mpi-blocking-symmetric-send", Severity::kError,
      "blocking Send to a rank-relative peer with a matching Recv after it; "
      "the symmetric exchange deadlocks once messages cross the rendezvous "
@@ -1586,6 +1592,86 @@ void CheckBlockingInSubmitPath(const Program& prog,
 }
 
 // ===========================================================================
+// dataplane-copy-in-hot-path
+// ===========================================================================
+
+/// Task/shuffle roots: the entry points the data plane's hot path hangs
+/// off — per-partition task bodies (RunMapTask / RunReduceTask /
+/// Compute*), and the shuffle transfer surface (FetchShuffle /
+/// CommitShuffleOutput).
+bool IsDataPlaneRoot(const std::string& name) {
+  const std::size_t at = name.rfind("::");
+  const std::string_view tail =
+      at == std::string::npos
+          ? std::string_view(name)
+          : std::string_view(name).substr(at + 2);
+  return tail == "RunMapTask" || tail == "RunReduceTask" ||
+         tail == "FetchShuffle" || tail == "CommitShuffleOutput" ||
+         tail.substr(0, 7) == "Compute";
+}
+
+/// Parameters that are diagnostics rather than data: error/message
+/// strings are by-value move-sinks on cold paths, not payload copies.
+bool IsMessageParamName(const std::string& name) {
+  return name == "msg" || name == "message" || name == "reason" ||
+         name == "what" || name == "label" || name == "description";
+}
+
+/// True when `type` declares a by-value deep-copying payload buffer: a
+/// std::string, serde::Buffer, or byte vector taken without & / * (views,
+/// references, and refcounted buf::Bytes are all fine).
+bool IsByValuePayloadType(const std::string& type) {
+  if (type.find('&') != std::string::npos ||
+      type.find('*') != std::string::npos) {
+    return false;
+  }
+  std::string_view t = type;
+  if (t.substr(0, 6) == "const ") t.remove_prefix(6);
+  while (!t.empty() && t.back() == ' ') t.remove_suffix(1);
+  return t == "std::string" || t == "string" || t == "serde::Buffer" ||
+         t == "Buffer" || t == "std::vector<std::uint8_t>" ||
+         t == "std::vector<uint8_t>" || t == "std::vector<char>";
+}
+
+/// Flag every by-value payload parameter on functions interprocedurally
+/// reachable from a data-plane root: each call into one copies the whole
+/// payload on the hot path the zero-copy plane exists to keep alias-only.
+void CheckDataplaneCopyInHotPath(const Program& prog,
+                                 std::vector<LintFinding>& out) {
+  std::set<std::pair<std::string, int>> seen;
+  for (std::size_t i = 0; i < prog.fns().size(); ++i) {
+    const Program::FnEntry& root = prog.fns()[i];
+    const std::string& name = root.fn->name;
+    if (name.find("::lambda#") != std::string::npos ||
+        !IsDataPlaneRoot(name)) {
+      continue;
+    }
+    std::vector<int> scope = prog.ReachableFrom(static_cast<int>(i));
+    scope.push_back(static_cast<int>(i));
+    for (int idx : scope) {
+      const Program::FnEntry& entry =
+          prog.fns()[static_cast<std::size_t>(idx)];
+      for (const Param& p : entry.fn->params) {
+        if (!IsByValuePayloadType(p.type) || IsMessageParamName(p.name)) {
+          continue;
+        }
+        if (!seen.insert({entry.file, entry.fn->line}).second) continue;
+        LintFinding f = MakeFinding(
+            "dataplane-copy-in-hot-path", entry.file, entry.fn->line,
+            "parameter `" + p.name + "` of " + entry.fn->name +
+                "() takes a " + p.type +
+                " by value on a path reachable from data-plane root " +
+                name + "() — every call deep-copies the payload");
+        f.related.push_back(RelatedLocation{
+            root.file, root.fn->line,
+            "data-plane root " + name + "() defined here"});
+        out.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+// ===========================================================================
 // JSON helpers
 // ===========================================================================
 
@@ -1731,6 +1817,7 @@ std::vector<LintFinding> LintProgram(std::vector<ProgramSource> sources,
   CheckSpscMultiProducer(prog, out);
   CheckBlockingInDrain(prog, out);
   CheckBlockingInSubmitPath(prog, out);
+  CheckDataplaneCopyInHotPath(prog, out);
   std::sort(out.begin(), out.end(),
             [](const LintFinding& a, const LintFinding& b) {
               if (a.file != b.file) return a.file < b.file;

@@ -17,6 +17,7 @@ MiniDfs::MiniDfs(cluster::Cluster& cluster, DfsOptions options)
   PSTK_CHECK_MSG(options_.block_size > 0, "block size must be > 0");
   obs::Registry& reg = cluster_.engine().obs();
   tags_.block_reads = reg.Intern("dfs.block_reads");
+  tags_.bytes_read = reg.Intern("dfs.bytes_read");
   tags_.local_reads = reg.Intern("dfs.local_reads");
   tags_.remote_reads = reg.Intern("dfs.remote_reads");
   tags_.network_bytes = reg.Intern("dfs.network_bytes");
@@ -68,36 +69,38 @@ std::vector<int> MiniDfs::PlaceReplicas(int writer, Rng& rng) const {
   return nodes;
 }
 
-std::vector<std::string_view> MiniDfs::SplitBlocks(
-    std::string_view content) const {
+std::vector<buf::Bytes> MiniDfs::SplitBlocks(const buf::Bytes& content) const {
   // Actual bytes per block under the run's data scale, cut at the last
-  // newline before the boundary so every block holds whole records.
+  // newline before the boundary so every block holds whole records. Blocks
+  // are zero-copy slices of the file's storage.
   const auto target = static_cast<Bytes>(
       static_cast<double>(options_.block_size) * cluster_.data_scale());
   const Bytes actual_block = std::max<Bytes>(1, target);
+  const std::string_view view = content.view();
 
-  std::vector<std::string_view> blocks;
+  std::vector<buf::Bytes> blocks;
   std::size_t pos = 0;
-  while (pos < content.size()) {
-    std::size_t end = std::min(content.size(),
+  while (pos < view.size()) {
+    std::size_t end = std::min(view.size(),
                                pos + static_cast<std::size_t>(actual_block));
-    if (end < content.size()) {
-      const std::size_t nl = content.rfind('\n', end);
+    if (end < view.size()) {
+      const std::size_t nl = view.rfind('\n', end);
       if (nl != std::string_view::npos && nl > pos) {
         end = nl + 1;
       }
       // else: a single record larger than a block — keep the hard cut.
     }
-    blocks.push_back(content.substr(pos, end - pos));
+    blocks.push_back(content.Slice(pos, end - pos));
     pos = end;
   }
-  if (blocks.empty()) blocks.push_back(content.substr(0, 0));
+  if (blocks.empty()) blocks.push_back(buf::Bytes());
   return blocks;
 }
 
-Status MiniDfs::Install(const std::string& path, std::string_view content,
+Status MiniDfs::Install(const std::string& path, buf::Bytes content,
                         std::uint64_t placement_seed) {
   if (files_.count(path) > 0) return AlreadyExists("file exists: " + path);
+  if (!content.flat()) content = content.Flatten();
   Rng rng(placement_seed == 0 ? placement_rng_.Next() : placement_seed);
 
   FileInfo file;
@@ -105,7 +108,7 @@ Status MiniDfs::Install(const std::string& path, std::string_view content,
   file.actual_size = content.size();
   file.modeled_size = cluster_.Modeled(content.size());
 
-  for (std::string_view piece : SplitBlocks(content)) {
+  for (buf::Bytes& piece : SplitBlocks(content)) {
     StoredBlock block;
     block.info.id = next_block_id_++;
     block.info.actual_size = piece.size();
@@ -114,7 +117,7 @@ Status MiniDfs::Install(const std::string& path, std::string_view content,
     if (block.info.replicas.empty()) {
       return Unavailable("no live datanodes for " + path);
     }
-    block.content.assign(piece.data(), piece.size());
+    block.content = std::move(piece);
     file.blocks.push_back(block.info.id);
     blocks_.emplace(block.info.id, std::move(block));
   }
@@ -122,9 +125,15 @@ Status MiniDfs::Install(const std::string& path, std::string_view content,
   return OkStatus();
 }
 
+Status MiniDfs::Install(const std::string& path, std::string_view content,
+                        std::uint64_t placement_seed) {
+  return Install(path, buf::Bytes::Copy(content), placement_seed);
+}
+
 Status MiniDfs::Write(sim::Context& ctx, int writer_node,
-                      const std::string& path, std::string_view content) {
+                      const std::string& path, buf::Bytes content) {
   if (files_.count(path) > 0) return AlreadyExists("file exists: " + path);
+  if (!content.flat()) content = content.Flatten();
   ChargeNamenode(ctx);
 
   FileInfo file;
@@ -132,7 +141,7 @@ Status MiniDfs::Write(sim::Context& ctx, int writer_node,
   file.actual_size = content.size();
   file.modeled_size = cluster_.Modeled(content.size());
 
-  for (std::string_view piece : SplitBlocks(content)) {
+  for (buf::Bytes& piece : SplitBlocks(content)) {
     StoredBlock block;
     block.info.id = next_block_id_++;
     block.info.actual_size = piece.size();
@@ -141,7 +150,7 @@ Status MiniDfs::Write(sim::Context& ctx, int writer_node,
     if (block.info.replicas.empty()) {
       return Unavailable("no live datanodes for " + path);
     }
-    block.content.assign(piece.data(), piece.size());
+    block.content = std::move(piece);
 
     // Pipeline replication: client -> r0 -> r1 -> r2; each hop is a network
     // transfer (unless local) followed by a disk write. The block commits
@@ -166,6 +175,11 @@ Status MiniDfs::Write(sim::Context& ctx, int writer_node,
   }
   files_.emplace(path, std::move(file));
   return OkStatus();
+}
+
+Status MiniDfs::Write(sim::Context& ctx, int writer_node,
+                      const std::string& path, std::string_view content) {
+  return Write(ctx, writer_node, path, buf::Bytes::Copy(content));
 }
 
 Result<const MiniDfs::StoredBlock*> MiniDfs::AccessBlock(
@@ -213,30 +227,33 @@ Result<const MiniDfs::StoredBlock*> MiniDfs::AccessBlock(
   // DataNode streaming + checksum verification on the client.
   ctx.Compute(static_cast<double>(modeled) * options_.client_cpu_per_byte);
   ctx.SleepUntil(t);
+  reg.Add(tags_.bytes_read, block.info.actual_size);
   reg.Observe(tags_.read_latency, ctx.now() - t0);
   return &block;
 }
 
-Result<std::string> MiniDfs::ReadBlock(sim::Context& ctx, int reader_node,
-                                       const std::string& path,
-                                       std::size_t block_index) {
+Result<buf::Bytes> MiniDfs::ReadBlock(sim::Context& ctx, int reader_node,
+                                      const std::string& path,
+                                      std::size_t block_index) {
   auto block = AccessBlock(ctx, reader_node, path, block_index);
   if (!block.ok()) return block.status();
-  return block.value()->content;
+  return block.value()->content;  // refcount bump, no payload copy
 }
 
-Result<std::string> MiniDfs::ReadAll(sim::Context& ctx, int reader_node,
-                                     const std::string& path) {
+Result<buf::Bytes> MiniDfs::ReadAll(sim::Context& ctx, int reader_node,
+                                    const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) return NotFound("no such file: " + path);
-  std::string out;
-  out.reserve(it->second.actual_size);
+  std::vector<buf::Bytes> pieces;
+  pieces.reserve(it->second.blocks.size());
   for (std::size_t i = 0; i < it->second.blocks.size(); ++i) {
     auto block = AccessBlock(ctx, reader_node, path, i);
     if (!block.ok()) return block.status();
-    out += block.value()->content;
+    pieces.push_back(block.value()->content);
   }
-  return out;
+  // Adjacent slices of one installed file coalesce back into a flat view:
+  // a whole-file read is a zero-copy alias of the installed content.
+  return buf::Bytes::Concat(pieces);
 }
 
 Result<FileInfo> MiniDfs::Stat(const std::string& path) const {

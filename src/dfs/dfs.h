@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "cluster/cluster.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -67,25 +68,35 @@ class MiniDfs {
   MiniDfs(cluster::Cluster& cluster, DfsOptions options = {});
 
   /// Write a whole file from a client on `writer_node`, charging pipeline
-  /// replication costs. Content is actual bytes (modeled = actual / scale).
+  /// replication costs. Content is actual bytes (modeled = actual / scale);
+  /// the file is stored as one immutable chunk and blocks are zero-copy
+  /// slices of it.
+  Status Write(sim::Context& ctx, int writer_node, const std::string& path,
+               buf::Bytes content);
   Status Write(sim::Context& ctx, int writer_node, const std::string& path,
                std::string_view content);
 
   /// Stage a file without simulating the write (input "already in HDFS"
   /// before the benchmark starts). Placement is still performed, seeded by
   /// `placement_seed` for reproducibility.
+  Status Install(const std::string& path, buf::Bytes content,
+                 std::uint64_t placement_seed = 0);
   Status Install(const std::string& path, std::string_view content,
                  std::uint64_t placement_seed = 0);
 
   /// Read one block from a client on `reader_node`: free locality if a
   /// replica is local, otherwise remote datanode disk + network transfer.
-  Result<std::string> ReadBlock(sim::Context& ctx, int reader_node,
-                                const std::string& path,
-                                std::size_t block_index);
+  /// The result aliases the stored block — no payload copy; all replicas
+  /// of a block share one allocation.
+  Result<buf::Bytes> ReadBlock(sim::Context& ctx, int reader_node,
+                               const std::string& path,
+                               std::size_t block_index);
 
-  /// Read a whole file (concatenated blocks).
-  Result<std::string> ReadAll(sim::Context& ctx, int reader_node,
-                              const std::string& path);
+  /// Read a whole file (concatenated blocks). Because blocks are slices of
+  /// the installed file's single chunk, the result is a flat zero-copy
+  /// alias of the whole file whenever the file was written in one piece.
+  Result<buf::Bytes> ReadAll(sim::Context& ctx, int reader_node,
+                             const std::string& path);
 
   [[nodiscard]] Result<FileInfo> Stat(const std::string& path) const;
   /// Replica locations per block, for locality-aware schedulers.
@@ -111,7 +122,7 @@ class MiniDfs {
  private:
   struct StoredBlock {
     BlockInfo info;
-    std::string content;  // stored once; replicas share it
+    buf::Bytes content;  // slice of the file's chunk; replicas share it
   };
 
   /// Locate block `block_index` of `path`, charge the full read cost
@@ -124,8 +135,9 @@ class MiniDfs {
 
   /// Choose `replication` distinct nodes, first one preferring `writer`.
   std::vector<int> PlaceReplicas(int writer, Rng& rng) const;
-  /// Split content at line boundaries into ~actual_block_size pieces.
-  std::vector<std::string_view> SplitBlocks(std::string_view content) const;
+  /// Split content at line boundaries into ~actual_block_size zero-copy
+  /// slices of `content`'s storage.
+  std::vector<buf::Bytes> SplitBlocks(const buf::Bytes& content) const;
   void ChargeNamenode(sim::Context& ctx) const;
 
   /// True if `node` can host replicas (not failed at either level).
@@ -137,6 +149,7 @@ class MiniDfs {
   std::vector<bool> datanode_dead_;
   struct DfsTags {
     obs::TagId block_reads = obs::kNoTag;
+    obs::TagId bytes_read = obs::kNoTag;  // actual bytes handed to readers
     obs::TagId local_reads = obs::kNoTag;
     obs::TagId remote_reads = obs::kNoTag;
     obs::TagId network_bytes = obs::kNoTag;

@@ -87,6 +87,16 @@ Bytes Comm::RawRecv(int src_local, int tag, void* data, Bytes max_bytes) {
   return m.payload.size();
 }
 
+buf::Bytes Comm::RawRecvBytes(int src_local, int tag, Bytes expected_bytes) {
+  const int src = src_local < 0 ? net::kAnySource : GlobalRank(src_local);
+  net::Message m = endpoint().Recv(ctx_, src, tag);
+  PSTK_CHECK_MSG(m.payload.size() == expected_bytes,
+                 "collective size mismatch: got " << m.payload.size()
+                                                  << " bytes, expected "
+                                                  << expected_bytes);
+  return std::move(m.payload);
+}
+
 void Comm::Send(const void* data, Bytes bytes, int dest, int tag) {
   PSTK_CHECK_MSG(tag >= 0 && tag < kCollTagBase, "user tag out of range");
   RawSend(dest, tag, data, bytes, /*async=*/false);

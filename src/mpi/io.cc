@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string_view>
 
 #include "common/check.h"
 #include "mpi/mpi.h"
@@ -96,23 +97,24 @@ Result<std::string> File::ReadLinesAtAll(Comm& comm, Bytes modeled_offset,
       static_cast<double>(modeled_offset + modeled_len) * scale));
 
   storage::LocalFs& fs = comm.cluster().scratch(comm.node());
-  const std::string* content = fs.Peek(path_);
-  if (content == nullptr) return NotFound("MPI-IO: lost replica of " + path_);
-  a_begin = std::min(a_begin, content->size());
-  a_end = std::min(a_end, content->size());
+  const buf::Bytes* file = fs.Peek(path_);
+  if (file == nullptr) return NotFound("MPI-IO: lost replica of " + path_);
+  const std::string_view content = file->view();
+  a_begin = std::min(a_begin, content.size());
+  a_end = std::min(a_end, content.size());
 
   // A chunk owns the lines that *start* inside it: skip the line crossing
   // our lower boundary, extend through the line crossing the upper one.
   std::size_t real_begin = a_begin;
-  if (real_begin > 0 && (*content)[real_begin - 1] != '\n') {
-    const auto nl = content->find('\n', real_begin);
-    real_begin = nl == std::string::npos ? content->size() : nl + 1;
+  if (real_begin > 0 && content[real_begin - 1] != '\n') {
+    const auto nl = content.find('\n', real_begin);
+    real_begin = nl == std::string_view::npos ? content.size() : nl + 1;
   }
   std::size_t real_end = a_end;
-  if (real_end > 0 && real_end < content->size() &&
-      (*content)[real_end - 1] != '\n') {
-    const auto nl = content->find('\n', real_end);
-    real_end = nl == std::string::npos ? content->size() : nl + 1;
+  if (real_end > 0 && real_end < content.size() &&
+      content[real_end - 1] != '\n') {
+    const auto nl = content.find('\n', real_end);
+    real_end = nl == std::string_view::npos ? content.size() : nl + 1;
   }
   if (real_end < real_begin) real_end = real_begin;
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "cluster/cluster.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -192,6 +193,10 @@ class Comm {
   void RawSend(int dest_local, int tag, const void* data, Bytes bytes,
                bool async);
   Bytes RawRecv(int src_local, int tag, void* data, Bytes max_bytes);
+  /// Zero-copy receive: hands back the message payload itself (a refcount
+  /// bump on the sender's buffer) instead of memcpy'ing into caller
+  /// scratch. Reductions combine straight out of it.
+  buf::Bytes RawRecvBytes(int src_local, int tag, Bytes expected_bytes);
   /// Charge element-combining cost for reductions.
   void ChargeCombine(std::size_t elements);
 
@@ -313,17 +318,17 @@ void Comm::Reduce(std::span<const T> data, std::span<T> out, int root,
   const int n = size_;
   const int relative = (rank_ - root + n) % n;
   std::vector<T> accum(data.begin(), data.end());
-  std::vector<T> incoming(data.size());
 
   // Binomial tree: children push partial results toward the (virtual) root.
   for (int mask = 1; mask < n; mask <<= 1) {
     if ((relative & mask) == 0) {
       const int src_rel = relative | mask;
       if (src_rel < n) {
-        RawRecv((src_rel + root) % n, tag, incoming.data(),
-                incoming.size() * sizeof(T));
+        const buf::Bytes incoming = RawRecvBytes((src_rel + root) % n, tag,
+                                                 accum.size() * sizeof(T));
+        const T* in = reinterpret_cast<const T*>(incoming.data());
         for (std::size_t i = 0; i < accum.size(); ++i) {
-          accum[i] = op(accum[i], incoming[i]);
+          accum[i] = op(accum[i], in[i]);
         }
         ChargeCombine(accum.size());
       }
@@ -345,8 +350,14 @@ void Comm::Allreduce(std::span<const T> data, std::span<T> out, Op op) {
   const int tag = NextCollTag("allreduce");
   const int n = size_;
   std::vector<T> accum(data.begin(), data.end());
-  std::vector<T> incoming(data.size());
   const Bytes bytes = accum.size() * sizeof(T);
+  auto combine = [&](const buf::Bytes& incoming) {
+    const T* in = reinterpret_cast<const T*>(incoming.data());
+    for (std::size_t i = 0; i < accum.size(); ++i) {
+      accum[i] = op(accum[i], in[i]);
+    }
+    ChargeCombine(accum.size());
+  };
 
   int pof2 = 1;
   while (pof2 * 2 <= n) pof2 *= 2;
@@ -359,11 +370,7 @@ void Comm::Allreduce(std::span<const T> data, std::span<T> out, Op op) {
       RawSend(rank_ + 1, tag, accum.data(), bytes, /*async=*/true);
       newrank = -1;
     } else {
-      RawRecv(rank_ - 1, tag, incoming.data(), bytes);
-      for (std::size_t i = 0; i < accum.size(); ++i) {
-        accum[i] = op(accum[i], incoming[i]);
-      }
-      ChargeCombine(accum.size());
+      combine(RawRecvBytes(rank_ - 1, tag, bytes));
       newrank = rank_ / 2;
     }
   } else {
@@ -376,21 +383,18 @@ void Comm::Allreduce(std::span<const T> data, std::span<T> out, Op op) {
     for (int mask = 1; mask < pof2; mask <<= 1) {
       const int partner = real_rank(newrank ^ mask);
       RawSend(partner, tag, accum.data(), bytes, /*async=*/true);
-      RawRecv(partner, tag, incoming.data(), bytes);
-      for (std::size_t i = 0; i < accum.size(); ++i) {
-        accum[i] = op(accum[i], incoming[i]);
-      }
-      ChargeCombine(accum.size());
+      combine(RawRecvBytes(partner, tag, bytes));
     }
   }
 
   // Unfold: folded ranks receive the final result.
   if (rank_ < 2 * rem) {
     if (rank_ % 2 == 0) {
-      RawRecv(rank_ + 1, tag, accum.data(), bytes);
-    } else {
-      RawSend(rank_ - 1, tag, accum.data(), bytes, /*async=*/true);
+      const buf::Bytes final_result = RawRecvBytes(rank_ + 1, tag, bytes);
+      std::memcpy(out.data(), final_result.data(), bytes);
+      return;
     }
+    RawSend(rank_ - 1, tag, accum.data(), bytes, /*async=*/true);
   }
   std::memcpy(out.data(), accum.data(), bytes);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <set>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -28,14 +29,14 @@ struct AssignMsg {
   std::int32_t task_id;
 };
 
-serde::Buffer EncodeAssign(AssignKind kind, int task_id) {
+buf::Bytes EncodeAssign(AssignKind kind, int task_id) {
   serde::Writer w;
   w.WriteRaw<std::uint8_t>(static_cast<std::uint8_t>(kind));
   w.WriteRaw<std::int32_t>(task_id);
-  return w.TakeBuffer();
+  return w.TakeBytes();
 }
 
-AssignMsg DecodeAssign(const serde::Buffer& buffer) {
+AssignMsg DecodeAssign(const buf::Bytes& buffer) {
   serde::Reader r(buffer);
   AssignMsg msg{};
   msg.kind = r.ReadRaw<std::uint8_t>().value();
@@ -120,7 +121,7 @@ struct MrEngine::Job {
 
   struct MapOutput {
     int node = -1;
-    std::vector<serde::Buffer> partitions;  // one per reducer
+    std::vector<buf::Bytes> partitions;  // one per reducer
   };
   std::map<int, MapOutput> map_outputs;
 
@@ -308,7 +309,7 @@ void MrEngine::CoordinatorMain(sim::Context& ctx, Job& job) {
     const int worker = msg->src - 1;
     switch (msg->tag) {
       case kTagRequest: {
-        serde::Buffer reply;
+        buf::Bytes reply;
         // Prefer a data-local map task for this worker's node.
         if (!job.pending_maps.empty()) {
           const int node = job.worker_nodes[worker];
@@ -460,7 +461,7 @@ bool MrEngine::NoLiveWorkers(const Job& job) {
 
 void MrEngine::WorkerMain(sim::Context& ctx, Job& job, int worker_id) {
   net::Endpoint& ep = job.network->endpoint(1 + worker_id);
-  const serde::Buffer my_id = serde::EncodeToBuffer<std::int32_t>(worker_id);
+  const buf::Bytes my_id = serde::EncodeToBytes<std::int32_t>(worker_id);
   for (;;) {
     ep.SendAsync(ctx, 0, kTagRequest, my_id);
     auto reply = ep.RecvWithTimeout(ctx, ctx.now() + 5 * options_.heartbeat, 0,
@@ -518,12 +519,12 @@ void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
     throw sim::ProcessKilled{};  // task attempt dies; coordinator requeues
   }
 
-  // Map over every input line.
+  // Map over every input line (a zero-copy view of the stored block).
   VectorEmitter collected;
   std::uint64_t records = 0;
   {
     sim::Scope map_scope(ctx, tags_.map_map, tags_.time_map);
-    std::string_view rest = block.value();
+    std::string_view rest = block.value().view();
     while (!rest.empty()) {
       const auto nl = rest.find('\n');
       const std::string_view line =
@@ -540,11 +541,32 @@ void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
   job.counters.input_records += records;
   job.counters.map_output_records += collected.kvs.size();
 
-  // Partition by key hash, sort each partition.
+  // Map-side combine *before* partitioning and sorting: one hash pass
+  // groups all values per key (every key's values are complete within a
+  // map task), the combiner shrinks them, and only the combined records
+  // hit the sort. Values are sorted within each group so the combiner sees
+  // the same grouped-and-ordered input Hadoop's sorted pipeline would give
+  // it (and the spilled bytes are identical to combine-after-sort).
   const int R = job.conf.num_reducers;
   std::vector<KvVec> partitions(static_cast<std::size_t>(R));
   {
     sim::Scope sort_scope(ctx, tags_.map_sort, tags_.time_sort);
+    if (job.combine.has_value() && !collected.kvs.empty()) {
+      std::unordered_map<std::string, std::vector<std::string>> groups;
+      groups.reserve(collected.kvs.size());
+      for (auto& kv : collected.kvs) {
+        groups[std::move(kv.first)].push_back(std::move(kv.second));
+      }
+      // Linear hash-aggregation pass over the pre-combine records.
+      ChargeRecords(ctx, collected.kvs.size(), 0,
+                    options_.sort_cpu_per_record);
+      VectorEmitter combined;
+      for (auto& [key, values] : groups) {
+        std::sort(values.begin(), values.end());
+        (*job.combine)(key, values, combined);
+      }
+      collected.kvs = std::move(combined.kvs);
+    }
     for (auto& kv : collected.kvs) {
       partitions[HashKey(kv.first) % static_cast<std::size_t>(R)].push_back(
           std::move(kv));
@@ -559,25 +581,17 @@ void MrEngine::RunMapTask(sim::Context& ctx, Job& job, int worker_id,
     ChargeRecords(ctx, static_cast<std::uint64_t>(
                            static_cast<double>(sort_records) * log_factor),
                   0, options_.sort_cpu_per_record);
-
-    // Optional combiner shrinks each partition before the spill.
-    if (job.combine.has_value()) {
-      for (auto& partition : partitions) {
-        VectorEmitter combined;
-        GroupAndApply(partition, *job.combine, combined);
-        partition = std::move(combined.kvs);
-      }
-    }
   }
 
-  // Spill the serialized partitions to local disk.
+  // Spill the serialized partitions to local disk. Spill buffers are
+  // immutable from here on: reducers fetch zero-copy aliases of them.
   Job::MapOutput output;
   output.node = node;
   {
     sim::Scope spill_scope(ctx, tags_.map_spill, tags_.time_spill);
     Bytes spilled = 0;
     for (auto& partition : partitions) {
-      serde::Buffer buffer = serde::EncodeToBuffer(partition);
+      buf::Bytes buffer = serde::EncodeToBytes(partition);
       spilled += buffer.size();
       output.partitions.push_back(std::move(buffer));
     }
@@ -613,7 +627,7 @@ void MrEngine::RunReduceTask(sim::Context& ctx, Job& job, int worker_id,
         missing.push_back(map_id);
         continue;
       }
-      const serde::Buffer& bucket =
+      const buf::Bytes& bucket =
           output.partitions[static_cast<std::size_t>(reduce_id)];
       const Bytes modeled = cluster_.Modeled(bucket.size());
       SimTime t = cluster_.scratch_disk(output.node)->Read(modeled, ctx.now());
@@ -625,7 +639,7 @@ void MrEngine::RunReduceTask(sim::Context& ctx, Job& job, int worker_id,
       ctx.SleepUntil(t);
       fetched_bytes += modeled;
       ++fetched_outputs;
-      auto kvs = serde::DecodeFromBuffer<KvVec>(bucket);
+      auto kvs = serde::DecodeFromBytes<KvVec>(bucket);
       PSTK_CHECK_MSG(kvs.ok(), "corrupt map output");
       merged.insert(merged.end(), kvs.value().begin(), kvs.value().end());
     }
@@ -671,7 +685,10 @@ void MrEngine::RunReduceTask(sim::Context& ctx, Job& job, int worker_id,
     sim::Scope output_scope(ctx, tags_.reduce_output, tags_.time_output);
     const std::string path = job.conf.output_path + "/part-r-" +
                              std::to_string(reduce_id);
-    const Status written = dfs_.Write(ctx, node, path, out.lines);
+    // Ownership handover: the reducer's output string becomes the stored
+    // file content without a copy.
+    const Status written =
+        dfs_.Write(ctx, node, path, buf::Bytes::FromString(std::move(out.lines)));
     if (!written.ok()) {
       PSTK_WARN("mr") << "reduce " << reduce_id
                       << " output write failed: " << written.ToString();

@@ -50,7 +50,7 @@ std::vector<Endpoint::PendingInfo> Endpoint::Pending() const {
   return pending;
 }
 
-void Endpoint::Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
+void Endpoint::Send(sim::Context& ctx, int dst, int tag, buf::Bytes payload,
                     Bytes modeled_size) {
   if (modeled_size == 0) modeled_size = payload.size();
   user_pid_ = ctx.pid();
@@ -91,7 +91,7 @@ void Endpoint::Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
 }
 
 void Endpoint::SendAsync(sim::Context& ctx, int dst, int tag,
-                         serde::Buffer payload, Bytes modeled_size) {
+                         buf::Bytes payload, Bytes modeled_size) {
   if (modeled_size == 0) modeled_size = payload.size();
   user_pid_ = ctx.pid();
   ctx.engine().obs().Add(network_.tag_async_);

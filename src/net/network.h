@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "common/check.h"
 #include "common/units.h"
 #include "net/fabric.h"
@@ -29,7 +30,7 @@ struct Message {
   int tag = 0;
   std::uint64_t seq = 0; // global send order (FIFO tie-break)
   Bytes size = 0;        // modeled size (cost model), >= payload.size()
-  serde::Buffer payload; // actual data
+  buf::Bytes payload;    // actual data — refcounted, shared with the sender
   SimTime arrival = 0;   // virtual time the last byte is available
   sim::Pid sender_pid = sim::kNoPid;  // set when the sender blocks (rendezvous)
   bool wants_completion_wake = false;
@@ -44,14 +45,25 @@ class Endpoint {
   /// Two-sided send. For modeled sizes <= eager threshold the sender only
   /// pays CPU + NIC occupancy and continues; larger messages use a
   /// rendezvous: the sender blocks until the receiver consumes the message.
-  /// `modeled_size` defaults to the payload size.
-  void Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
+  /// `modeled_size` defaults to the payload size. Transfer cost is charged
+  /// on the modeled bytes; the simulator only passes a refcount.
+  void Send(sim::Context& ctx, int dst, int tag, buf::Bytes payload,
             Bytes modeled_size = 0);
+  void Send(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
+            Bytes modeled_size = 0) {
+    Send(ctx, dst, tag, buf::Bytes::FromVector(std::move(payload)),
+         modeled_size);
+  }
 
   /// Fire-and-forget send (never blocks past NIC occupancy), regardless of
   /// size; used for nonblocking MPI sends and RPC-style control messages.
-  void SendAsync(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
+  void SendAsync(sim::Context& ctx, int dst, int tag, buf::Bytes payload,
                  Bytes modeled_size = 0);
+  void SendAsync(sim::Context& ctx, int dst, int tag, serde::Buffer payload,
+                 Bytes modeled_size = 0) {
+    SendAsync(ctx, dst, tag, buf::Bytes::FromVector(std::move(payload)),
+              modeled_size);
+  }
 
   /// Blocking receive with matching; kAnySource / kAnyTag wildcard.
   Message Recv(sim::Context& ctx, int src = kAnySource, int tag = kAnyTag);

@@ -61,6 +61,18 @@ void Histogram::Record(double value) {
   ++buckets_[static_cast<std::size_t>(BucketFor(value))];
 }
 
+Histogram Histogram::FromRaw(
+    std::uint64_t count, double sum, double min, double max,
+    const std::array<std::uint64_t, kBuckets>& buckets) {
+  Histogram h;
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  h.buckets_ = buckets;
+  return h;
+}
+
 void Histogram::Merge(const Histogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {

@@ -61,6 +61,13 @@ class Histogram {
   /// combine exactly). Used when merging per-shard logs.
   void Merge(const Histogram& other);
 
+  /// Build a histogram from externally accumulated raw state (same bucket
+  /// layout). Lets lock-free recorders (buf::Stats) publish into metrics
+  /// tables. min/max may be approximations of the recorder's knowledge.
+  [[nodiscard]] static Histogram FromRaw(
+      std::uint64_t count, double sum, double min, double max,
+      const std::array<std::uint64_t, kBuckets>& buckets);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
@@ -162,6 +169,12 @@ class Registry {
   }
   /// nullptr if nothing was recorded under `tag`.
   [[nodiscard]] const Histogram* histogram(TagId tag) const;
+  /// Fold an externally built histogram into `tag` (bypasses the enabled_
+  /// gate: used by bench harnesses publishing process-global stats into a
+  /// finished run's table).
+  void MergeHistogram(TagId tag, const Histogram& h) {
+    if (h.count() > 0) histograms_[tag].Merge(h);
+  }
 
   // -- spans / instants (gated on enabled) -------------------------------
   void BeginSpan(std::int32_t node, std::uint32_t track, TagId tag,

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "common/check.h"
 #include "common/status.h"
 
@@ -52,6 +53,11 @@ class Writer {
 
   [[nodiscard]] const Buffer& buffer() const { return buffer_; }
   [[nodiscard]] Buffer TakeBuffer() { return std::move(buffer_); }
+  /// Hand the encoded bytes over as an immutable buffer — ownership
+  /// transfer, no copy. The writer is left empty.
+  [[nodiscard]] buf::Bytes TakeBytes() {
+    return buf::Bytes::FromVector(std::move(buffer_));
+  }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
  private:
@@ -64,6 +70,12 @@ class Reader {
       : data_(data), size_(size) {}
   explicit Reader(const Buffer& buffer)
       : Reader(buffer.data(), buffer.size()) {}
+  /// Zero-copy decode straight out of an immutable buffer. The buffer must
+  /// be flat (every serde producer emits flat Bytes) and must outlive the
+  /// reader.
+  explicit Reader(const buf::Bytes& bytes)
+      : Reader(reinterpret_cast<const std::uint8_t*>(bytes.view().data()),
+               bytes.size()) {}
 
   [[nodiscard]] bool AtEnd() const { return pos_ == size_; }
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
@@ -291,6 +303,24 @@ Status Decode(Reader& r, T& out) {
 template <typename T>
 Result<T> DecodeFromBuffer(const Buffer& buffer) {
   Reader r(buffer);
+  T out{};
+  PSTK_RETURN_IF_ERROR(Codec<T>::Decode(r, out));
+  if (!r.AtEnd()) return OutOfRange("serde: trailing bytes");
+  return out;
+}
+
+/// Encode into an immutable buffer (ownership handover, no copy).
+template <typename T>
+buf::Bytes EncodeToBytes(const T& value) {
+  Writer w;
+  Codec<T>::Encode(w, value);
+  return w.TakeBytes();
+}
+
+/// Decode straight out of an immutable (flat) buffer — no copy.
+template <typename T>
+Result<T> DecodeFromBytes(const buf::Bytes& bytes) {
+  Reader r(bytes);
   T out{};
   PSTK_RETURN_IF_ERROR(Codec<T>::Decode(r, out));
   if (!r.AtEnd()) return OutOfRange("serde: trailing bytes");

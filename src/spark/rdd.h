@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "common/check.h"
 #include "serde/serde.h"
 #include "spark/runtime.h"
@@ -99,7 +100,7 @@ class ShuffleDepBase {
 
   /// Map task: evaluate parent partition `p` and return one serialized
   /// bucket per reduce partition.
-  virtual std::vector<serde::Buffer> RunMapTask(TaskRt& rt, int p) = 0;
+  virtual std::vector<buf::Bytes> RunMapTask(TaskRt& rt, int p) = 0;
 
  private:
   int shuffle_id_;
@@ -185,7 +186,7 @@ class TextFileDfsNode final : public TypedRdd<std::string> {
     PSTK_CHECK_MSG(block.ok(), "textFile read failed: "
                                    << block.status().ToString());
     auto lines = std::make_shared<std::vector<std::string>>();
-    SplitLines(block.value(), *lines);
+    SplitLines(block.value().view(), *lines);
     rt.ChargeRecords(lines->size(), block.value().size());
     return lines;
   }
@@ -194,12 +195,12 @@ class TextFileDfsNode final : public TypedRdd<std::string> {
     return locations_[static_cast<std::size_t>(p)];
   }
 
-  static void SplitLines(const std::string& text,
+  static void SplitLines(std::string_view text,
                          std::vector<std::string>& out) {
     std::size_t pos = 0;
     while (pos < text.size()) {
       auto nl = text.find('\n', pos);
-      if (nl == std::string::npos) nl = text.size();
+      if (nl == std::string_view::npos) nl = text.size();
       if (nl > pos) out.emplace_back(text.substr(pos, nl - pos));
       pos = nl + 1;
     }
@@ -232,7 +233,7 @@ class TextFileLocalNode final : public TypedRdd<std::string> {
     PSTK_CHECK_MSG(data.ok(),
                    "local textFile read failed: " << data.status().ToString());
     auto lines = std::make_shared<std::vector<std::string>>();
-    TextFileDfsNode::SplitLines(data.value(), *lines);
+    TextFileDfsNode::SplitLines(data.value().view(), *lines);
     rt.ChargeRecords(lines->size(), data.value().size());
     return lines;
   }
@@ -368,28 +369,34 @@ class ShuffleDepImpl final : public ShuffleDepBase {
         create_(std::move(create)),
         merge_value_(std::move(merge_value)) {}
 
-  std::vector<serde::Buffer> RunMapTask(TaskRt& rt, int p) override {
+  std::vector<buf::Bytes> RunMapTask(TaskRt& rt, int p) override {
     auto in = rt.EvaluateTyped<std::pair<K, V>>(*typed_parent_, p);
     const int R = num_reduces();
-    std::vector<serde::Buffer> buckets;
+    std::vector<buf::Bytes> buckets;
+    buckets.reserve(static_cast<std::size_t>(R));
+    Bytes total = 0;
     if (aggregate_) {
-      // Map-side combine: one hash map per bucket.
-      std::vector<std::unordered_map<K, C>> maps(
-          static_cast<std::size_t>(R));
+      // Map-side combine: aggregate into a single hash map first (one
+      // insert per record), then partition the much smaller combined set.
+      // Hashing each key once beats per-bucket maps: the old layout paid a
+      // partition hash plus a map hash per input record.
+      std::unordered_map<K, C> combined;
+      combined.reserve(in->size());
       for (const auto& [key, value] : *in) {
-        auto& bucket = maps[BucketOf(key, R)];
-        auto it = bucket.find(key);
-        if (it == bucket.end()) {
-          bucket.emplace(key, create_(value));
+        auto it = combined.find(key);
+        if (it == combined.end()) {
+          combined.emplace(key, create_(value));
         } else {
           it->second = merge_value_(std::move(it->second), value);
         }
       }
-      buckets.reserve(static_cast<std::size_t>(R));
-      Bytes total = 0;
-      for (auto& bucket : maps) {
-        std::vector<std::pair<K, C>> kvs(bucket.begin(), bucket.end());
-        buckets.push_back(serde::EncodeToBuffer(kvs));
+      std::vector<std::vector<std::pair<K, C>>> lists(
+          static_cast<std::size_t>(R));
+      for (auto& [key, combiner] : combined) {
+        lists[BucketOf(key, R)].emplace_back(key, std::move(combiner));
+      }
+      for (auto& list : lists) {
+        buckets.push_back(serde::EncodeToBytes(list));
         total += buckets.back().size();
       }
       rt.ChargeSerde(in->size(), total);
@@ -399,10 +406,8 @@ class ShuffleDepImpl final : public ShuffleDepBase {
       for (const auto& [key, value] : *in) {
         lists[BucketOf(key, R)].emplace_back(key, create_(value));
       }
-      buckets.reserve(static_cast<std::size_t>(R));
-      Bytes total = 0;
       for (auto& list : lists) {
-        buckets.push_back(serde::EncodeToBuffer(list));
+        buckets.push_back(serde::EncodeToBytes(list));
         total += buckets.back().size();
       }
       rt.ChargeSerde(in->size(), total);
@@ -440,13 +445,13 @@ class ShuffledNode final : public TypedRdd<std::pair<K, C>> {
         rt.FetchShuffle(this->shuffle_deps[0]->shuffle_id(), p);
     auto out = std::make_shared<std::vector<std::pair<K, C>>>();
     Bytes fetched_bytes = 0;
-    for (const serde::Buffer* buffer : buffers) fetched_bytes += buffer->size();
+    for (const buf::Bytes& buffer : buffers) fetched_bytes += buffer.size();
     if (aggregate_) {
       std::unordered_map<K, C> merged;
       std::uint64_t records = 0;
-      for (const serde::Buffer* buffer : buffers) {
+      for (const buf::Bytes& buffer : buffers) {
         auto kvs =
-            serde::DecodeFromBuffer<std::vector<std::pair<K, C>>>(*buffer);
+            serde::DecodeFromBytes<std::vector<std::pair<K, C>>>(buffer);
         PSTK_CHECK_MSG(kvs.ok(), "corrupt shuffle bucket");
         records += kvs.value().size();
         for (auto& [key, combiner] : kvs.value()) {
@@ -463,9 +468,9 @@ class ShuffledNode final : public TypedRdd<std::pair<K, C>> {
       rt.ChargeSerde(records, fetched_bytes);
     } else {
       std::uint64_t records = 0;
-      for (const serde::Buffer* buffer : buffers) {
+      for (const buf::Bytes& buffer : buffers) {
         auto kvs =
-            serde::DecodeFromBuffer<std::vector<std::pair<K, C>>>(*buffer);
+            serde::DecodeFromBytes<std::vector<std::pair<K, C>>>(buffer);
         PSTK_CHECK_MSG(kvs.ok(), "corrupt shuffle bucket");
         records += kvs.value().size();
         for (auto& kv : kvs.value()) out->push_back(std::move(kv));
@@ -538,13 +543,13 @@ class ShuffledJoinNode final
     std::vector<std::pair<K, V>> lhs;
     std::vector<std::pair<K, W>> rhs;
     std::uint64_t records = 0;
-    for (const serde::Buffer* buffer : rt.FetchShuffle(left_id_, p)) {
-      auto kvs = serde::DecodeFromBuffer<std::vector<std::pair<K, V>>>(*buffer);
+    for (const buf::Bytes& buffer : rt.FetchShuffle(left_id_, p)) {
+      auto kvs = serde::DecodeFromBytes<std::vector<std::pair<K, V>>>(buffer);
       PSTK_CHECK_MSG(kvs.ok(), "corrupt join bucket");
       for (auto& kv : kvs.value()) lhs.push_back(std::move(kv));
     }
-    for (const serde::Buffer* buffer : rt.FetchShuffle(right_id_, p)) {
-      auto kvs = serde::DecodeFromBuffer<std::vector<std::pair<K, W>>>(*buffer);
+    for (const buf::Bytes& buffer : rt.FetchShuffle(right_id_, p)) {
+      auto kvs = serde::DecodeFromBytes<std::vector<std::pair<K, W>>>(buffer);
       PSTK_CHECK_MSG(kvs.ok(), "corrupt join bucket");
       for (auto& kv : kvs.value()) rhs.push_back(std::move(kv));
     }

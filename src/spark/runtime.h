@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "net/fabric.h"
@@ -104,7 +105,7 @@ class ShuffleStore {
   struct MapOutput {
     int executor = -1;
     int node = -1;
-    std::vector<serde::Buffer> buckets;  // one per reduce partition
+    std::vector<buf::Bytes> buckets;  // one per reduce partition
     Bytes total_bytes = 0;
   };
 

@@ -22,32 +22,43 @@ struct TaskHeader {
   std::int32_t partition = 0;
 };
 
-serde::Buffer EncodeTask(std::uint64_t task_set, int partition) {
+// Task messages carry a fixed 12-byte header (task_set, partition).
+constexpr std::size_t kTaskHeaderBytes = 12;
+
+buf::Bytes EncodeTask(std::uint64_t task_set, int partition) {
   serde::Writer w;
+  w.Reserve(kTaskHeaderBytes);
   w.WriteRaw<std::uint64_t>(task_set);
   w.WriteRaw<std::int32_t>(partition);
-  return w.TakeBuffer();
+  return w.TakeBytes();
 }
 
-serde::Buffer EncodeTaskDone(std::uint64_t task_set, int partition,
-                             const serde::Buffer& result) {
+buf::Bytes EncodeTaskDone(std::uint64_t task_set, int partition,
+                          buf::Bytes result) {
   serde::Writer w;
+  w.Reserve(kTaskHeaderBytes);
   w.WriteRaw<std::uint64_t>(task_set);
   w.WriteRaw<std::int32_t>(partition);
-  w.WriteBytes(result.data(), result.size());
-  return w.TakeBuffer();
+  // Rope-concat: the task result rides along without being copied.
+  return buf::Bytes::Concat({w.TakeBytes(), std::move(result)});
 }
 
-serde::Buffer EncodeTaskFail(std::uint64_t task_set, int partition,
-                             int shuffle_id) {
+buf::Bytes EncodeTaskFail(std::uint64_t task_set, int partition,
+                          int shuffle_id) {
   serde::Writer w;
+  w.Reserve(kTaskHeaderBytes + 4);
   w.WriteRaw<std::uint64_t>(task_set);
   w.WriteRaw<std::int32_t>(partition);
   w.WriteRaw<std::int32_t>(shuffle_id);
-  return w.TakeBuffer();
+  return w.TakeBytes();
 }
 
-TaskHeader DecodeHeader(serde::Reader& r) {
+/// Decode the header of a (possibly rope) task message: the header slice
+/// is always flat because every encoder writes it as one chunk.
+TaskHeader DecodeHeader(const buf::Bytes& payload) {
+  // The slice is a temporary, but the chunk it points into is owned by
+  // `payload`, so the reader's view stays valid.
+  serde::Reader r(payload.Slice(0, kTaskHeaderBytes));
   TaskHeader h;
   h.task_set = r.ReadRaw<std::uint64_t>().value();
   h.partition = r.ReadRaw<std::int32_t>().value();
@@ -158,10 +169,10 @@ PartitionHandle TaskRt::Evaluate(RddBase& rdd, int p) {
   return data;
 }
 
-std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
-                                                       int reduce_partition) {
+std::vector<buf::Bytes> TaskRt::FetchShuffle(int shuffle_id,
+                                             int reduce_partition) {
   const int num_maps = app_.shuffle_store.NumMaps(shuffle_id);
-  std::vector<const serde::Buffer*> buffers;
+  std::vector<buf::Bytes> buffers;
   buffers.reserve(static_cast<std::size_t>(num_maps));
   const SimTime t0 = ctx_.now();
   SimTime last_arrival = ctx_.now();
@@ -184,9 +195,8 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
       }
       throw FetchFailed{shuffle_id};
     }
-    const serde::Buffer& bucket =
+    const buf::Bytes& bucket =
         output->buckets[static_cast<std::size_t>(reduce_partition)];
-    buffers.push_back(&bucket);
     const Bytes modeled = app_.Modeled(static_cast<Bytes>(
         static_cast<double>(bucket.size()) *
         app_.options.java_serialization_factor));
@@ -214,10 +224,11 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
   ctx_.SleepUntil(last_arrival);
   // While this task slept on the fetch, a node failure may have dropped an
   // executor's map outputs (DropExecutor erases them; a re-run's
-  // PutMapOutput replaces them) — either way the pointers collected above
-  // dangle. Re-resolve every bucket now that virtual time has advanced, and
-  // treat any loss as a fetch failure so the driver reruns the map stage.
-  buffers.clear();
+  // PutMapOutput replaces them). A reducer must not consume data whose
+  // producer died mid-fetch — the real transfer would have broken — so
+  // only now, with virtual time advanced past the transfer, alias the
+  // surviving buckets (refcount bumps, no copy) and treat any loss as a
+  // fetch failure so the driver reruns the map stage.
   for (int m = 0; m < num_maps; ++m) {
     const ShuffleStore::MapOutput* output =
         app_.shuffle_store.GetMapOutput(shuffle_id, m);
@@ -225,16 +236,19 @@ std::vector<const serde::Buffer*> TaskRt::FetchShuffle(int shuffle_id,
       throw FetchFailed{shuffle_id};
     }
     buffers.push_back(
-        &output->buckets[static_cast<std::size_t>(reduce_partition)]);
+        output->buckets[static_cast<std::size_t>(reduce_partition)]);
   }
+  Bytes fetched = 0;
+  for (const buf::Bytes& bucket : buffers) fetched += bucket.size();
   if (app_.obs != nullptr) {
+    app_.obs->Add(app_.obs_tags.bytes_fetched, fetched);
     app_.obs->Observe(app_.obs_tags.time_shuffle_net, ctx_.now() - t0);
   }
   return buffers;
 }
 
 void TaskRt::CommitShuffleOutput(int shuffle_id, int map_partition,
-                                 std::vector<serde::Buffer> buckets) {
+                                 std::vector<buf::Bytes> buckets) {
   Bytes total = 0;
   for (const auto& bucket : buckets) total += bucket.size();
   const Bytes modeled = app_.Modeled(static_cast<Bytes>(
@@ -255,36 +269,37 @@ void TaskRt::CommitShuffleOutput(int shuffle_id, int map_partition,
                                   std::move(output));
 }
 
-Result<std::string> TaskRt::ReadDfsBlock(const std::string& path,
-                                         std::size_t block) {
+Result<buf::Bytes> TaskRt::ReadDfsBlock(const std::string& path,
+                                        std::size_t block) {
   if (app_.dfs == nullptr) {
     return FailedPrecondition("no DFS configured for this app");
   }
   return app_.dfs->ReadBlock(ctx_, node_, path, block);
 }
 
-Result<std::string> TaskRt::ReadLocalRange(const std::string& path,
-                                           Bytes offset, Bytes length) {
-  return app_.cluster->scratch(node_).Read(ctx_, path, offset, length);
+Result<buf::Bytes> TaskRt::ReadLocalRange(const std::string& path,
+                                          Bytes offset, Bytes length) {
+  return app_.cluster->scratch(node_).ReadBytes(ctx_, path, offset, length);
 }
 
-Result<std::string> TaskRt::ReadLocalLines(const std::string& path,
-                                           Bytes offset, Bytes length) {
+Result<buf::Bytes> TaskRt::ReadLocalLines(const std::string& path,
+                                          Bytes offset, Bytes length) {
   storage::LocalFs& fs = app_.cluster->scratch(node_);
-  const std::string* content = fs.Peek(path);
-  if (content == nullptr) return NotFound("no such file: " + path);
-  std::size_t begin = std::min<std::size_t>(offset, content->size());
-  std::size_t end = std::min<std::size_t>(offset + length, content->size());
-  if (begin > 0 && (*content)[begin - 1] != '\n') {
-    const auto nl = content->find('\n', begin);
-    begin = nl == std::string::npos ? content->size() : nl + 1;
+  const buf::Bytes* file = fs.Peek(path);
+  if (file == nullptr) return NotFound("no such file: " + path);
+  const std::string_view content = file->view();
+  std::size_t begin = std::min<std::size_t>(offset, content.size());
+  std::size_t end = std::min<std::size_t>(offset + length, content.size());
+  if (begin > 0 && content[begin - 1] != '\n') {
+    const auto nl = content.find('\n', begin);
+    begin = nl == std::string_view::npos ? content.size() : nl + 1;
   }
-  if (end > 0 && end < content->size() && (*content)[end - 1] != '\n') {
-    const auto nl = content->find('\n', end);
-    end = nl == std::string::npos ? content->size() : nl + 1;
+  if (end > 0 && end < content.size() && content[end - 1] != '\n') {
+    const auto nl = content.find('\n', end);
+    end = nl == std::string_view::npos ? content.size() : nl + 1;
   }
   if (end < begin) end = begin;
-  return fs.Read(ctx_, path, begin, end - begin);
+  return fs.ReadBytes(ctx_, path, begin, end - begin);
 }
 
 // ===========================================================================
@@ -379,8 +394,8 @@ void SparkContext::SweepExecutors() {
 
 SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
     RddBase& locality_rdd, const std::vector<int>& partitions,
-    const std::function<serde::Buffer(TaskRt&, int)>& closure,
-    std::map<int, serde::Buffer>* results) {
+    const std::function<buf::Bytes(TaskRt&, int)>& closure,
+    std::map<int, buf::Bytes>* results) {
   TaskSetOutcome outcome;
   if (partitions.empty()) return outcome;
 
@@ -487,8 +502,7 @@ SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
       continue;
     }
 
-    serde::Reader r(msg->payload);
-    const TaskHeader header = DecodeHeader(r);
+    const TaskHeader header = DecodeHeader(msg->payload);
     const int executor = msg->src;
     if (executor >= 0 && executor < static_cast<int>(app_.executors.size())) {
       app_.executors[executor].busy = false;
@@ -500,8 +514,8 @@ SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
       running.erase(header.partition);
       done.insert(header.partition);
       if (results != nullptr) {
-        serde::Buffer rest(msg->payload.begin() + 12, msg->payload.end());
-        (*results)[header.partition] = std::move(rest);
+        // Zero-copy: the result is the message payload past the header.
+        (*results)[header.partition] = msg->payload.Slice(kTaskHeaderBytes);
       }
     } else if (msg->tag == kTagTaskFail) {
       ++app_.stats.fetch_failures;
@@ -514,9 +528,9 @@ SparkContext::TaskSetOutcome SparkContext::RunTaskSet(
   return finish(OkStatus(), false);
 }
 
-Result<std::vector<serde::Buffer>> SparkContext::RunJob(
+Result<std::vector<buf::Bytes>> SparkContext::RunJob(
     std::shared_ptr<RddBase> final_rdd,
-    std::function<serde::Buffer(TaskRt&, int)> result_closure) {
+    std::function<buf::Bytes(TaskRt&, int)> result_closure) {
   sim::Scope job_scope(ctx_, app_.obs_tags.job);
   ctx_.Compute(app_.options.driver_per_job);
   ++app_.stats.jobs;
@@ -534,7 +548,7 @@ Result<std::vector<serde::Buffer>> SparkContext::RunJob(
     app_.verify->OnSparkLineage(edges);
   }
 
-  std::map<int, serde::Buffer> results;
+  std::map<int, buf::Bytes> results;
   std::set<int> result_done;
   const int max_rounds = 8 * static_cast<int>(deps.size() + 2);
   for (int round = 0; round < max_rounds; ++round) {
@@ -553,10 +567,10 @@ Result<std::vector<serde::Buffer>> SparkContext::RunJob(
                                    });
       const std::vector<int> missing =
           app_.shuffle_store.MissingMaps(next->shuffle_id());
-      auto map_closure = [dep_ptr](TaskRt& rt, int p) -> serde::Buffer {
+      auto map_closure = [dep_ptr](TaskRt& rt, int p) -> buf::Bytes {
         auto buckets = dep_ptr->RunMapTask(rt, p);
         rt.CommitShuffleOutput(dep_ptr->shuffle_id(), p, std::move(buckets));
-        return serde::EncodeToBuffer<std::uint8_t>(1);
+        return serde::EncodeToBytes<std::uint8_t>(1);
       };
       TaskSetOutcome outcome =
           RunTaskSet(next->parent(), missing, map_closure, nullptr);
@@ -569,7 +583,7 @@ Result<std::vector<serde::Buffer>> SparkContext::RunJob(
     for (int p = 0; p < final_rdd->num_partitions(); ++p) {
       if (result_done.count(p) == 0) missing_results.push_back(p);
     }
-    std::map<int, serde::Buffer> partials;
+    std::map<int, buf::Bytes> partials;
     TaskSetOutcome outcome =
         RunTaskSet(*final_rdd, missing_results, result_closure, &partials);
     if (!outcome.status.ok()) return outcome.status;
@@ -579,7 +593,7 @@ Result<std::vector<serde::Buffer>> SparkContext::RunJob(
     }
     if (outcome.fetch_failed) continue;
     if (static_cast<int>(result_done.size()) == final_rdd->num_partitions()) {
-      std::vector<serde::Buffer> ordered;
+      std::vector<buf::Bytes> ordered;
       ordered.reserve(results.size());
       for (auto& [p, buffer] : results) ordered.push_back(std::move(buffer));
       return ordered;
@@ -612,6 +626,7 @@ MiniSpark::MiniSpark(cluster::Cluster& cluster, dfs::MiniDfs* dfs,
   app_->obs_tags.bytes_socket = app_->obs->Intern("spark.shuffle.bytes.socket");
   app_->obs_tags.bytes_rdma = app_->obs->Intern("spark.shuffle.bytes.rdma");
   app_->obs_tags.bytes_local = app_->obs->Intern("spark.shuffle.bytes.local");
+  app_->obs_tags.bytes_fetched = app_->obs->Intern("shuffle.bytes_fetched");
   app_->obs_tags.recovery_task_retries =
       app_->obs->Intern("recovery.spark.task_retries");
   app_->obs_tags.recovery_fetch_failures =
@@ -726,7 +741,7 @@ void MiniSpark::DriverMain(sim::Context& ctx, DriverBody body,
   net::Endpoint& ep = app_->control->endpoint(app_->driver_endpoint);
   for (const ExecutorInfo& info : app_->executors) {
     if (app_->ExecutorAlive(info.id)) {
-      ep.SendAsync(ctx, info.id, kTagExit, serde::Buffer{});
+      ep.SendAsync(ctx, info.id, kTagExit, buf::Bytes{});
     }
   }
 
@@ -748,8 +763,7 @@ void MiniSpark::ExecutorMain(sim::Context& ctx, int executor_id) {
     }
     if (msg->tag == kTagExit) return;
     PSTK_CHECK(msg->tag == kTagTask);
-    serde::Reader r(msg->payload);
-    const TaskHeader header = DecodeHeader(r);
+    const TaskHeader header = DecodeHeader(msg->payload);
 
     auto closure = app_->closures.find(header.task_set);
     if (closure == app_->closures.end()) continue;  // stale task
@@ -759,10 +773,11 @@ void MiniSpark::ExecutorMain(sim::Context& ctx, int executor_id) {
     sim::Scope task_scope(ctx, app_->obs_tags.task);
     TaskRt rt(*app_, ctx, executor_id, node);
     try {
-      serde::Buffer result = closure->second(rt, header.partition);
+      buf::Bytes result = closure->second(rt, header.partition);
       const Bytes modeled = app_->Modeled(result.size()) + kKiB;
       ep.SendAsync(ctx, app_->driver_endpoint, kTagTaskDone,
-                   EncodeTaskDone(header.task_set, header.partition, result),
+                   EncodeTaskDone(header.task_set, header.partition,
+                                  std::move(result)),
                    modeled);
     } catch (const FetchFailed& failed) {
       ep.SendAsync(ctx, app_->driver_endpoint, kTagTaskFail,

@@ -70,6 +70,7 @@ struct SparkObsTags {
   obs::TagId bytes_socket = obs::kNoTag;
   obs::TagId bytes_rdma = obs::kNoTag;
   obs::TagId bytes_local = obs::kNoTag;
+  obs::TagId bytes_fetched = obs::kNoTag;  // actual bytes handed to reducers
   // Recovery work (cross-framework `recovery.*` namespace; the MPI/SHMEM
   // side's counters come from ckpt::RestartManager).
   obs::TagId recovery_task_retries = obs::kNoTag;
@@ -94,7 +95,7 @@ struct AppState {
   /// MiniSpark::Submit when SparkOptions::reacquire_executors is set.
   std::function<void(ExecutorInfo&)> respawn_executor;
   int driver_endpoint = 0;
-  std::map<std::uint64_t, std::function<serde::Buffer(TaskRt&, int)>> closures;
+  std::map<std::uint64_t, std::function<buf::Bytes(TaskRt&, int)>> closures;
   std::uint64_t next_task_set = 1;
   int next_rdd_id = 0;
   int next_shuffle_id = 0;
@@ -146,10 +147,11 @@ class SparkContext {
 
   /// DAG-schedule a job: run `result_closure` over every partition of
   /// `final_rdd` (parent shuffle stages first), with lineage-based retry
-  /// on executor loss. Returns per-partition serialized results.
-  Result<std::vector<serde::Buffer>> RunJob(
+  /// on executor loss. Returns per-partition serialized results (each a
+  /// zero-copy slice of the executor's completion message).
+  Result<std::vector<buf::Bytes>> RunJob(
       std::shared_ptr<RddBase> final_rdd,
-      std::function<serde::Buffer(TaskRt&, int)> result_closure);
+      std::function<buf::Bytes(TaskRt&, int)> result_closure);
 
   void Unpersist(int rdd_id) { app_.block_store->DropRdd(rdd_id); }
 
@@ -160,9 +162,9 @@ class SparkContext {
   };
   TaskSetOutcome RunTaskSet(RddBase& locality_rdd,
                             const std::vector<int>& partitions,
-                            const std::function<serde::Buffer(TaskRt&, int)>&
+                            const std::function<buf::Bytes(TaskRt&, int)>&
                                 closure,
-                            std::map<int, serde::Buffer>* results);
+                            std::map<int, buf::Bytes>* results);
   std::vector<int> PreferredExecutors(RddBase& rdd, int p) const;
   void SweepExecutors();
 
@@ -248,12 +250,12 @@ class Rdd {
     auto node = node_;
     auto buffers = sc_->RunJob(node, [node](TaskRt& rt, int p) {
       auto part = rt.EvaluateTyped<T>(*node, p);
-      return serde::EncodeToBuffer(*part);
+      return serde::EncodeToBytes(*part);
     });
     if (!buffers.ok()) return buffers.status();
     std::vector<T> out;
-    for (const serde::Buffer& buffer : buffers.value()) {
-      auto part = serde::DecodeFromBuffer<std::vector<T>>(buffer);
+    for (const buf::Bytes& buffer : buffers.value()) {
+      auto part = serde::DecodeFromBytes<std::vector<T>>(buffer);
       if (!part.ok()) return part.status();
       for (auto& item : part.value()) out.push_back(std::move(item));
     }
@@ -264,12 +266,12 @@ class Rdd {
     auto node = node_;
     auto buffers = sc_->RunJob(node, [node](TaskRt& rt, int p) {
       auto part = rt.EvaluateTyped<T>(*node, p);
-      return serde::EncodeToBuffer<std::uint64_t>(part->size());
+      return serde::EncodeToBytes<std::uint64_t>(part->size());
     });
     if (!buffers.ok()) return buffers.status();
     std::int64_t total = 0;
-    for (const serde::Buffer& buffer : buffers.value()) {
-      auto n = serde::DecodeFromBuffer<std::uint64_t>(buffer);
+    for (const buf::Bytes& buffer : buffers.value()) {
+      auto n = serde::DecodeFromBytes<std::uint64_t>(buffer);
       if (!n.ok()) return n.status();
       total += static_cast<std::int64_t>(n.value());
     }
@@ -290,12 +292,12 @@ class Rdd {
         partial.push_back(std::move(acc));
       }
       rt.ChargeRecords(part->size(), 0);
-      return serde::EncodeToBuffer(partial);
+      return serde::EncodeToBytes(partial);
     });
     if (!buffers.ok()) return buffers.status();
     std::optional<T> acc;
-    for (const serde::Buffer& buffer : buffers.value()) {
-      auto partial = serde::DecodeFromBuffer<std::vector<T>>(buffer);
+    for (const buf::Bytes& buffer : buffers.value()) {
+      auto partial = serde::DecodeFromBytes<std::vector<T>>(buffer);
       if (!partial.ok()) return partial.status();
       for (const T& value : partial.value()) {
         acc = acc.has_value() ? fn(*acc, value) : value;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "serde/serde.h"
@@ -48,27 +49,32 @@ class TaskRt {
   }
 
   /// Fetch every map output bucket for `reduce_partition`, charging
-  /// transport on the shuffle fabric (socket or RDMA per options). Throws
-  /// FetchFailed when outputs are missing (their executor died).
-  std::vector<const serde::Buffer*> FetchShuffle(int shuffle_id,
-                                                 int reduce_partition);
+  /// transport on the shuffle fabric (socket or RDMA per options). The
+  /// returned buffers alias the map outputs in the shuffle store (refcount
+  /// bumps, no payload copy) and stay valid even if the owning executor
+  /// dies afterwards. Throws FetchFailed when outputs are missing (their
+  /// executor died before the fetch completed).
+  std::vector<buf::Bytes> FetchShuffle(int shuffle_id, int reduce_partition);
 
   /// Persist map-task output buckets: local shuffle-file write + registry.
   void CommitShuffleOutput(int shuffle_id, int map_partition,
-                           std::vector<serde::Buffer> buckets);
+                           std::vector<buf::Bytes> buckets);
 
-  /// Read one block of a MiniDFS file (locality-aware, charged).
-  Result<std::string> ReadDfsBlock(const std::string& path, std::size_t block);
+  /// Read one block of a MiniDFS file (locality-aware, charged). The result
+  /// aliases the stored block — no payload copy.
+  Result<buf::Bytes> ReadDfsBlock(const std::string& path, std::size_t block);
 
   /// Read an actual-byte range of a file on this node's local scratch.
-  Result<std::string> ReadLocalRange(const std::string& path, Bytes offset,
-                                     Bytes length);
+  /// The result aliases the stored file — no payload copy.
+  Result<buf::Bytes> ReadLocalRange(const std::string& path, Bytes offset,
+                                    Bytes length);
 
   /// Read exactly the whole lines *starting* inside [offset, offset+length)
   /// of a local file (Hadoop LineRecordReader semantics, boundary-exact —
   /// no lookahead waste). Ranges tiling the file yield each line once.
-  Result<std::string> ReadLocalLines(const std::string& path, Bytes offset,
-                                     Bytes length);
+  /// The result aliases the stored file — no payload copy.
+  Result<buf::Bytes> ReadLocalLines(const std::string& path, Bytes offset,
+                                    Bytes length);
 
  private:
   AppState& app_;

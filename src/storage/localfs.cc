@@ -14,7 +14,7 @@ LocalFs::LocalFs(std::shared_ptr<Disk> disk, double data_scale)
 }
 
 void LocalFs::Install(const std::string& path, std::string content) {
-  files_[path] = std::move(content);
+  files_[path] = buf::Bytes::FromString(std::move(content));
 }
 
 Status LocalFs::Write(sim::Context& ctx, const std::string& path,
@@ -22,7 +22,7 @@ Status LocalFs::Write(sim::Context& ctx, const std::string& path,
   if (disk_->failed()) return Unavailable("disk failed: " + path);
   const SimTime done = disk_->Write(Modeled(content.size()), ctx.now());
   ctx.SleepUntil(done);
-  files_[path].assign(content.data(), content.size());
+  files_[path] = buf::Bytes::Copy(content);
   return OkStatus();
 }
 
@@ -31,22 +31,36 @@ Status LocalFs::Append(sim::Context& ctx, const std::string& path,
   if (disk_->failed()) return Unavailable("disk failed: " + path);
   const SimTime done = disk_->Write(Modeled(content.size()), ctx.now());
   ctx.SleepUntil(done);
-  files_[path].append(content.data(), content.size());
+  // Copy-on-append into a fresh chunk: outstanding aliases of the old
+  // version stay stable.
+  auto it = files_.find(path);
+  std::string grown =
+      it == files_.end() ? std::string() : it->second.ToString();
+  grown.append(content.data(), content.size());
+  files_[path] = buf::Bytes::FromString(std::move(grown));
   return OkStatus();
 }
 
-Result<std::string> LocalFs::Read(sim::Context& ctx, const std::string& path,
-                                  Bytes offset, Bytes length) {
+Result<buf::Bytes> LocalFs::ReadBytes(sim::Context& ctx,
+                                      const std::string& path, Bytes offset,
+                                      Bytes length) {
   if (disk_->failed()) return Unavailable("disk failed: " + path);
   auto it = files_.find(path);
   if (it == files_.end()) return NotFound("no such file: " + path);
-  const std::string& data = it->second;
+  const buf::Bytes& data = it->second;
   if (offset > data.size()) return OutOfRange("read past EOF: " + path);
   const Bytes available = data.size() - offset;
   const Bytes n = std::min(length, available);
   const SimTime done = disk_->Read(Modeled(n), ctx.now());
   ctx.SleepUntil(done);
-  return data.substr(offset, n);
+  return data.Slice(offset, n);
+}
+
+Result<std::string> LocalFs::Read(sim::Context& ctx, const std::string& path,
+                                  Bytes offset, Bytes length) {
+  auto bytes = ReadBytes(ctx, path, offset, length);
+  if (!bytes.ok()) return bytes.status();
+  return bytes.value().ToString();
 }
 
 Result<std::string> LocalFs::ReadAll(sim::Context& ctx,
@@ -56,7 +70,7 @@ Result<std::string> LocalFs::ReadAll(sim::Context& ctx,
   return Read(ctx, path, 0, size.value());
 }
 
-const std::string* LocalFs::Peek(const std::string& path) const {
+const buf::Bytes* LocalFs::Peek(const std::string& path) const {
   auto it = files_.find(path);
   return it == files_.end() ? nullptr : &it->second;
 }

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "buf/bytes.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "sim/engine.h"
@@ -35,7 +36,12 @@ class LocalFs {
                 std::string_view content);
 
   /// Read `length` actual bytes at `offset`, charging read time. A length
-  /// past EOF is truncated (like pread).
+  /// past EOF is truncated (like pread). The result aliases the stored
+  /// file (a refcount bump, no payload copy) and stays valid across later
+  /// writes/deletes of the path.
+  Result<buf::Bytes> ReadBytes(sim::Context& ctx, const std::string& path,
+                               Bytes offset, Bytes length);
+  /// Materializing convenience wrappers over ReadBytes (one counted copy).
   Result<std::string> Read(sim::Context& ctx, const std::string& path,
                            Bytes offset, Bytes length);
   Result<std::string> ReadAll(sim::Context& ctx, const std::string& path);
@@ -43,7 +49,7 @@ class LocalFs {
   /// Zero-cost handle to the stored bytes (no simulated I/O charged) for
   /// record readers that must inspect boundaries before issuing the real
   /// (charged) read. Returns nullptr if the file does not exist.
-  [[nodiscard]] const std::string* Peek(const std::string& path) const;
+  [[nodiscard]] const buf::Bytes* Peek(const std::string& path) const;
 
   [[nodiscard]] bool Exists(const std::string& path) const;
   /// Actual stored size in bytes.
@@ -63,7 +69,9 @@ class LocalFs {
  private:
   std::shared_ptr<Disk> disk_;
   double data_scale_;
-  std::map<std::string, std::string> files_;
+  /// Each file is one flat immutable chunk; writes replace the chunk, so
+  /// outstanding read aliases keep seeing the bytes they were given.
+  std::map<std::string, buf::Bytes> files_;
 };
 
 }  // namespace pstk::storage

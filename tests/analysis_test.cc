@@ -915,6 +915,63 @@ void SubmitterLoop(Scheduler& sched) {
       << RenderLintReport(findings);
 }
 
+TEST(LintRuleTest, DataplaneCopyInHotPathFlagged) {
+  // RunMapTask reaches a helper that takes its payload as a by-value
+  // std::string: every call copies the whole payload on the hot path.
+  const auto findings = Findings(R"cc(
+void StoreBucket(int r, std::string payload) {
+  store[r] = payload;
+}
+void RunMapTask(TaskRt& rt, int p) {
+  StoreBucket(p, bucket);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "dataplane-copy-in-hot-path"), 1)
+      << RenderLintReport(findings);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].line, 2);  // the copying helper's definition
+  ASSERT_EQ(findings[0].related.size(), 1u);
+  EXPECT_EQ(findings[0].related[0].line, 5);  // the data-plane root
+}
+
+TEST(LintRuleTest, DataplaneSerdeBufferParamFlagged) {
+  // serde::Buffer by value on the shuffle commit surface itself.
+  const auto findings = Findings(R"cc(
+void TaskRt::CommitShuffleOutput(int shuffle, serde::Buffer bucket) {
+  store.Put(shuffle, bucket);
+}
+)cc");
+  ASSERT_EQ(CountRule(findings, "dataplane-copy-in-hot-path"), 1)
+      << RenderLintReport(findings);
+}
+
+TEST(LintRuleTest, DataplaneAliasingAndColdPathsAreClean) {
+  // const& / string_view / refcounted buf::Bytes params are aliases, a
+  // message string is a diagnostic sink, and a by-value payload on a
+  // function no task/shuffle root reaches is someone else's business.
+  const auto findings = Findings(R"cc(
+void StoreBucket(int r, const std::string& payload) {
+  store[r] = payload;
+}
+void ShipBlock(buf::Bytes block, std::string_view range) {
+  net.Send(block, range);
+}
+void Fail(std::string msg) {
+  log(msg);
+}
+void RunMapTask(TaskRt& rt, int p) {
+  StoreBucket(p, bucket);
+  ShipBlock(block, range);
+  Fail(oops);
+}
+void ControlPlaneRpc(std::string body) {
+  rpc.Call(body);
+}
+)cc");
+  EXPECT_EQ(CountRule(findings, "dataplane-copy-in-hot-path"), 0)
+      << RenderLintReport(findings);
+}
+
 TEST(LintRuleTest, SpscMultiProducerFlagged) {
   const auto findings = Findings(R"cc(
 struct Shard {
@@ -1006,11 +1063,11 @@ TEST(LintOutputTest, SarifGolden) {
               std::string::npos)
         << r.slug;
   }
-  // The result object, golden: mpi-tag-mismatch is rule index 7 (the
+  // The result object, golden: mpi-tag-mismatch is rule index 8 (the
   // registry is sorted by slug).
   EXPECT_NE(
       sarif.find(
-          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 7, "
+          "{\"ruleId\": \"mpi-tag-mismatch\", \"ruleIndex\": 8, "
           "\"level\": \"error\", \"message\": {\"text\": \"tags 1 vs 2\"}, "
           "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
           "{\"uri\": \"examples/a.cc\"}, \"region\": {\"startLine\": 12}}}]}"),

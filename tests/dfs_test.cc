@@ -42,7 +42,7 @@ TEST(DfsTest, InstallAndReadAllRoundTrip) {
   f.engine.Spawn("reader", [&](sim::Context& ctx) {
     auto r = f.dfs->ReadAll(ctx, 0, "/data/in.txt");
     ASSERT_TRUE(r.ok()) << r.status().ToString();
-    got = r.value();
+    got = r.value().ToString();
   });
   ASSERT_TRUE(f.engine.Run().status.ok());
   EXPECT_EQ(got, content);
@@ -74,7 +74,7 @@ TEST(DfsTest, BlocksEndAtLineBoundaries) {
       auto block = f.dfs->ReadBlock(ctx, 0, "/f", i);
       ASSERT_TRUE(block.ok());
       ASSERT_FALSE(block.value().empty());
-      EXPECT_EQ(block.value().back(), '\n') << "block " << i;
+      EXPECT_EQ(block.value().view().back(), '\n') << "block " << i;
     }
   });
   ASSERT_TRUE(f.engine.Run().status.ok());
@@ -177,6 +177,31 @@ TEST(DfsTest, MetadataOps) {
             StatusCode::kAlreadyExists);
 }
 
+TEST(DfsTest, BlockAliasOutlivesDelete) {
+  // The zero-copy contract: a block handed out by ReadBlock aliases the
+  // stored chunk, and the refcount — not the namespace — owns the payload.
+  // Deleting the file (or any later read) must not invalidate outstanding
+  // aliases, e.g. a cached RDD partition built over the block.
+  DfsOptions options;
+  options.block_size = 256;
+  DfsFixture f(4, 1.0, options);
+  const std::string content = Lines(40);
+  ASSERT_TRUE(f.dfs->Install("/f", content).ok());
+  buf::Bytes cached;
+  std::string expected;
+  f.engine.Spawn("reader", [&](sim::Context& ctx) {
+    auto block = f.dfs->ReadBlock(ctx, 0, "/f", 0);
+    ASSERT_TRUE(block.ok()) << block.status().ToString();
+    expected = block.value().ToString();
+    cached = block.value().Slice(0, block.value().size());
+    ASSERT_TRUE(f.dfs->Delete("/f").ok());
+    EXPECT_FALSE(f.dfs->ReadBlock(ctx, 0, "/f", 0).ok());
+  });
+  ASSERT_TRUE(f.engine.Run().status.ok());
+  EXPECT_FALSE(expected.empty());
+  EXPECT_TRUE(cached.Equals(expected));  // alias intact after the delete
+}
+
 TEST(DfsTest, NodeFailureTransparentToReaders) {
   DfsOptions options;
   options.block_size = 200;
@@ -198,7 +223,7 @@ TEST(DfsTest, NodeFailureTransparentToReaders) {
   f.engine.Spawn("reader", [&](sim::Context& ctx) {
     auto r = f.dfs->ReadAll(ctx, 0, "/f");
     ASSERT_TRUE(r.ok()) << r.status().ToString();
-    got = r.value();
+    got = r.value().ToString();
   });
   ASSERT_TRUE(f.engine.Run().status.ok());
   EXPECT_EQ(got, content);
@@ -233,7 +258,7 @@ TEST(DfsTest, TwoConcurrentFailuresReReplicateFromSurvivors) {
   f.engine.Spawn("reader", [&](sim::Context& ctx) {
     auto r = f.dfs->ReadAll(ctx, 0, "/f");
     ASSERT_TRUE(r.ok()) << r.status().ToString();
-    got = r.value();
+    got = r.value().ToString();
   });
   ASSERT_TRUE(f.engine.Run().status.ok());
   EXPECT_EQ(got, content);

@@ -159,11 +159,12 @@ Counts RunMrVersion(const std::string& data, int nodes, double scale) {
   engine.Spawn("read", [&](sim::Context& ctx) {
     auto part = dfs.ReadAll(ctx, 0, "/out/part-r-0");
     ASSERT_TRUE(part.ok());
+    const std::string text = part.value().ToString();
     std::size_t pos = 0;
-    while (pos < part.value().size()) {
-      auto nl = part.value().find('\n', pos);
-      if (nl == std::string::npos) nl = part.value().size();
-      const std::string line = part.value().substr(pos, nl - pos);
+    while (pos < text.size()) {
+      auto nl = text.find('\n', pos);
+      if (nl == std::string::npos) nl = text.size();
+      const std::string line = text.substr(pos, nl - pos);
       pos = nl + 1;
       const auto tab = line.find('\t');
       if (tab == std::string::npos) continue;

@@ -84,7 +84,7 @@ std::map<std::string, std::int64_t> ParseOutput(MrFixture& f,
     std::string content;
     f.engine.Spawn("post-reader", [&, path](sim::Context& ctx) {
       auto data = f.dfs->ReadAll(ctx, 0, path);
-      if (data.ok()) content = data.value();
+      if (data.ok()) content = data.value().ToString();
     });
     EXPECT_TRUE(f.engine.Run().status.ok());
     std::size_t pos = 0;

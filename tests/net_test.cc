@@ -15,9 +15,7 @@ serde::Buffer Payload(const std::string& s) {
   return serde::Buffer(s.begin(), s.end());
 }
 
-std::string AsString(const serde::Buffer& b) {
-  return std::string(b.begin(), b.end());
-}
+std::string AsString(const buf::Bytes& b) { return b.ToString(); }
 
 // --------------------------------------------------------------------------
 // Fabric cost model

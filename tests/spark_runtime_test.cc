@@ -153,7 +153,7 @@ ShuffleStore::MapOutput MakeOutput(int executor, int node, int buckets) {
   output.executor = executor;
   output.node = node;
   output.buckets.resize(static_cast<std::size_t>(buckets),
-                        serde::Buffer{1, 2, 3});
+                        buf::Bytes::Copy("abc"));
   return output;
 }
 
@@ -202,6 +202,28 @@ TEST(ShuffleStoreTest, DropExecutorLosesItsOutputsOnly) {
   EXPECT_EQ(store.MissingMaps(1), std::vector<int>{0});
   EXPECT_FALSE(store.Complete(2));
   EXPECT_NE(store.GetMapOutput(1, 1), nullptr);  // executor 1's survives
+}
+
+TEST(ShuffleStoreTest, FetchedBucketAliasSurvivesDropExecutor) {
+  // Kill-unwind safety for the zero-copy plane: a reducer that fetched a
+  // bucket holds a refcounted alias of the map output's chunk, so dropping
+  // the executor mid-shuffle (the FetchFailed path) deletes the store
+  // entry but cannot invalidate buckets already handed out.
+  ShuffleStore store;
+  store.Register(1, /*maps=*/1, /*reduces=*/1);
+  ShuffleStore::MapOutput output;
+  output.executor = 0;
+  output.node = 0;
+  output.buckets.push_back(buf::Bytes::Copy("reduce-partition-payload"));
+  store.PutMapOutput(1, 0, std::move(output));
+
+  const auto* stored = store.GetMapOutput(1, 0);
+  ASSERT_NE(stored, nullptr);
+  const buf::Bytes fetched = stored->buckets[0];  // what FetchShuffle ships
+
+  store.DropExecutor(0);
+  EXPECT_EQ(store.GetMapOutput(1, 0), nullptr);
+  EXPECT_TRUE(fetched.Equals("reduce-partition-payload"));
 }
 
 TEST(ShuffleStoreTest, ReRegisterSameShapeIsIdempotent) {

@@ -480,5 +480,62 @@ TEST(SparkTest, UnionOfMappedRddsEvaluatesLazily) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 }
 
+TEST(SparkTest, DataPlaneTraceIdenticalAcrossBackends) {
+  // The zero-copy plane must stay model-neutral: the same wordcount over
+  // DFS blocks — reads, shuffle commits/fetches, a persisted partition —
+  // produces byte-identical traces and results on both engine backends.
+  auto run = [](sim::Backend backend) {
+    sim::Engine engine(/*seed=*/7, backend);
+    engine.EnableTrace(true);
+    cluster::Cluster cluster(engine, cluster::ClusterSpec::Comet(4));
+    dfs::DfsOptions dopts;
+    dopts.block_size = 4 * kKiB;
+    dfs::MiniDfs dfs(cluster, dopts);
+    MiniSpark spark(cluster, &dfs, FastOptions());
+
+    std::string content;
+    for (int i = 0; i < 400; ++i) {
+      content += "alpha beta gamma " + std::to_string(i % 13) + "\n";
+    }
+    EXPECT_TRUE(dfs.Install("/data/words.txt", content).ok());
+
+    std::map<std::string, std::int64_t> counts;
+    auto result = spark.RunApp([&](SparkContext& sc) {
+      auto lines = sc.TextFile("/data/words.txt");
+      ASSERT_TRUE(lines.ok()) << lines.status().ToString();
+      auto words =
+          lines->FlatMap<std::string>([](const std::string& line) {
+            std::vector<std::string> out;
+            std::size_t pos = 0;
+            while (pos < line.size()) {
+              auto sp = line.find(' ', pos);
+              if (sp == std::string::npos) sp = line.size();
+              out.push_back(line.substr(pos, sp - pos));
+              pos = sp + 1;
+            }
+            return out;
+          });
+      words.Persist(StorageLevel::kMemoryOnly);
+      auto got = words.KeyBy<std::string>([](const std::string& w) { return w; })
+                     .MapValues<std::int64_t>([](const std::string&) {
+                       return 1;
+                     })
+                     .ReduceByKey([](std::int64_t a, std::int64_t b) {
+                       return a + b;
+                     })
+                     .CollectAsMap();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      counts = got.value();
+    });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(counts["alpha"], 400);
+    return engine.obs().ToChromeTraceJson();
+  };
+  const std::string fibers = run(sim::Backend::kFibers);
+  const std::string threads = run(sim::Backend::kThreads);
+  EXPECT_FALSE(fibers.empty());
+  EXPECT_EQ(fibers, threads);
+}
+
 }  // namespace
 }  // namespace pstk::spark
